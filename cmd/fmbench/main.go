@@ -1,0 +1,158 @@
+// Command fmbench runs one-off benchmarks on the simulated ParPar/FM
+// stack, in the spirit of the benchmark programs shipped with the FM
+// distribution (paper §4.1). Unlike cmd/gangsim (which regenerates the
+// paper's figures), fmbench exposes the knobs directly.
+//
+// Examples:
+//
+//	fmbench -bench bandwidth -msgs 10000 -size 16384
+//	fmbench -bench bandwidth -policy partitioned -slots 8   # the wedge
+//	fmbench -bench latency -msgs 2000 -size 64
+//	fmbench -bench alltoall -nodes 8 -msgs 500 -jobs 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"gangfm"
+	"gangfm/internal/core"
+	"gangfm/internal/fm"
+	"gangfm/internal/myrinet"
+	"gangfm/internal/sim"
+)
+
+func main() {
+	var (
+		bench   = flag.String("bench", "bandwidth", "bandwidth | latency | alltoall")
+		nodes   = flag.Int("nodes", 16, "cluster size")
+		policy  = flag.String("policy", "switched", "switched | partitioned")
+		mode    = flag.String("copy", "valid", "valid | full (buffer switch algorithm)")
+		slots   = flag.Int("slots", 4, "gang slot-table depth (buffer divisor when partitioned)")
+		jobs    = flag.Int("jobs", 1, "identical jobs to gang-schedule")
+		msgs    = flag.Int("msgs", 5000, "messages (per sender / per peer)")
+		size    = flag.Int("size", 16384, "message size in bytes")
+		quantum = flag.Duration("quantum", time.Second, "gang-scheduling quantum (virtual)")
+		loss    = flag.Float64("loss", 0, "packet loss probability on the data network")
+		seed    = flag.Uint64("seed", 1, "simulation seed")
+		limit   = flag.Duration("limit", 60*time.Second, "virtual-time limit before declaring a wedge")
+	)
+	flag.Parse()
+
+	cfg := gangfm.DefaultClusterConfig(*nodes)
+	cfg.Slots = *slots
+	cfg.Seed = *seed
+	cfg.Quantum = sim.DefaultClock.FromDuration(*quantum)
+	switch *policy {
+	case "switched":
+		cfg.Policy = fm.Switched
+	case "partitioned":
+		cfg.Policy = fm.Partitioned
+	default:
+		log.Fatalf("unknown policy %q", *policy)
+	}
+	switch *mode {
+	case "valid":
+		cfg.Mode = core.ValidOnly
+	case "full":
+		cfg.Mode = core.FullCopy
+	default:
+		log.Fatalf("unknown copy mode %q", *mode)
+	}
+	if *loss > 0 {
+		net := myrinet.DefaultConfig(*nodes)
+		net.LossProb = *loss
+		net.Seed = *seed
+		cfg.NetConfig = &net
+	}
+
+	cluster, err := gangfm.NewCluster(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var specs []gangfm.JobSpec
+	for j := 0; j < *jobs; j++ {
+		name := fmt.Sprintf("%s-%d", *bench, j)
+		switch *bench {
+		case "bandwidth":
+			specs = append(specs, gangfm.Bandwidth(name, *msgs, *size))
+		case "latency":
+			specs = append(specs, gangfm.PingPong(name, *msgs, *size))
+		case "alltoall":
+			specs = append(specs, gangfm.AllToAll(name, *nodes, *msgs, *size))
+		default:
+			log.Fatalf("unknown benchmark %q", *bench)
+		}
+	}
+	var submitted []*gangfm.Job
+	for _, spec := range specs {
+		job, err := cluster.Submit(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		submitted = append(submitted, job)
+	}
+
+	start := time.Now()
+	cluster.RunUntil(sim.DefaultClock.FromDuration(*limit))
+	real := time.Since(start)
+	clock := gangfm.Clock()
+	fmt.Printf("simulated %v of virtual time in %v real (%d events)\n\n",
+		clock.ToDuration(cluster.Eng.Now()).Round(time.Millisecond), real.Round(time.Millisecond), cluster.Eng.Fired())
+
+	for i, job := range submitted {
+		switch *bench {
+		case "bandwidth":
+			res, err := gangfm.ExtractBandwidth(job)
+			if err != nil {
+				fmt.Printf("job %d: WEDGED (%v)\n", i, err)
+				continue
+			}
+			fmt.Printf("job %d: %d x %d B in %v -> %.1f MB/s\n",
+				i, res.Messages, res.MsgSize, clock.ToDuration(res.Elapsed()).Round(time.Microsecond), res.MBs(clock))
+		case "latency":
+			if job.State() != gangfm.JobDone {
+				fmt.Printf("job %d: not finished\n", i)
+				continue
+			}
+			res := job.Results[0].(gangfm.PingPongResult)
+			fmt.Printf("job %d: %d-byte round trip %v (%d cycles)\n",
+				i, res.Size, clock.ToDuration(res.RoundTrip()), res.RoundTrip())
+		case "alltoall":
+			results, err := gangfm.ExtractAllToAll(job)
+			if err != nil {
+				fmt.Printf("job %d: WEDGED (%v)\n", i, err)
+				continue
+			}
+			var bytes uint64
+			var span sim.Time
+			for _, r := range results {
+				bytes += uint64(r.Sent) * uint64(*size)
+				if r.End > span {
+					span = r.End
+				}
+			}
+			secs := clock.ToDuration(span).Seconds()
+			fmt.Printf("job %d: all-to-all moved %.1f MB in %v -> %.1f MB/s aggregate\n",
+				i, float64(bytes)/1e6, clock.ToDuration(span).Round(time.Microsecond), float64(bytes)/secs/1e6)
+		}
+	}
+
+	// Switch accounting, when any rotation happened.
+	switches, totalCycles := 0, sim.Time(0)
+	for _, hist := range cluster.SwitchHistory() {
+		for _, s := range hist {
+			if s.From >= 0 && s.To >= 0 {
+				switches++
+				totalCycles += s.Total()
+			}
+		}
+	}
+	if switches > 0 {
+		fmt.Printf("\n%d buffer switches, mean %v each\n",
+			switches, clock.ToDuration(totalCycles/sim.Time(switches)).Round(time.Microsecond))
+	}
+}

@@ -1,0 +1,130 @@
+// Command gangsim regenerates the paper's evaluation: each subcommand
+// reproduces one table or figure of "User-Level Communication in a System
+// with Gang Scheduling" (Etsion & Feitelson, IPPS 2001) on the simulated
+// ParPar/FM/Myrinet stack.
+//
+// Usage:
+//
+//	gangsim [-quick] [-par N] <fig5|fig6|fig7|fig8|fig9|overhead|credits|all>
+//
+// All runs are deterministic; -quick shrinks the sweeps for smoke runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"gangfm/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
+	par := flag.Int("par", runtime.NumCPU(), "max concurrently simulated points")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() != 1 {
+		usage()
+		os.Exit(2)
+	}
+	p := experiments.Params{Quick: *quick, Parallel: *par}
+
+	cmds := map[string]func(experiments.Params){
+		"fig5":     fig5,
+		"fig6":     fig6,
+		"fig7":     fig7,
+		"fig8":     fig8,
+		"fig9":     fig9,
+		"overhead": overhead,
+		"credits":  credits,
+		"schemes":  schemes,
+		"dyncos":   dyncos,
+		"all": func(p experiments.Params) {
+			credits(p)
+			fig5(p)
+			fig6(p)
+			fig7(p)
+			fig8(p)
+			fig9(p)
+			overhead(p)
+			schemes(p)
+			dyncos(p)
+		},
+	}
+	cmd, ok := cmds[flag.Arg(0)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "gangsim: unknown experiment %q\n", flag.Arg(0))
+		usage()
+		os.Exit(2)
+	}
+	start := time.Now()
+	cmd(p)
+	fmt.Printf("\n[%s completed in %.1fs]\n", flag.Arg(0), time.Since(start).Seconds())
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `gangsim — regenerate the paper's evaluation
+
+usage: gangsim [-quick] [-par N] <experiment>
+
+experiments:
+  credits   credit formulas C0 = Br/(n^2 p) vs Br/p (paper 2.2, 3.3)
+  fig5      bandwidth vs msg size x #contexts, partitioned buffers
+  fig6      total bandwidth vs msg size x #jobs, buffer switching
+  fig7      switch stage times, full buffer copy, 2..16 nodes
+  fig8      valid packets in the buffers at switch time, 2..16 nodes
+  fig9      switch stage times, improved (valid-only) copy, 2..16 nodes
+  overhead  single-switch cost vs the paper's 85 ms / 12.5 ms bounds
+  schemes   ablation: paper scheme vs SHARE discard vs PM quiescence (5)
+  dyncos    ablation: gang vs dynamic coscheduling responsiveness (5)
+  all       everything above
+`)
+}
+
+func fig5(p experiments.Params) {
+	points := experiments.Fig5(p)
+	fmt.Println(experiments.Fig5Table(points))
+	fmt.Println("(zero rows are the credit cliff: C0 = Br/(n^2 p) hits 0 at 7-8 contexts)")
+}
+
+func fig6(p experiments.Params) {
+	points := experiments.Fig6(p)
+	fmt.Println(experiments.Fig6Table(points))
+	fmt.Println("(aggregate = mean per-job bandwidth x #jobs; flat rows are the paper's claim)")
+}
+
+func fig7(p experiments.Params) {
+	points := experiments.Fig7(p)
+	fmt.Println(experiments.StageTable(
+		"Figure 7: buffer switch stage times, full copy [cycles of a 200 MHz P6]", points))
+}
+
+func fig8(p experiments.Params) {
+	points := experiments.Fig9(p)
+	fmt.Println(experiments.Fig8FromSweep(points))
+}
+
+func fig9(p experiments.Params) {
+	points := experiments.Fig9(p)
+	fmt.Println(experiments.StageTable(
+		"Figure 9: buffer switch stage times, improved (valid-only) copy [cycles]", points))
+}
+
+func overhead(p experiments.Params) {
+	rep := experiments.Overhead(p)
+	fmt.Println(experiments.OverheadTable(rep))
+}
+
+func credits(p experiments.Params) {
+	fmt.Println(experiments.CreditsTable(experiments.Credits()))
+}
+
+func schemes(p experiments.Params) {
+	fmt.Println(experiments.SchemesTable(experiments.Schemes(p)))
+}
+
+func dyncos(p experiments.Params) {
+	fmt.Println(experiments.ResponsivenessTable(experiments.Responsiveness(p)))
+}

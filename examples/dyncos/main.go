@@ -1,0 +1,25 @@
+// Dyncos: gang scheduling vs dynamic coscheduling for interactive traffic
+// (paper §5, Sobalvarro et al.).
+//
+// Gang scheduling co-schedules all of a job's processes, which is perfect
+// for bulk synchronized communication — but a sparse request issued while
+// the job is descheduled must wait for the job's next time slot. Dynamic
+// coscheduling instead wakes the destination process when a message
+// arrives, answering in ~dispatch time at the cost of sharing the CPU less
+// predictably. This example measures both on the same request pattern.
+package main
+
+import (
+	"fmt"
+
+	"gangfm/internal/experiments"
+)
+
+func main() {
+	rows := experiments.Responsiveness(experiments.Params{Parallel: 2})
+	fmt.Println(experiments.ResponsivenessTable(rows))
+	fmt.Println("Gang scheduling answers within the rotation; dynamic coscheduling")
+	fmt.Println("answers within the dispatch latency. The paper's buffer switch exists")
+	fmt.Println("so that gang scheduling — which wins for bulk parallel traffic — can")
+	fmt.Println("multiprogram without dividing the NIC buffers.")
+}

@@ -1,0 +1,54 @@
+// Lossy: why FM dares to have no retransmission — and what happens when
+// the SAN assumption breaks.
+//
+// FM's credit-based flow control assumes an insignificant error rate: "a
+// single packet loss can mess up the credit counters and the entire flow
+// control algorithm" (paper §2.2). This example injects packet loss into
+// the Myrinet fabric and shows the transfer wedging: lost data packets
+// take their credits with them, the sender's window never refills, and
+// progress stops permanently while a loss-free run completes instantly.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gangfm"
+	"gangfm/internal/myrinet"
+)
+
+func main() {
+	fmt.Println("loss prob | delivered | dropped | outcome")
+	for _, loss := range []float64{0, 0.001, 0.01, 0.05} {
+		delivered, dropped, done := run(loss)
+		outcome := "completed"
+		if !done {
+			outcome = "WEDGED (credits lost, no retransmission)"
+		}
+		fmt.Printf("%9.3f | %9d | %7d | %s\n", loss, delivered, dropped, outcome)
+	}
+}
+
+func run(loss float64) (delivered, dropped uint64, done bool) {
+	net := myrinet.DefaultConfig(2)
+	net.LossProb = loss
+	net.Seed = 42
+
+	cfg := gangfm.DefaultClusterConfig(2)
+	cfg.NetConfig = &net
+	cluster, err := gangfm.NewCluster(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	job, err := cluster.Submit(gangfm.Bandwidth("lossy", 2000, 1536))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cluster.RunUntil(10 * 200_000_000) // bounded: a wedged run never ends
+
+	stats := cluster.Net.Stats()
+	delivered = stats.Delivered[myrinet.Data]
+	dropped = stats.Dropped[myrinet.Data]
+	_, err = gangfm.ExtractBandwidth(job)
+	return delivered, dropped, err == nil
+}

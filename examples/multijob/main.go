@@ -1,0 +1,97 @@
+// Multijob: the paper's headline comparison in miniature.
+//
+// Part 1 (Figure 5's collapse): with the original partitioned FM buffers
+// on a 16-node machine, deepening the slot table divides the buffers and
+// the per-peer credit count C0 = Br/(n²p) collapses — at 7-8 slots it
+// reaches zero and communication stops entirely, even for a machine
+// running a single application.
+//
+// Part 2 (Figure 6's flatness): with the paper's buffer switching, k
+// benchmark jobs time-sliced on the same nodes deliver a flat aggregate
+// bandwidth — multiprogramming costs (almost) nothing.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gangfm"
+)
+
+const (
+	msgs     = 3000
+	msgSize  = 6144
+	deadline = 20 * 200_000_000 // 20 virtual seconds
+)
+
+func main() {
+	fmt.Println("Part 1 — partitioned buffers (original FM), single job on 16 nodes")
+	fmt.Println("slots | C0 | bandwidth [MB/s]")
+	for _, slots := range []int{1, 2, 4, 8} {
+		bw, ok := partitioned(slots)
+		c0 := 668 / slots / (slots * 16)
+		if ok {
+			fmt.Printf("%5d | %2d | %.1f\n", slots, c0, bw)
+		} else {
+			fmt.Printf("%5d | %2d | wedged: no communication possible\n", slots, c0)
+		}
+	}
+
+	fmt.Println()
+	fmt.Println("Part 2 — switched buffers, k jobs time-sliced on one node pair")
+	fmt.Println("jobs | aggregate bandwidth [MB/s]")
+	for _, k := range []int{1, 2, 4, 8} {
+		fmt.Printf("%4d | %.1f\n", k, switched(k))
+	}
+}
+
+// partitioned measures one benchmark job on a 16-node cluster whose
+// buffers are statically divided among `slots` contexts.
+func partitioned(slots int) (float64, bool) {
+	cfg := gangfm.DefaultClusterConfig(16)
+	cfg.Policy = gangfm.Partitioned
+	cfg.Slots = slots
+	cluster, err := gangfm.NewCluster(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	job, err := cluster.Submit(gangfm.Bandwidth("bw", msgs, msgSize))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cluster.RunUntil(deadline) // bounded: zero credits never finish
+	res, err := gangfm.ExtractBandwidth(job)
+	if err != nil {
+		return 0, false
+	}
+	return res.MBs(gangfm.Clock()), true
+}
+
+// switched stacks k benchmark jobs in k time slots of a 2-node cluster and
+// returns the aggregate (sum over jobs) bandwidth.
+func switched(k int) float64 {
+	cfg := gangfm.DefaultClusterConfig(2)
+	cfg.Slots = 8
+	cfg.Quantum = 4_000_000 // 20 ms, scaled from the paper's 3 s
+	cfg.CtrlJitter = 40_000
+	cluster, err := gangfm.NewCluster(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	jobs := make([]*gangfm.Job, k)
+	for i := range jobs {
+		if jobs[i], err = cluster.Submit(gangfm.Bandwidth("bw", msgs, msgSize)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	cluster.Run()
+	sum := 0.0
+	for _, job := range jobs {
+		res, err := gangfm.ExtractBandwidth(job)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sum += res.MBs(gangfm.Clock())
+	}
+	return sum
+}

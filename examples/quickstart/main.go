@@ -1,0 +1,44 @@
+// Quickstart: assemble a simulated ParPar cluster, run the paper's
+// point-to-point bandwidth benchmark as a single gang-scheduled job, and
+// print the measured bandwidth and latency.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gangfm"
+)
+
+func main() {
+	// A 16-node ParPar with the paper's buffer-switching scheme.
+	cluster, err := gangfm.NewCluster(gangfm.DefaultClusterConfig(16))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The FM bandwidth benchmark: 5000 messages of 16 KB, rank 0 -> 1.
+	job, err := cluster.Submit(gangfm.Bandwidth("quickstart", 5000, 16384))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cluster.Run()
+
+	res, err := gangfm.ExtractBandwidth(job)
+	if err != nil {
+		log.Fatal(err)
+	}
+	clock := gangfm.Clock()
+	fmt.Printf("transferred %d MB in %v (virtual): %.1f MB/s\n",
+		res.Bytes/1_000_000, clock.ToDuration(res.Elapsed()), res.MBs(clock))
+
+	// And a short-message latency probe.
+	pp, err := cluster.Submit(gangfm.PingPong("latency", 1000, 64))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cluster.Run()
+	lat := pp.Results[0].(gangfm.PingPongResult)
+	fmt.Printf("64-byte round trip: %v (%d cycles)\n",
+		clock.ToDuration(lat.RoundTrip()), lat.RoundTrip())
+}

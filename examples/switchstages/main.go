@@ -1,0 +1,67 @@
+// Switchstages: anatomy of the three-stage buffer switch (paper §3.2).
+//
+// Two all-to-all jobs alternate on an 8-node cluster while every context
+// switch's stages are timed: halt the network (flush protocol of Figure
+// 3), switch the buffers (Figure 4), and release the network. The run is
+// repeated with the full-copy and the improved valid-packets-only
+// algorithms, reproducing the contrast between Figures 7 and 9.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gangfm"
+)
+
+func main() {
+	for _, mode := range []gangfm.CopyMode{gangfm.FullCopy, gangfm.ValidOnly} {
+		halt, copy, release, validRecv, n := run(mode)
+		fmt.Printf("%s: %d switches sampled\n", mode, n)
+		fmt.Printf("  halt    %10.0f cycles (%.2f ms)\n", halt, ms(halt))
+		fmt.Printf("  copy    %10.0f cycles (%.2f ms)  [%.1f valid recv packets]\n",
+			copy, ms(copy), validRecv)
+		fmt.Printf("  release %10.0f cycles (%.2f ms)\n", release, ms(release))
+		fmt.Printf("  total   %10.0f cycles (%.2f ms) = %.2f%% of a 1 s quantum\n\n",
+			halt+copy+release, ms(halt+copy+release), (halt+copy+release)/200_000_000*100)
+	}
+}
+
+func ms(cycles float64) float64 { return cycles / 200_000_000 * 1000 }
+
+func run(mode gangfm.CopyMode) (halt, copy, release, validRecv float64, n int) {
+	cfg := gangfm.DefaultClusterConfig(8)
+	cfg.Slots = 2
+	cfg.Mode = mode
+	cfg.Quantum = 10_000_000 // 50 ms
+	cluster, err := gangfm.NewCluster(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := cluster.Submit(gangfm.AllToAll("a2a", 8, 1200, 1536)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	cluster.Run()
+
+	for _, hist := range cluster.SwitchHistory() {
+		for _, s := range hist {
+			if s.From < 0 || s.To < 0 {
+				continue // activation or idle switch: buffers empty
+			}
+			halt += float64(s.Halt)
+			copy += float64(s.Copy)
+			release += float64(s.Release)
+			validRecv += float64(s.ValidRecv)
+			n++
+		}
+	}
+	if n > 0 {
+		halt /= float64(n)
+		copy /= float64(n)
+		release /= float64(n)
+		validRecv /= float64(n)
+	}
+	return halt, copy, release, validRecv, n
+}

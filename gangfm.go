@@ -1,0 +1,151 @@
+// Package gangfm is a simulation-backed reproduction of "User-Level
+// Communication in a System with Gang Scheduling" (Yoav Etsion and Dror G.
+// Feitelson, IPPS 2001): the ParPar cluster, the Fast Messages (FM)
+// user-level communication library on Myrinet, and the paper's
+// contribution — swapping the NIC communication buffers as part of the
+// gang-scheduling context switch so every running process gets the full
+// buffer (and therefore the full credit window) instead of a 1/n² share.
+//
+// This root package is the public façade: it re-exports the pieces a user
+// composes — cluster construction, job submission, the benchmark
+// workloads, and the experiment harness that regenerates every figure of
+// the paper. The implementation lives in the internal packages:
+//
+//	internal/sim         deterministic discrete-event kernel (cycles of a 200 MHz P6)
+//	internal/memmodel    memory cost model (host copies, write-combining, DMA)
+//	internal/myrinet     the Myrinet fabric: FIFO routes, serialized ports, loss injection
+//	internal/lanai       the LANai card: contexts, send scanner, receive DMA, flush protocol
+//	internal/fm          the FM library: fragmentation, credits, refills, host cost model
+//	internal/core        glueFM (Table 1 API) and the buffer-switching context switch
+//	internal/gang        the gang matrix with DHC buddy placement
+//	internal/parpar      masterd/noded daemons, control network, job lifecycle (Fig 2)
+//	internal/workload    the paper's benchmarks (bandwidth, all-to-all, ping-pong)
+//	internal/altsched    related-work alternatives (SHARE-style discard, PM-style flush)
+//	internal/experiments the figure/table regenerators
+//
+// # Quick start
+//
+//	cfg := gangfm.DefaultClusterConfig(16)     // 16-node ParPar, switched buffers
+//	cluster, err := gangfm.NewCluster(cfg)
+//	if err != nil { ... }
+//	job, err := cluster.Submit(gangfm.Bandwidth("bw", 10000, 16384))
+//	if err != nil { ... }
+//	cluster.Run()
+//	res, _ := gangfm.ExtractBandwidth(job)
+//	fmt.Printf("%.1f MB/s\n", res.MBs(gangfm.Clock()))
+//
+// Everything is simulated on a virtual clock, so runs are deterministic
+// and take milliseconds of real time regardless of the virtual duration.
+package gangfm
+
+import (
+	"gangfm/internal/core"
+	"gangfm/internal/fm"
+	"gangfm/internal/parpar"
+	"gangfm/internal/sim"
+	"gangfm/internal/workload"
+)
+
+// Cluster is a simulated ParPar machine: compute nodes with Myrinet NICs,
+// the masterd gang scheduler, and the control network.
+type Cluster = parpar.Cluster
+
+// ClusterConfig parameterizes a cluster (node count, slot-table depth,
+// buffer policy, copy algorithm, quantum, daemon latencies).
+type ClusterConfig = parpar.Config
+
+// Job is a submitted parallel application.
+type Job = parpar.Job
+
+// JobSpec describes a job: size and per-rank program factory.
+type JobSpec = parpar.JobSpec
+
+// Program is one process's application code.
+type Program = parpar.Program
+
+// ProgramFunc adapts a function to Program.
+type ProgramFunc = parpar.ProgramFunc
+
+// Proc is the harness handle a Program communicates through.
+type Proc = parpar.Proc
+
+// JobState tracks a job through its lifecycle.
+type JobState = parpar.JobState
+
+// Job lifecycle states.
+const (
+	// JobLoading: nodes are allocating contexts and forking (Fig 2).
+	JobLoading = parpar.JobLoading
+	// JobRunning: the all-up synchronization completed.
+	JobRunning = parpar.JobRunning
+	// JobDone: every rank reported completion.
+	JobDone = parpar.JobDone
+)
+
+// Policy selects how NIC buffer space is shared among time-sliced
+// processes.
+type Policy = fm.Policy
+
+// Buffer-sharing policies.
+const (
+	// Partitioned statically divides the buffers among the maximum
+	// number of contexts (original FM 2.0; credits fall as 1/n²).
+	Partitioned = fm.Partitioned
+	// Switched gives the running process the whole buffer and swaps
+	// contents at gang context switches (the paper's contribution).
+	Switched = fm.Switched
+)
+
+// CopyMode selects the buffer-switch algorithm.
+type CopyMode = core.CopyMode
+
+// Buffer-switch algorithms.
+const (
+	// FullCopy copies the entire buffer regions (≤85 ms on the paper's
+	// hardware).
+	FullCopy = core.FullCopy
+	// ValidOnly scans for and copies only valid packets (≤12.5 ms).
+	ValidOnly = core.ValidOnly
+)
+
+// Time is a point or span on the virtual clock, in CPU cycles of the
+// simulated 200 MHz Pentium Pro.
+type Time = sim.Time
+
+// BandwidthResult is the measurement reported by a bandwidth job.
+type BandwidthResult = workload.BandwidthResult
+
+// AllToAllResult is the per-rank measurement of an all-to-all job.
+type AllToAllResult = workload.AllToAllResult
+
+// PingPongResult is the measurement reported by a ping-pong job.
+type PingPongResult = workload.PingPongResult
+
+// NewCluster assembles a cluster.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) { return parpar.New(cfg) }
+
+// DefaultClusterConfig returns the paper's setup for the given node count:
+// switched buffers with the improved copy, 4 slots, 1 s quantum.
+func DefaultClusterConfig(nodes int) ClusterConfig { return parpar.DefaultConfig(nodes) }
+
+// Clock returns the simulated 200 MHz clock, for converting Time to wall
+// durations and rates.
+func Clock() sim.Clock { return sim.DefaultClock }
+
+// Bandwidth returns the paper's point-to-point bandwidth benchmark (§4.1):
+// msgs messages of size bytes from rank 0 to rank 1, finish-message timed.
+func Bandwidth(name string, msgs, size int) JobSpec { return workload.Bandwidth(name, msgs, size) }
+
+// AllToAll returns the paper's all-to-all stress benchmark (§4.2).
+func AllToAll(name string, ranks, perPeer, size int) JobSpec {
+	return workload.AllToAll(name, ranks, perPeer, size)
+}
+
+// PingPong returns a two-rank latency benchmark.
+func PingPong(name string, rounds, size int) JobSpec { return workload.PingPong(name, rounds, size) }
+
+// ExtractBandwidth pulls the BandwidthResult out of a finished job.
+func ExtractBandwidth(job *Job) (BandwidthResult, error) { return workload.ExtractBandwidth(job) }
+
+// ExtractAllToAll pulls the per-rank results out of a finished job.
+func ExtractAllToAll(job *Job) ([]AllToAllResult, error) { return workload.ExtractAllToAll(job) }

@@ -1,0 +1,101 @@
+package gangfm
+
+import (
+	"testing"
+)
+
+// The façade tests exercise the public API end to end, the way the README
+// quick start does.
+
+func TestQuickstartFlow(t *testing.T) {
+	cluster, err := NewCluster(DefaultClusterConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := cluster.Submit(Bandwidth("t", 200, 8192))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.Run()
+	res, err := ExtractBandwidth(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MBs(Clock()) < 30 {
+		t.Fatalf("bandwidth %.1f MB/s implausibly low", res.MBs(Clock()))
+	}
+}
+
+func TestPolicyConstantsRoundTrip(t *testing.T) {
+	cfg := DefaultClusterConfig(2)
+	cfg.Policy = Partitioned
+	cfg.Mode = FullCopy
+	if _, err := NewCluster(cfg); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Policy = Switched
+	cfg.Mode = ValidOnly
+	if _, err := NewCluster(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCustomProgramViaFacade(t *testing.T) {
+	cluster, err := NewCluster(DefaultClusterConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A user-written program: rank 0 sends one message, rank 1 reports
+	// its payload size.
+	spec := JobSpec{
+		Name: "custom",
+		Size: 2,
+		NewProgram: func(rank int) Program {
+			return ProgramFunc(func(p *Proc) {
+				if rank == 0 {
+					p.EP.Send(1, 999, nil)
+					p.Done(nil)
+				} else {
+					p.EP.SetHandler(func(src, size int, _ []byte) {
+						p.Done(size)
+					})
+				}
+			})
+		},
+	}
+	job, err := cluster.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.Run()
+	if job.Results[1] != 999 {
+		t.Fatalf("custom program result = %v", job.Results[1])
+	}
+}
+
+func TestAllToAllFacade(t *testing.T) {
+	cluster, err := NewCluster(DefaultClusterConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := cluster.Submit(AllToAll("t", 3, 10, 512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.Run()
+	results, err := ExtractAllToAll(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Sent != 20 || r.Received != 20 {
+			t.Fatalf("rank %d: %d/%d", r.Rank, r.Sent, r.Received)
+		}
+	}
+}
+
+func TestClockFacade(t *testing.T) {
+	if Clock().Hz != 200_000_000 {
+		t.Fatalf("clock = %d Hz, want the paper's 200 MHz", Clock().Hz)
+	}
+}

@@ -1,0 +1,3 @@
+module gangfm
+
+go 1.22

@@ -1,0 +1,205 @@
+package altsched
+
+import (
+	"fmt"
+
+	"gangfm/internal/core"
+	"gangfm/internal/lanai"
+	"gangfm/internal/memmodel"
+	"gangfm/internal/myrinet"
+	"gangfm/internal/sim"
+)
+
+// ClusterConfig parameterizes a scheme-comparison cluster.
+type ClusterConfig struct {
+	Nodes  int
+	Jobs   int
+	Scheme Scheme
+	Mode   core.CopyMode
+	// Quantum is the synchronized-clock switching period. Both schemes
+	// in this package derive switches from synchronized clocks (as SHARE
+	// does) rather than a masterd broadcast.
+	Quantum sim.Time
+	// ClockSkew is the residual per-node clock offset, sampled uniformly
+	// in [0, ClockSkew) once per node.
+	ClockSkew sim.Time
+	// Channel tunes the go-back-N transport.
+	Channel RChannelConfig
+	// PayloadLen is the fixed per-packet payload of the streams.
+	PayloadLen int
+	Seed       uint64
+}
+
+// DefaultClusterConfig returns a 2-node comparison setup.
+func DefaultClusterConfig(jobs int) ClusterConfig {
+	return ClusterConfig{
+		Nodes:      2,
+		Jobs:       jobs,
+		Scheme:     ShareDiscard,
+		Mode:       core.ValidOnly,
+		Quantum:    4_000_000,
+		ClockSkew:  4_000, // 20 us: SHARE relies on tightly synchronized clocks
+		Channel:    DefaultRChannelConfig(),
+		PayloadLen: myrinet.MaxPayload,
+		Seed:       1,
+	}
+}
+
+// node bundles one compute node's hardware and manager.
+type node struct {
+	nic  *lanai.NIC
+	cpu  *sim.Resource
+	mgr  *Manager
+	skew sim.Time
+}
+
+// Cluster is a self-contained rig comparing the alternative schemes: Jobs
+// two-rank jobs stream rank 0 -> rank 1 continuously while synchronized
+// clocks rotate the schedule every Quantum.
+type Cluster struct {
+	Eng *sim.Engine
+	Net *myrinet.Network
+	cfg ClusterConfig
+
+	nodes []*node
+	// eps[job][rank]
+	eps   map[myrinet.JobID][]*Endpoint
+	epoch uint64
+}
+
+// NewCluster assembles the rig and registers all processes.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Nodes < 2 {
+		return nil, fmt.Errorf("altsched: need at least 2 nodes")
+	}
+	if cfg.Jobs < 1 {
+		return nil, fmt.Errorf("altsched: need at least 1 job")
+	}
+	eng := sim.NewEngine()
+	net := myrinet.New(eng, myrinet.DefaultConfig(cfg.Nodes))
+	mem := memmodel.Default()
+	rng := sim.NewRand(cfg.Seed)
+	c := &Cluster{Eng: eng, Net: net, cfg: cfg, eps: make(map[myrinet.JobID][]*Endpoint)}
+	for i := 0; i < cfg.Nodes; i++ {
+		nic := lanai.New(eng, net, mem, lanai.DefaultConfig(myrinet.NodeID(i)))
+		cpu := sim.NewResource(eng, fmt.Sprintf("alt-cpu%d", i))
+		mgr, err := NewManager(eng, nic, cpu, mem, cfg.Scheme, cfg.Mode)
+		if err != nil {
+			return nil, err
+		}
+		skew := sim.Time(0)
+		if cfg.ClockSkew > 0 {
+			skew = sim.Time(rng.Uint64() % uint64(cfg.ClockSkew))
+		}
+		c.nodes = append(c.nodes, &node{nic: nic, cpu: cpu, mgr: mgr, skew: skew})
+	}
+	nodeOf := []myrinet.NodeID{0, 1}
+	for j := 1; j <= cfg.Jobs; j++ {
+		job := myrinet.JobID(j)
+		eps := make([]*Endpoint, 2)
+		for rank := 0; rank < 2; rank++ {
+			n := c.nodes[rank]
+			ep, err := NewEndpoint(eng, n.nic, n.cpu, cfg.Channel, job, rank, nodeOf, cfg.PayloadLen)
+			if err != nil {
+				return nil, err
+			}
+			if err := n.mgr.AddProcess(ep); err != nil {
+				return nil, err
+			}
+			eps[rank] = ep
+		}
+		c.eps[job] = eps
+	}
+	return c, nil
+}
+
+// Endpoints returns a job's endpoints by rank.
+func (c *Cluster) Endpoints(job myrinet.JobID) []*Endpoint { return c.eps[job] }
+
+// Managers returns the per-node managers.
+func (c *Cluster) Managers() []*Manager {
+	out := make([]*Manager, len(c.nodes))
+	for i, n := range c.nodes {
+		out[i] = n.mgr
+	}
+	return out
+}
+
+// Start schedules job 1 everywhere and begins the clock-driven rotation.
+func (c *Cluster) Start() {
+	c.rotate()
+}
+
+// rotate advances the schedule on every node at (skewed) synchronized
+// clock ticks — there is no coordinator and no inter-node protocol.
+func (c *Cluster) rotate() {
+	c.epoch++
+	job := myrinet.JobID(int(c.epoch-1)%c.cfg.Jobs + 1)
+	for _, n := range c.nodes {
+		n := n
+		c.Eng.Schedule(n.skew, func() {
+			if err := n.mgr.Switch(c.epoch, job, nil); err != nil {
+				panic(err)
+			}
+		})
+	}
+	c.Eng.Schedule(c.cfg.Quantum, c.rotate)
+}
+
+// RunFor advances the simulation by d cycles.
+func (c *Cluster) RunFor(d sim.Time) {
+	c.Eng.RunUntil(c.Eng.Now() + d)
+}
+
+// Report aggregates a run's transport and switch statistics.
+type Report struct {
+	Scheme          Scheme
+	Switches        int
+	MeanWait        float64 // cycles (quiescence; zero for discard)
+	MeanCopy        float64 // cycles
+	Delivered       uint64
+	Sent            uint64
+	Retransmissions uint64
+	Discards        uint64 // card-level ID-filter drops
+}
+
+// Efficiency returns delivered / total transmissions.
+func (r Report) Efficiency() float64 {
+	total := r.Sent + r.Retransmissions
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Delivered) / float64(total)
+}
+
+// Collect builds the report from the run so far.
+func (c *Cluster) Collect() Report {
+	rep := Report{Scheme: c.cfg.Scheme}
+	var wait, copies float64
+	for _, n := range c.nodes {
+		for _, rec := range n.mgr.History() {
+			if rec.From == myrinet.NoJob {
+				continue
+			}
+			rep.Switches++
+			wait += float64(rec.Wait)
+			copies += float64(rec.Copy)
+		}
+		rep.Discards += n.nic.Stats().Drops[lanai.DropFiltered]
+	}
+	if rep.Switches > 0 {
+		rep.MeanWait = wait / float64(rep.Switches)
+		rep.MeanCopy = copies / float64(rep.Switches)
+	}
+	for _, eps := range c.eps {
+		for _, ep := range eps {
+			for _, ch := range ep.chans {
+				st := ch.Stats()
+				rep.Sent += st.Sent
+				rep.Retransmissions += st.Retransmissions
+				rep.Delivered += st.Delivered
+			}
+		}
+	}
+	return rep
+}

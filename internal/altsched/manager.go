@@ -1,0 +1,245 @@
+package altsched
+
+import (
+	"fmt"
+
+	"gangfm/internal/core"
+	"gangfm/internal/lanai"
+	"gangfm/internal/memmodel"
+	"gangfm/internal/myrinet"
+	"gangfm/internal/sim"
+)
+
+// Scheme selects the alternative coordination strategy.
+type Scheme int
+
+const (
+	// ShareDiscard switches without any flush: mismatched packets are
+	// discarded by the card and the transport retransmits (SHARE, §5).
+	ShareDiscard Scheme = iota
+	// PMQuiescence flushes by quiescence: stop transmitting and wait for
+	// acknowledgements of all outstanding packets, with no control
+	// broadcasts (PM/SCore, §5).
+	PMQuiescence
+)
+
+// String names the scheme.
+func (s Scheme) String() string {
+	switch s {
+	case ShareDiscard:
+		return "share-discard"
+	case PMQuiescence:
+		return "pm-quiescence"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// SwitchRecord captures one alternative-scheme context switch.
+type SwitchRecord struct {
+	Epoch uint64
+	From  myrinet.JobID
+	To    myrinet.JobID
+	// Wait is the pre-copy wait: zero for ShareDiscard (no flush),
+	// the quiescence wait for PMQuiescence.
+	Wait sim.Time
+	// Copy is the buffer-switch cost.
+	Copy sim.Time
+	// ValidRecv counts packets found in (and copied with) the receive
+	// queue.
+	ValidRecv int
+	ValidSend int
+}
+
+// Total returns the switch's end-to-end cost.
+func (r SwitchRecord) Total() sim.Time { return r.Wait + r.Copy }
+
+// proc is a job's process under an alternative scheme.
+type proc struct {
+	job       myrinet.JobID
+	rank      int
+	ep        *Endpoint
+	sendStore []*myrinet.Packet
+	recvStore []*myrinet.Packet
+}
+
+// Manager is the per-node scheduler integration for the alternative
+// schemes: it owns the single full-size hardware context and swaps buffers
+// at switches, like the paper's scheme, but coordinates (or doesn't)
+// according to the selected related-work strategy.
+type Manager struct {
+	eng    *sim.Engine
+	nic    *lanai.NIC
+	cpu    *sim.Resource
+	mem    *memmodel.Model
+	scheme Scheme
+	mode   core.CopyMode
+
+	hwCtx   *lanai.Context
+	procs   map[myrinet.JobID]*proc
+	current *proc
+
+	history []SwitchRecord
+}
+
+// NewManager builds a manager owning the card's full buffers.
+func NewManager(eng *sim.Engine, nic *lanai.NIC, cpu *sim.Resource, mem *memmodel.Model,
+	scheme Scheme, mode core.CopyMode) (*Manager, error) {
+	cfg := nic.Config()
+	ctx, err := nic.Register(myrinet.NoJob, -1, cfg.SendSlots, cfg.RecvSlots, lanai.Hooks{})
+	if err != nil {
+		return nil, fmt.Errorf("altsched: %w", err)
+	}
+	m := &Manager{
+		eng: eng, nic: nic, cpu: cpu, mem: mem,
+		scheme: scheme, mode: mode,
+		hwCtx: ctx,
+		procs: make(map[myrinet.JobID]*proc),
+	}
+	// SHARE's card-level ID check: packets for a job other than the
+	// currently scheduled one are discarded (and, since no ack is
+	// produced, the sender's transport eventually retransmits them).
+	// Under PM this filter never fires: quiescence guarantees nothing is
+	// in flight across a switch.
+	nic.DataFilter = func(p *myrinet.Packet) bool {
+		pr := m.procs[p.Job]
+		if pr == nil || pr != m.current {
+			// PM nacks what it cannot receive, resolving the sender's
+			// quiescence accounting; SHARE silently discards and lets
+			// the sender's timers recover.
+			if m.scheme == PMQuiescence {
+				nic.SendRaw(&myrinet.Packet{
+					Type: myrinet.Nack,
+					Src:  nic.Node(), Dst: p.Src,
+					Job: p.Job, SrcRank: p.DstRank, DstRank: p.SrcRank,
+					MsgID: p.MsgID,
+				})
+			}
+			return false
+		}
+		// NIC-level go-back-N accept/ack, before the DMA deposit.
+		return pr.ep.accept(p)
+	}
+	nic.OnControl = func(p *myrinet.Packet) {
+		pr := m.procs[p.Job]
+		if pr == nil {
+			return
+		}
+		switch p.Type {
+		case myrinet.Ack:
+			pr.ep.handleAck(p)
+		case myrinet.Nack:
+			pr.ep.handleNack(p)
+		}
+	}
+	return m, nil
+}
+
+// History returns the recorded switches.
+func (m *Manager) History() []SwitchRecord { return m.history }
+
+// Current returns the scheduled job, or NoJob.
+func (m *Manager) Current() myrinet.JobID {
+	if m.current == nil {
+		return myrinet.NoJob
+	}
+	return m.current.job
+}
+
+// AddProcess registers a job's process on this node.
+func (m *Manager) AddProcess(ep *Endpoint) error {
+	if _, dup := m.procs[ep.job]; dup {
+		return fmt.Errorf("altsched: job %d already present", ep.job)
+	}
+	pr := &proc{job: ep.job, rank: ep.rank, ep: ep}
+	m.procs[ep.job] = pr
+	return nil
+}
+
+// Switch performs the scheme's context switch to job.
+func (m *Manager) Switch(epoch uint64, job myrinet.JobID, done func(SwitchRecord)) error {
+	next, ok := m.procs[job]
+	if !ok {
+		return fmt.Errorf("altsched: switch to unknown job %d", job)
+	}
+	rec := SwitchRecord{Epoch: epoch, From: m.Current(), To: job}
+	if m.current != nil {
+		m.current.ep.Suspend()
+	}
+	switch m.scheme {
+	case ShareDiscard:
+		// No flush at all: straight to the buffer copy. In-flight
+		// packets race the switch and get discarded by the ID filter.
+		m.copyAndBind(next, &rec, done)
+	case PMQuiescence:
+		// Stop transmitting (the suspend above stopped the pump; the
+		// card keeps draining the send queue), then wait until every
+		// transmitted packet has been acknowledged.
+		t0 := m.eng.Now()
+		m.quiesce(func() {
+			rec.Wait = m.eng.Now() - t0
+			m.copyAndBind(next, &rec, done)
+		})
+	default:
+		return fmt.Errorf("altsched: unknown scheme %d", int(m.scheme))
+	}
+	return nil
+}
+
+// quiesce polls until the outgoing process has drained its send queue and
+// every transmitted packet is resolved (acked or nacked).
+func (m *Manager) quiesce(doneFn func()) {
+	const pollInterval = 2000
+	var check func()
+	check = func() {
+		if m.current == nil || (m.hwCtx.SendQ.Len() == 0 && m.current.ep.quiesced()) {
+			doneFn()
+			return
+		}
+		m.eng.Schedule(pollInterval, check)
+	}
+	check()
+}
+
+// copyAndBind performs the buffer switch (same cost model as the paper's
+// scheme) and resumes the incoming process.
+func (m *Manager) copyAndBind(next *proc, rec *SwitchRecord, done func(SwitchRecord)) {
+	rec.ValidSend = m.hwCtx.SendQ.Len()
+	rec.ValidRecv = m.hwCtx.RecvQ.Len()
+	t0 := m.eng.Now()
+	if m.current == next {
+		next.ep.Resume()
+		m.finish(rec, done)
+		return
+	}
+	cost := core.BufferCopyCost(m.mem, m.mode,
+		m.hwCtx.SendQ.Cap(), m.hwCtx.RecvQ.Cap(),
+		rec.ValidSend, rec.ValidRecv,
+		len(next.sendStore), len(next.recvStore),
+		m.current != nil, true)
+	m.cpu.Use(cost, func() {
+		rec.Copy = m.eng.Now() - t0
+		if m.current != nil {
+			m.current.sendStore = m.hwCtx.SendQ.Drain()
+			m.current.recvStore = m.hwCtx.RecvQ.Drain()
+		} else {
+			m.hwCtx.SendQ.Drain()
+			m.hwCtx.RecvQ.Drain()
+		}
+		m.nic.SetIdentity(m.hwCtx, next.job, next.rank, lanai.Hooks{})
+		next.ep.attach(m.hwCtx)
+		m.hwCtx.SendQ.Load(next.sendStore)
+		m.hwCtx.RecvQ.Load(next.recvStore)
+		next.sendStore, next.recvStore = nil, nil
+		m.current = next
+		next.ep.Resume()
+		m.finish(rec, done)
+	})
+}
+
+func (m *Manager) finish(rec *SwitchRecord, done func(SwitchRecord)) {
+	m.history = append(m.history, *rec)
+	if done != nil {
+		done(*rec)
+	}
+}

@@ -1,0 +1,502 @@
+// Package core implements the paper's contribution: the "glueFM" network
+// management library (Table 1) that integrates the FM communication system
+// with the ParPar cluster's gang scheduler, and the buffer-switching
+// context switch (§3.2).
+//
+// The API mirrors Table 1 of the paper:
+//
+//	Initialization:   InitNode, AddNode, RemoveNode
+//	Process control:  InitJob, EndJob
+//	Context switch:   HaltNetwork, ContextSwitch, ReleaseNetwork
+//
+// plus SwitchTo, which runs the three switch stages in order and reports
+// per-stage timings — the quantity Figures 7 and 9 measure.
+package core
+
+import (
+	"fmt"
+
+	"gangfm/internal/fm"
+	"gangfm/internal/lanai"
+	"gangfm/internal/memmodel"
+	"gangfm/internal/myrinet"
+	"gangfm/internal/sim"
+)
+
+// CopyMode selects the buffer-switch algorithm of §4.2.
+type CopyMode int
+
+const (
+	// FullCopy copies the entire send and receive buffer regions,
+	// regardless of occupancy (the paper's first implementation;
+	// ≤85 ms / 17M cycles).
+	FullCopy CopyMode = iota
+	// ValidOnly scans the queues and copies only the valid packets (the
+	// paper's improved algorithm; ≤12.5 ms / 2.5M cycles).
+	ValidOnly
+)
+
+// String names the copy mode.
+func (m CopyMode) String() string {
+	switch m {
+	case FullCopy:
+		return "full-copy"
+	case ValidOnly:
+		return "valid-only"
+	default:
+		return fmt.Sprintf("CopyMode(%d)", int(m))
+	}
+}
+
+// Process is the per-job process the manager schedules: the glueFM layer
+// needs to stop/start it around switches and to bind it to the hardware
+// context that will carry its traffic. fm.Endpoint satisfies it.
+type Process interface {
+	// Attach binds the process's library state to a hardware context
+	// (FM_initialize's queue mapping, or a switch-in rebinding).
+	Attach(ctx *lanai.Context)
+	Suspend()
+	Resume()
+}
+
+// SwitchStats records one context switch's three stage durations and the
+// buffer occupancy found at the switch (Figures 7, 8, 9).
+type SwitchStats struct {
+	Epoch   uint64
+	From    myrinet.JobID
+	To      myrinet.JobID
+	Halt    sim.Time // stage 1: network flush
+	Copy    sim.Time // stage 2: buffer switch
+	Release sim.Time // stage 3: refill/ready protocol
+
+	// ValidSend and ValidRecv are the valid packet counts found in the
+	// outgoing process's queues (Figure 8).
+	ValidSend int
+	ValidRecv int
+	// RestoredSend/RestoredRecv are the packet counts loaded from the
+	// incoming process's backing store.
+	RestoredSend int
+	RestoredRecv int
+}
+
+// Total returns the switch's end-to-end duration.
+func (s SwitchStats) Total() sim.Time { return s.Halt + s.Copy + s.Release }
+
+// backingStore holds a descheduled process's queue contents in pageable
+// virtual memory (Figure 4).
+type backingStore struct {
+	send []*myrinet.Packet
+	recv []*myrinet.Packet
+}
+
+// proc is the manager's record of one job's process on this node.
+type proc struct {
+	job   myrinet.JobID
+	rank  int
+	p     Process
+	store backingStore
+	// ctx is the process's dedicated hardware context in Partitioned
+	// mode; nil in Switched mode (where the single hwCtx is shared).
+	ctx *lanai.Context
+}
+
+// Config parameterizes a node's manager.
+type Config struct {
+	// Policy selects Partitioned (original FM) or Switched (the paper).
+	Policy fm.Policy
+	// Mode selects the buffer-switch algorithm (Switched policy only).
+	Mode CopyMode
+	// MaxContexts is the gang matrix depth: the fixed maximum number of
+	// processes per host the buffers must accommodate.
+	MaxContexts int
+	// Processors is the machine size p used in the credit formulas.
+	Processors int
+}
+
+// Manager is the per-node glueFM instance, linked with the noded.
+type Manager struct {
+	eng *sim.Engine
+	nic *lanai.NIC
+	cpu *sim.Resource
+	mem *memmodel.Model
+	cfg Config
+
+	alloc fm.Allocation
+
+	// Switched-mode state: the one hardware context and the process it
+	// is currently bound to.
+	hwCtx   *lanai.Context
+	current *proc
+
+	procs map[myrinet.JobID]*proc
+
+	topology map[myrinet.NodeID]bool
+
+	lastEpoch uint64
+	history   []SwitchStats
+	inited    bool
+
+	// OnPreCopy, when set, is invoked at the start of every stage-2
+	// buffer copy, after the flush completed and before any queue is
+	// touched — the point where the protocol guarantees the outgoing
+	// job has nothing in flight. Tests assert that invariant here.
+	OnPreCopy func(from, to myrinet.JobID)
+}
+
+// NewManager builds a manager; call InitNode before use (the split mirrors
+// the paper's COMM_init_node, which loads the LANai control program when
+// the noded starts).
+func NewManager(eng *sim.Engine, nic *lanai.NIC, cpu *sim.Resource, mem *memmodel.Model, cfg Config) (*Manager, error) {
+	nicCfg := nic.Config()
+	alloc, err := fm.Allocate(cfg.Policy, nicCfg.SendSlots, nicCfg.RecvSlots, cfg.MaxContexts, cfg.Processors)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &Manager{
+		eng: eng, nic: nic, cpu: cpu, mem: mem, cfg: cfg,
+		alloc:    alloc,
+		procs:    make(map[myrinet.JobID]*proc),
+		topology: make(map[myrinet.NodeID]bool),
+	}, nil
+}
+
+// Alloc returns the per-process buffer/credit allocation the policy
+// produced — the value the FM library's flow control must be configured
+// with (paper §3.3).
+func (m *Manager) Alloc() fm.Allocation { return m.alloc }
+
+// History returns the recorded switch statistics.
+func (m *Manager) History() []SwitchStats { return m.history }
+
+// StoredPackets reports how many packets a descheduled job has parked in
+// its backing store (send, recv). A bound or unknown job reports zeros.
+func (m *Manager) StoredPackets(job myrinet.JobID) (send, recv int) {
+	pr, ok := m.procs[job]
+	if !ok {
+		return 0, 0
+	}
+	return len(pr.store.send), len(pr.store.recv)
+}
+
+// Current returns the job currently bound to the buffers, or NoJob.
+func (m *Manager) Current() myrinet.JobID {
+	if m.current == nil {
+		return myrinet.NoJob
+	}
+	return m.current.job
+}
+
+// InitNode initializes the LANai control program, the routing table and —
+// in Switched mode — the single full-size hardware context
+// (COMM_init_node).
+func (m *Manager) InitNode() error {
+	if m.inited {
+		return fmt.Errorf("core: node %d already initialized", m.nic.Node())
+	}
+	for i := 0; i < m.nic.NetworkNodes(); i++ {
+		m.topology[myrinet.NodeID(i)] = true
+	}
+	if m.cfg.Policy == fm.Switched {
+		ctx, err := m.nic.Register(myrinet.NoJob, -1, m.alloc.SendSlots, m.alloc.RecvSlots, lanai.Hooks{})
+		if err != nil {
+			return fmt.Errorf("core: allocating the full-size context: %w", err)
+		}
+		m.hwCtx = ctx
+	}
+	m.inited = true
+	return nil
+}
+
+// AddNode records a node joining the topology (COMM_add_node). The
+// simulated fabric is fixed-size, so this is routing-table bookkeeping
+// with validation, as in the paper's implementation.
+func (m *Manager) AddNode(id myrinet.NodeID) error {
+	if m.topology[id] {
+		return fmt.Errorf("core: node %d already in topology", id)
+	}
+	m.topology[id] = true
+	return nil
+}
+
+// RemoveNode records a node leaving the topology (COMM_remove_node).
+func (m *Manager) RemoveNode(id myrinet.NodeID) error {
+	if !m.topology[id] {
+		return fmt.Errorf("core: node %d not in topology", id)
+	}
+	delete(m.topology, id)
+	return nil
+}
+
+// Nodes returns the current topology size.
+func (m *Manager) Nodes() int { return len(m.topology) }
+
+// InitJob allocates a communication context for a process about to be
+// forked (COMM_init_job). In Partitioned mode this registers a dedicated
+// hardware context with the divided buffer sizes. In Switched mode it
+// creates the pageable backing store; the shared hardware context is bound
+// only by the scheduler's SwitchTo, so that every node of the machine
+// agrees — through the flush/release barrier — on which job owns the
+// buffers before any process can send. Early packets (peers running before
+// this job's process has mapped its queues, Fig 2) are still received,
+// because binding precedes any peer's release, which precedes any send.
+func (m *Manager) InitJob(job myrinet.JobID, rank int, p Process) error {
+	if !m.inited {
+		return fmt.Errorf("core: InitJob before InitNode")
+	}
+	if _, dup := m.procs[job]; dup {
+		return fmt.Errorf("core: job %d already initialized on node %d", job, m.nic.Node())
+	}
+	pr := &proc{job: job, rank: rank, p: p}
+	if m.cfg.Policy == fm.Partitioned {
+		ctx, err := m.nic.Register(job, rank, m.alloc.SendSlots, m.alloc.RecvSlots, lanai.Hooks{})
+		if err != nil {
+			return fmt.Errorf("core: job %d context: %w", job, err)
+		}
+		p.Attach(ctx)
+		pr.ctx = ctx
+	}
+	m.procs[job] = pr
+	return nil
+}
+
+// EndJob releases a job's communication resources (COMM_end_job).
+func (m *Manager) EndJob(job myrinet.JobID) error {
+	pr, ok := m.procs[job]
+	if !ok {
+		return fmt.Errorf("core: EndJob for unknown job %d", job)
+	}
+	delete(m.procs, job)
+	if pr.ctx != nil {
+		m.nic.Unregister(pr.ctx)
+	}
+	if m.current == pr {
+		if m.hwCtx != nil {
+			m.nic.SetIdentity(m.hwCtx, myrinet.NoJob, -1, lanai.Hooks{})
+			m.hwCtx.SendQ.Drain()
+			m.hwCtx.RecvQ.Drain()
+		}
+		m.current = nil
+	}
+	return nil
+}
+
+// bind points the shared hardware context at pr and loads its stored
+// queue contents.
+func (m *Manager) bind(pr *proc) {
+	m.nic.SetIdentity(m.hwCtx, pr.job, pr.rank, lanai.Hooks{})
+	pr.p.Attach(m.hwCtx)
+	m.hwCtx.SendQ.Load(pr.store.send)
+	m.hwCtx.RecvQ.Load(pr.store.recv)
+	pr.store.send = nil
+	pr.store.recv = nil
+	m.current = pr
+}
+
+// HaltNetwork runs stage 1 in isolation (COMM_halt_network): suspend the
+// running process and flush the network for the given epoch. Most callers
+// should use SwitchTo; the staged entry points exist to mirror Table 1 and
+// for the stage-level benchmarks.
+func (m *Manager) HaltNetwork(epoch uint64, done func()) error {
+	if epoch <= m.lastEpoch && m.lastEpoch != 0 {
+		return fmt.Errorf("core: epoch %d not after %d", epoch, m.lastEpoch)
+	}
+	m.lastEpoch = epoch
+	if m.current != nil {
+		m.current.p.Suspend()
+	}
+	m.nic.HaltNetwork(epoch, done)
+	return nil
+}
+
+// ContextSwitch runs stage 2 in isolation (COMM_context_switch): swap the
+// buffers from the current process to job's. The network must be halted.
+func (m *Manager) ContextSwitch(job myrinet.JobID, done func(SwitchStats)) error {
+	if m.cfg.Policy != fm.Switched {
+		return fmt.Errorf("core: ContextSwitch requires the switched policy")
+	}
+	if !m.nic.Halted() {
+		return fmt.Errorf("core: ContextSwitch with the network not halted")
+	}
+	next, ok := m.procs[job]
+	if !ok {
+		return fmt.Errorf("core: ContextSwitch to unknown job %d", job)
+	}
+	stats := SwitchStats{Epoch: m.lastEpoch, From: m.Current(), To: job}
+	m.copyBuffers(next, &stats, func() { done(stats) })
+	return nil
+}
+
+// ReleaseNetwork runs stage 3 in isolation (COMM_release_network).
+func (m *Manager) ReleaseNetwork(epoch uint64, done func()) error {
+	m.nic.ReleaseNetwork(epoch, func() {
+		if m.current != nil {
+			m.current.p.Resume()
+		}
+		if done != nil {
+			done()
+		}
+	})
+	return nil
+}
+
+// SwitchTo performs the complete three-stage context switch to job and
+// reports the per-stage timings. All nodes of the cluster must call it
+// with the same epoch (the masterd includes the round number in its
+// broadcast). In Partitioned mode there is nothing to flush or copy: the
+// switch is a plain SIGSTOP/SIGCONT pair.
+func (m *Manager) SwitchTo(epoch uint64, job myrinet.JobID, done func(SwitchStats)) error {
+	next, ok := m.procs[job]
+	if !ok {
+		return fmt.Errorf("core: switch to unknown job %d on node %d", job, m.nic.Node())
+	}
+	if m.cfg.Policy == fm.Partitioned {
+		if m.current != nil && m.current != next {
+			m.current.p.Suspend()
+		}
+		m.current = next
+		next.p.Resume()
+		if done != nil {
+			done(SwitchStats{Epoch: epoch, To: job})
+		}
+		return nil
+	}
+
+	stats := SwitchStats{Epoch: epoch, From: m.Current(), To: job}
+	if err := m.haltStage(epoch, &stats, next, done); err != nil {
+		return err
+	}
+	return nil
+}
+
+// SwitchIdle performs a context switch on a node that has no process in
+// the incoming time slot: the node still participates in the network
+// flush and release protocols (every LANai counts halts from every other
+// node), and the outgoing process's buffers are saved, but nothing is
+// restored.
+func (m *Manager) SwitchIdle(epoch uint64, done func(SwitchStats)) error {
+	if m.cfg.Policy == fm.Partitioned {
+		if m.current != nil {
+			m.current.p.Suspend()
+			m.current = nil
+		}
+		if done != nil {
+			done(SwitchStats{Epoch: epoch, To: myrinet.NoJob})
+		}
+		return nil
+	}
+	stats := SwitchStats{Epoch: epoch, From: m.Current(), To: myrinet.NoJob}
+	return m.haltStage(epoch, &stats, nil, done)
+}
+
+func (m *Manager) haltStage(epoch uint64, stats *SwitchStats, next *proc, done func(SwitchStats)) error {
+	t0 := m.eng.Now()
+	err := m.HaltNetwork(epoch, func() {
+		stats.Halt = m.eng.Now() - t0
+		t1 := m.eng.Now()
+		m.copyBuffers(next, stats, func() {
+			stats.Copy = m.eng.Now() - t1
+			t2 := m.eng.Now()
+			m.nic.ReleaseNetwork(epoch, func() {
+				stats.Release = m.eng.Now() - t2
+				if m.current != nil {
+					m.current.p.Resume()
+				}
+				m.history = append(m.history, *stats)
+				if done != nil {
+					done(*stats)
+				}
+			})
+		})
+	})
+	return err
+}
+
+// copyBuffers performs the stage-2 buffer switch on the host CPU: save the
+// outgoing process's queues to its backing store, then restore the
+// incoming process's queues (Figure 4). A nil next unbinds the context
+// (idle switch). Switching to the already-bound job costs nothing.
+func (m *Manager) copyBuffers(next *proc, stats *SwitchStats, done func()) {
+	if m.OnPreCopy != nil {
+		m.OnPreCopy(stats.From, stats.To)
+	}
+	stats.ValidSend = m.hwCtx.SendQ.Len()
+	stats.ValidRecv = m.hwCtx.RecvQ.Len()
+	if m.current == next {
+		m.eng.Schedule(0, done)
+		return
+	}
+	if next != nil {
+		stats.RestoredSend = len(next.store.send)
+		stats.RestoredRecv = len(next.store.recv)
+	}
+
+	cost := m.copyCost(stats, m.current != nil, next != nil)
+	m.cpu.Use(cost, func() {
+		if m.current != nil {
+			m.current.store.send = m.hwCtx.SendQ.Drain()
+			m.current.store.recv = m.hwCtx.RecvQ.Drain()
+		} else {
+			m.hwCtx.SendQ.Drain()
+			m.hwCtx.RecvQ.Drain()
+		}
+		if next != nil {
+			m.bind(next)
+		} else {
+			m.nic.SetIdentity(m.hwCtx, myrinet.NoJob, -1, lanai.Hooks{})
+			m.current = nil
+		}
+		done()
+	})
+}
+
+// copyCost computes the host cycles of the stage-2 copy. save and restore
+// indicate which halves of the switch actually happen (an idle switch
+// restores nothing; a first bind saves nothing).
+func (m *Manager) copyCost(stats *SwitchStats, save, restore bool) sim.Time {
+	return BufferCopyCost(m.mem, m.cfg.Mode,
+		m.alloc.SendSlots, m.alloc.RecvSlots,
+		stats.ValidSend, stats.ValidRecv,
+		stats.RestoredSend, stats.RestoredRecv,
+		save, restore)
+}
+
+// BufferCopyCost computes the host cycles of one buffer switch (Figure 4)
+// under the given algorithm: the full send-queue region lives on the card
+// behind the write-combined mapping, the receive queue in pinned host
+// memory. It is exported so the alternative schemes (internal/altsched)
+// charge exactly the same copy costs as the paper's scheme.
+func BufferCopyCost(mem *memmodel.Model, mode CopyMode,
+	sendSlots, recvSlots, validSend, validRecv, restoredSend, restoredRecv int,
+	save, restore bool) sim.Time {
+	sendRegion := sendSlots * myrinet.PacketSize
+	recvRegion := recvSlots * myrinet.PacketSize
+	var cost sim.Time
+	switch mode {
+	case FullCopy:
+		// Entire regions, irrespective of occupancy.
+		if save {
+			cost += mem.CopyCycles(sendRegion, memmodel.NICWC, memmodel.HostRAM) +
+				mem.CopyCycles(recvRegion, memmodel.PinnedRAM, memmodel.HostRAM)
+		}
+		if restore {
+			cost += mem.CopyCycles(sendRegion, memmodel.HostRAM, memmodel.NICWC) +
+				mem.CopyCycles(recvRegion, memmodel.HostRAM, memmodel.PinnedRAM)
+		}
+	case ValidOnly:
+		// Scan the queues' slot headers, then copy only valid packets,
+		// per-packet (the measured linear growth of Figure 9).
+		cost = mem.ScanCycles(sendSlots, memmodel.NICWC) +
+			mem.ScanCycles(recvSlots, memmodel.PinnedRAM)
+		if save {
+			cost += sim.Time(validSend)*mem.CopyCycles(myrinet.PacketSize, memmodel.NICWC, memmodel.HostRAM) +
+				sim.Time(validRecv)*mem.CopyCycles(myrinet.PacketSize, memmodel.PinnedRAM, memmodel.HostRAM)
+		}
+		if restore {
+			cost += sim.Time(restoredSend)*mem.CopyCycles(myrinet.PacketSize, memmodel.HostRAM, memmodel.NICWC) +
+				sim.Time(restoredRecv)*mem.CopyCycles(myrinet.PacketSize, memmodel.HostRAM, memmodel.PinnedRAM)
+		}
+	default:
+		panic("core: unknown copy mode")
+	}
+	return cost
+}

@@ -1,0 +1,84 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4): the bandwidth surfaces of Figures 5 and 6, the context
+// switch stage timings of Figures 7 and 9, the buffer-occupancy counts of
+// Figure 8, the §4.2 overhead summary, and the §2.2/§3.3 credit formulas.
+//
+// Absolute message counts and quanta are scaled down from the paper's
+// (500,000-message, 3-second-quantum) runs so a full reproduction finishes
+// in seconds of real time; EXPERIMENTS.md records the scaling and the
+// paper-vs-measured comparison. Every run is a deterministic simulation,
+// so repeated invocations produce identical numbers.
+package experiments
+
+import (
+	"sync"
+
+	"gangfm/internal/sim"
+)
+
+// Params tunes an experiment run.
+type Params struct {
+	// Quick shrinks the sweep (fewer sizes, fewer node counts, fewer
+	// messages) for smoke tests and -short benchmarks.
+	Quick bool
+	// Parallel bounds the number of concurrently simulated points;
+	// 0 means 4. Each point owns an independent engine, so sweeps are
+	// embarrassingly parallel.
+	Parallel int
+}
+
+func (p Params) parallel() int {
+	if p.Parallel <= 0 {
+		return 4
+	}
+	return p.Parallel
+}
+
+// forEach runs fn(i) for i in [0,n) on up to `parallel` goroutines.
+func forEach(parallel, n int, fn func(i int)) {
+	if parallel > n {
+		parallel = n
+	}
+	if parallel <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// clamp bounds v to [lo, hi].
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// mbs converts (bytes, cycles) to MB/s on the default clock.
+func mbs(bytes uint64, elapsed sim.Time) float64 {
+	secs := sim.DefaultClock.ToDuration(elapsed).Seconds()
+	if secs <= 0 {
+		return 0
+	}
+	return float64(bytes) / secs / 1e6
+}

@@ -1,0 +1,486 @@
+package fm
+
+import (
+	"fmt"
+
+	"gangfm/internal/lanai"
+	"gangfm/internal/memmodel"
+	"gangfm/internal/myrinet"
+	"gangfm/internal/sim"
+)
+
+// Config holds the host-side cost parameters and flow-control settings of
+// an endpoint.
+type Config struct {
+	// SendOverhead is the fixed host cost per injected packet (call
+	// overhead, header build, credit bookkeeping), on top of the
+	// write-combined copy of the packet into the card's send queue.
+	SendOverhead sim.Time
+	// RecvOverhead is the fixed host cost per extracted packet (header
+	// decode, handler dispatch, credit bookkeeping). FM handlers run on
+	// the data in place, so no per-byte copy is charged unless
+	// CopyOnReceive is set.
+	RecvOverhead sim.Time
+	// RefillOverhead is the host cost of emitting an explicit refill.
+	RefillOverhead sim.Time
+	// CopyOnReceive charges a host-RAM copy of the payload on extraction
+	// (for workloads whose handlers copy out; ablation knob).
+	CopyOnReceive bool
+
+	// C0 is the initial and maximal per-peer credit count.
+	C0 int
+	// RefillThreshold is the consumed-packet count that triggers an
+	// explicit refill (the "low water mark" logic of §2.2). Zero means
+	// max(1, C0/2).
+	RefillThreshold int
+	// OutboxCap bounds the number of application messages queued in the
+	// library awaiting injection. Zero means 16.
+	OutboxCap int
+}
+
+// DefaultConfig returns host costs calibrated for the 200 MHz Pentium Pro
+// (peak one-way bandwidth lands at ~70 MB/s, matching Figure 5/6 at one
+// context) and the credit count c0.
+func DefaultConfig(c0 int) Config {
+	return Config{
+		SendOverhead:   300, // 1.5 us per FM_send packet
+		RecvOverhead:   600, // 3 us per FM_extract packet
+		RefillOverhead: 250,
+		C0:             c0,
+	}
+}
+
+func (c *Config) refillThreshold() int {
+	if c.RefillThreshold > 0 {
+		return c.RefillThreshold
+	}
+	t := c.C0 / 2
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+func (c *Config) outboxCap() int {
+	if c.OutboxCap > 0 {
+		return c.OutboxCap
+	}
+	return 16
+}
+
+// Stats counts endpoint activity.
+type Stats struct {
+	MessagesSent     uint64
+	MessagesRecvd    uint64
+	PacketsSent      uint64
+	PacketsRecvd     uint64
+	PayloadBytesSent uint64
+	PayloadBytesRecv uint64
+	RefillsSent      uint64
+	RefillsRecvd     uint64
+	CreditStalls     uint64
+	SendQFullStalls  uint64
+}
+
+// outMsg is an application message queued for injection.
+type outMsg struct {
+	dst     int
+	size    int
+	payload []byte
+	frag    int
+	nfrags  int
+	msgID   uint64
+}
+
+// partial is an in-progress reassembly from one source.
+type partial struct {
+	msgID   uint64
+	size    int
+	got     int
+	nfrags  int
+	payload []byte
+}
+
+// Endpoint is one process's FM library state: the user-level communication
+// interface bound to a hardware context on the local card.
+type Endpoint struct {
+	eng *sim.Engine
+	nic *lanai.NIC
+	ctx *lanai.Context
+	mem *memmodel.Model
+	cpu *sim.Resource
+	cfg Config
+
+	job    myrinet.JobID
+	rank   int
+	nodeOf []myrinet.NodeID // rank -> node
+
+	running bool
+
+	sendCredits []int // per peer rank
+	consumed    []int // per peer rank, consumed since last refill sent
+
+	outbox    []outMsg
+	nextMsgID []uint64
+	pumping   bool
+	draining  bool
+
+	reasm map[int]*partial // src rank -> in-progress message
+
+	handler      func(src int, size int, payload []byte)
+	onCanSend    func()
+	flushWaiters []func()
+
+	stats Stats
+}
+
+// NewEndpoint builds the library state for process rank of job, running on
+// the host whose CPU is cpu, with peers located per nodeOf. The endpoint
+// starts suspended; Attach it to a context and call Resume.
+func NewEndpoint(eng *sim.Engine, nic *lanai.NIC, cpu *sim.Resource, mem *memmodel.Model,
+	cfg Config, job myrinet.JobID, rank int, nodeOf []myrinet.NodeID) (*Endpoint, error) {
+	if rank < 0 || rank >= len(nodeOf) {
+		return nil, fmt.Errorf("fm: rank %d out of range for job of size %d", rank, len(nodeOf))
+	}
+	if cfg.C0 < 0 {
+		return nil, fmt.Errorf("fm: negative credit count %d", cfg.C0)
+	}
+	e := &Endpoint{
+		eng: eng, nic: nic, mem: mem, cpu: cpu, cfg: cfg,
+		job: job, rank: rank, nodeOf: nodeOf,
+		sendCredits: make([]int, len(nodeOf)),
+		consumed:    make([]int, len(nodeOf)),
+		nextMsgID:   make([]uint64, len(nodeOf)),
+		reasm:       make(map[int]*partial),
+	}
+	for i := range e.sendCredits {
+		e.sendCredits[i] = cfg.C0
+	}
+	return e, nil
+}
+
+// Hooks returns the NIC callbacks that bind this endpoint to a hardware
+// context. The glueFM layer installs them at COMM_init_job / switch-in.
+func (e *Endpoint) Hooks() lanai.Hooks {
+	return lanai.Hooks{
+		OnArrive:    func(*lanai.Context) { e.drain() },
+		OnRefill:    func(_ *lanai.Context, p *myrinet.Packet) { e.refillArrived(p) },
+		OnSendSpace: func(*lanai.Context) { e.pump() },
+	}
+}
+
+// Attach binds the endpoint to its hardware context.
+func (e *Endpoint) Attach(ctx *lanai.Context) {
+	e.ctx = ctx
+	ctx.Hooks = e.Hooks()
+}
+
+// Context returns the attached hardware context (nil before Attach).
+func (e *Endpoint) Context() *lanai.Context { return e.ctx }
+
+// Rank returns the process's rank within its job.
+func (e *Endpoint) Rank() int { return e.rank }
+
+// Size returns the number of processes in the job.
+func (e *Endpoint) Size() int { return len(e.nodeOf) }
+
+// Job returns the job ID.
+func (e *Endpoint) Job() myrinet.JobID { return e.job }
+
+// Stats returns a snapshot of the endpoint counters.
+func (e *Endpoint) Stats() Stats { return e.stats }
+
+// Credits returns the current send credits toward peer dst (tests and the
+// failure-injection experiments read this).
+func (e *Endpoint) Credits(dst int) int { return e.sendCredits[dst] }
+
+// Owed returns the number of packets consumed from peer since the last
+// refill was sent to it — credits this endpoint is holding back. At
+// quiescence, Credits on one side plus Owed on the other sums to C0:
+// credit conservation, the invariant a single lost packet destroys.
+func (e *Endpoint) Owed(peer int) int { return e.consumed[peer] }
+
+// Running reports whether the process is scheduled.
+func (e *Endpoint) Running() bool { return e.running }
+
+// SetHandler registers the message-arrival callback. The payload slice is
+// nil for size-only workloads.
+func (e *Endpoint) SetHandler(h func(src int, size int, payload []byte)) { e.handler = h }
+
+// SetOnCanSend registers a callback fired when outbox space frees up after
+// Send returned false.
+func (e *Endpoint) SetOnCanSend(f func()) { e.onCanSend = f }
+
+// CanSend reports whether the outbox can accept another message.
+func (e *Endpoint) CanSend() bool { return len(e.outbox) < e.cfg.outboxCap() }
+
+// Send queues a message of size bytes for dst. payload may be nil (the
+// cost model keys off size); when non-nil its length must equal size and
+// the bytes are delivered to the destination handler. Send reports whether
+// the message was accepted; when false the caller should wait for
+// OnCanSend. Sending to self or out of range panics: it is always an
+// application bug.
+func (e *Endpoint) Send(dst int, size int, payload []byte) bool {
+	if dst < 0 || dst >= len(e.nodeOf) || dst == e.rank {
+		panic(fmt.Sprintf("fm: rank %d sending to invalid destination %d", e.rank, dst))
+	}
+	if size <= 0 {
+		panic("fm: message size must be positive")
+	}
+	if payload != nil && len(payload) != size {
+		panic("fm: payload length does not match size")
+	}
+	if !e.CanSend() {
+		return false
+	}
+	nfrags := (size + myrinet.MaxPayload - 1) / myrinet.MaxPayload
+	e.outbox = append(e.outbox, outMsg{
+		dst: dst, size: size, payload: payload,
+		nfrags: nfrags, msgID: e.nextMsgID[dst],
+	})
+	e.nextMsgID[dst]++
+	e.pump()
+	return true
+}
+
+// Suspend models SIGSTOP: the process stops producing and consuming. An
+// operation already holding the CPU completes (the signal is delivered at
+// the next return to user level).
+func (e *Endpoint) Suspend() { e.running = false }
+
+// Resume models SIGCONT: the process resumes pumping and draining, and
+// re-emits any refill that was deferred because the network was halted
+// when it came due.
+func (e *Endpoint) Resume() {
+	if e.running {
+		return
+	}
+	e.running = true
+	for peer := range e.consumed {
+		if peer != e.rank && e.consumed[peer] >= e.cfg.refillThreshold() {
+			e.sendRefill(peer)
+		}
+	}
+	e.pump()
+	e.drain()
+}
+
+// sendCost is the host time to inject one packet: fixed overhead plus the
+// write-combined copy of header+payload into the card's send queue.
+func (e *Endpoint) sendCost(wireBytes int) sim.Time {
+	return e.cfg.SendOverhead + e.mem.CopyCycles(wireBytes, memmodel.HostRAM, memmodel.NICWC)
+}
+
+// recvCost is the host time to extract one packet.
+func (e *Endpoint) recvCost(p *myrinet.Packet) sim.Time {
+	c := e.cfg.RecvOverhead
+	if e.cfg.CopyOnReceive {
+		c += e.mem.CopyCycles(p.PayloadLen, memmodel.PinnedRAM, memmodel.HostRAM)
+	}
+	return c
+}
+
+// pump advances the send side: one packet per host-CPU grant, in strict
+// message order (FM_send blocks the caller, so a message with no credits
+// head-of-line-blocks the process).
+func (e *Endpoint) pump() {
+	if !e.running || e.pumping || e.ctx == nil || len(e.outbox) == 0 {
+		return
+	}
+	m := &e.outbox[0]
+	if e.sendCredits[m.dst] <= 0 {
+		e.stats.CreditStalls++
+		return // a refill arrival re-kicks the pump
+	}
+	if e.ctx.SendQ.Full() {
+		e.stats.SendQFullStalls++
+		return // OnSendSpace re-kicks the pump
+	}
+	fragLen := m.size - m.frag*myrinet.MaxPayload
+	if fragLen > myrinet.MaxPayload {
+		fragLen = myrinet.MaxPayload
+	}
+	e.pumping = true
+	e.cpu.Use(e.sendCost(fragLen+myrinet.HeaderSize), func() {
+		e.pumping = false
+		e.completeSend(fragLen)
+		e.pump()
+	})
+}
+
+// completeSend finishes the injection whose host cost was just paid. It
+// runs even if the process was suspended mid-operation: the packet was
+// already being written when the signal arrived.
+func (e *Endpoint) completeSend(fragLen int) {
+	if len(e.outbox) == 0 {
+		return
+	}
+	m := &e.outbox[0]
+	var chunk []byte
+	if m.payload != nil {
+		start := m.frag * myrinet.MaxPayload
+		chunk = m.payload[start : start+fragLen]
+	}
+	pkt := &myrinet.Packet{
+		Type: myrinet.Data,
+		Src:  e.nodeOf[e.rank], Dst: e.nodeOf[m.dst],
+		Job: e.job, SrcRank: e.rank, DstRank: m.dst,
+		MsgID: m.msgID, Frag: m.frag, NFrags: m.nfrags,
+		PayloadLen: fragLen, Payload: chunk,
+		// Piggyback a refill for everything of theirs we consumed
+		// since the last refill (paper §2.2).
+		Credits: e.consumed[m.dst],
+	}
+	e.consumed[m.dst] = 0
+	e.sendCredits[m.dst]--
+	e.stats.PacketsSent++
+	e.stats.PayloadBytesSent += uint64(fragLen)
+	if !e.nic.EnqueueSend(e.ctx, pkt) {
+		// The pump checked SendQ.Full before paying the host cost;
+		// between then and now only the scanner can run, and it only
+		// frees slots. Treat overflow as a model invariant violation.
+		panic("fm: send queue overflowed despite pump check")
+	}
+	m.frag++
+	if m.frag == m.nfrags {
+		e.stats.MessagesSent++
+		e.outbox = e.outbox[1:]
+		if e.onCanSend != nil && e.CanSend() {
+			e.onCanSend()
+		}
+		if len(e.outbox) == 0 && len(e.flushWaiters) > 0 {
+			waiters := e.flushWaiters
+			e.flushWaiters = nil
+			for _, fn := range waiters {
+				fn()
+			}
+		}
+	}
+}
+
+// Flush invokes fn once every queued message has been injected into the
+// card's send queue (the point at which FM_send would have returned for
+// all of them). If the process is descheduled first, fn fires after it is
+// rescheduled and the queue drains.
+func (e *Endpoint) Flush(fn func()) {
+	if len(e.outbox) == 0 && !e.pumping {
+		e.eng.Schedule(0, fn)
+		return
+	}
+	e.flushWaiters = append(e.flushWaiters, fn)
+}
+
+// drainBatch bounds how many pending packets one FM_extract call consumes.
+const drainBatch = 16
+
+// drain advances the receive side. FM_extract processes every pending
+// packet in one call (batched here up to drainBatch per CPU grant), so a
+// backlogged receive queue drains faster than it fills; in steady state
+// the queue stays nearly empty, exactly as the paper observes (§3.2). The
+// packets stay in the receive queue while being processed — they are
+// "valid" for the purposes of the buffer switch — and are dequeued when
+// the extraction completes.
+func (e *Endpoint) drain() {
+	if !e.running || e.draining || e.ctx == nil {
+		return
+	}
+	n := e.ctx.RecvQ.Len()
+	if n == 0 {
+		return
+	}
+	if n > drainBatch {
+		n = drainBatch
+	}
+	var cost sim.Time
+	for i := 0; i < n; i++ {
+		cost += e.recvCost(e.ctx.RecvQ.At(i))
+	}
+	e.draining = true
+	e.cpu.Use(cost, func() {
+		e.draining = false
+		for i := 0; i < n; i++ {
+			got := e.nic.DequeueRecv(e.ctx)
+			if got == nil {
+				return // buffer was switched out from under a stale drain
+			}
+			e.consumePacket(got)
+		}
+		e.drain()
+	})
+}
+
+func (e *Endpoint) consumePacket(p *myrinet.Packet) {
+	e.stats.PacketsRecvd++
+	e.stats.PayloadBytesRecv += uint64(p.PayloadLen)
+	if p.Credits > 0 {
+		e.addCredits(p.SrcRank, p.Credits)
+	}
+	e.consumed[p.SrcRank]++
+	e.reassemble(p)
+	if e.consumed[p.SrcRank] >= e.cfg.refillThreshold() {
+		e.sendRefill(p.SrcRank)
+	}
+}
+
+func (e *Endpoint) reassemble(p *myrinet.Packet) {
+	src := p.SrcRank
+	pa := e.reasm[src]
+	if pa == nil || pa.msgID != p.MsgID {
+		if pa != nil && pa.got != 0 {
+			panic(fmt.Sprintf("fm: interleaved fragments from rank %d (msg %d arrived during msg %d)",
+				src, p.MsgID, pa.msgID))
+		}
+		pa = &partial{msgID: p.MsgID, nfrags: p.NFrags}
+		e.reasm[src] = pa
+	}
+	if p.Frag != pa.got {
+		panic(fmt.Sprintf("fm: fragment %d from rank %d arrived out of order (want %d)", p.Frag, src, pa.got))
+	}
+	pa.got++
+	pa.size += p.PayloadLen
+	if p.Payload != nil {
+		pa.payload = append(pa.payload, p.Payload...)
+	}
+	if pa.got == pa.nfrags {
+		delete(e.reasm, src)
+		e.stats.MessagesRecvd++
+		if e.handler != nil {
+			e.handler(src, pa.size, pa.payload)
+		}
+	}
+}
+
+func (e *Endpoint) addCredits(peer, n int) {
+	e.sendCredits[peer] += n
+	if e.sendCredits[peer] > e.cfg.C0 {
+		panic(fmt.Sprintf("fm: credits toward rank %d exceed C0=%d — refill accounting corrupt",
+			peer, e.cfg.C0))
+	}
+	e.pump()
+}
+
+// sendRefill emits an explicit refill to peer. The owed count is consumed
+// only at the moment of injection: if the process is descheduled or the
+// network halted before the host operation completes, the refill is
+// deferred (and re-issued on Resume) rather than injected into a flushed
+// network, where it would arrive after the peer's buffers were switched
+// and its credits lost forever.
+func (e *Endpoint) sendRefill(peer int) {
+	if e.consumed[peer] == 0 {
+		return
+	}
+	e.cpu.Use(e.cfg.RefillOverhead, func() {
+		n := e.consumed[peer]
+		if n == 0 || !e.running || e.nic.Halted() {
+			return
+		}
+		e.consumed[peer] = 0
+		e.stats.RefillsSent++
+		e.nic.SendRefill(e.job, e.rank, peer, e.nodeOf[peer], n)
+	})
+}
+
+func (e *Endpoint) refillArrived(p *myrinet.Packet) {
+	e.stats.RefillsRecvd++
+	e.addCredits(p.SrcRank, p.Credits)
+}

@@ -1,0 +1,247 @@
+package fm
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"gangfm/internal/lanai"
+	"gangfm/internal/memmodel"
+	"gangfm/internal/myrinet"
+	"gangfm/internal/sim"
+)
+
+func TestFlushImmediateWhenIdle(t *testing.T) {
+	r := newJobRig(t, 2, nil, nil)
+	fired := false
+	r.eps[0].Flush(func() { fired = true })
+	r.eng.Run()
+	if !fired {
+		t.Fatal("Flush on idle endpoint never fired")
+	}
+}
+
+func TestFlushWaitsForOutbox(t *testing.T) {
+	r := newJobRig(t, 2, nil, nil)
+	order := make([]string, 0, 4)
+	r.eps[1].SetHandler(func(_, _ int, _ []byte) { order = append(order, "delivered") })
+	r.eps[0].Send(1, 3000, nil) // 2 fragments
+	injected := r.eps[0].Stats().PacketsSent
+	if injected != 0 {
+		t.Fatal("send should be asynchronous")
+	}
+	r.eps[0].Flush(func() { order = append(order, "flushed") })
+	r.eng.Run()
+	if len(order) < 2 || order[len(order)-1] != "delivered" {
+		// flush fires at injection, which precedes delivery
+		t.Fatalf("order = %v", order)
+	}
+	if order[0] != "flushed" {
+		t.Fatalf("flush did not fire at injection time: %v", order)
+	}
+	if got := r.eps[0].Stats().PacketsSent; got != 2 {
+		t.Fatalf("packets sent = %d, want 2", got)
+	}
+}
+
+func TestFlushAcrossSuspension(t *testing.T) {
+	r := newJobRig(t, 2, nil, nil)
+	r.eps[0].Suspend()
+	r.eps[0].Send(1, 100, nil)
+	fired := false
+	r.eps[0].Flush(func() { fired = true })
+	r.eng.Run()
+	if fired {
+		t.Fatal("flush fired while the message was stuck in the outbox")
+	}
+	r.eps[0].Resume()
+	r.eng.Run()
+	if !fired {
+		t.Fatal("flush did not fire after resume drained the outbox")
+	}
+}
+
+func TestCopyOnReceiveCostsMore(t *testing.T) {
+	elapsed := func(copyRecv bool) uint64 {
+		r := newJobRig(t, 2, func(c *Config) { c.CopyOnReceive = copyRecv }, nil)
+		done := false
+		r.eps[1].SetHandler(func(_, _ int, _ []byte) { done = true })
+		sent := 0
+		var fill func()
+		fill = func() {
+			for sent < 50 && r.eps[0].Send(1, myrinet.MaxPayload, nil) {
+				sent++
+			}
+		}
+		r.eps[0].SetOnCanSend(fill)
+		fill()
+		r.eng.Run()
+		if !done {
+			t.Fatal("transfer incomplete")
+		}
+		return uint64(r.eng.Now())
+	}
+	zeroCopy := elapsed(false)
+	withCopy := elapsed(true)
+	if withCopy <= zeroCopy {
+		t.Fatalf("CopyOnReceive should slow the receiver: %d vs %d", withCopy, zeroCopy)
+	}
+}
+
+func TestDrainBatching(t *testing.T) {
+	// A suspended receiver accumulates a backlog; on resume the batched
+	// drain must clear it in far fewer CPU grants than packets.
+	r := newJobRig(t, 2, nil, nil)
+	r.eps[1].Suspend()
+	sent := 0
+	var fill func()
+	fill = func() {
+		for sent < 40 && r.eps[0].Send(1, 256, nil) {
+			sent++
+		}
+	}
+	r.eps[0].SetOnCanSend(fill)
+	fill()
+	r.eng.Run()
+	backlog := r.eps[1].Context().RecvQ.Len()
+	if backlog != 40 {
+		t.Fatalf("backlog = %d", backlog)
+	}
+	delivered := 0
+	r.eps[1].SetHandler(func(_, _ int, _ []byte) { delivered++ })
+	r.eps[1].Resume()
+	r.eng.Run()
+	if delivered != 40 {
+		t.Fatalf("delivered %d/40 after resume", delivered)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	r := newJobRig(t, 2, nil, nil)
+	got := 0
+	r.eps[1].SetHandler(func(_, _ int, _ []byte) { got++ })
+	r.eps[0].Send(1, 5000, nil) // 4 fragments
+	r.eng.Run()
+	tx, rx := r.eps[0].Stats(), r.eps[1].Stats()
+	if tx.MessagesSent != 1 || tx.PacketsSent != 4 || tx.PayloadBytesSent != 5000 {
+		t.Fatalf("tx stats: %+v", tx)
+	}
+	if rx.MessagesRecvd != 1 || rx.PacketsRecvd != 4 || rx.PayloadBytesRecv != 5000 {
+		t.Fatalf("rx stats: %+v", rx)
+	}
+}
+
+func TestNewEndpointValidation(t *testing.T) {
+	r := newJobRig(t, 2, nil, nil)
+	nodeOf := []myrinet.NodeID{0, 1}
+	if _, err := NewEndpoint(r.eng, r.nics[0], r.cpus[0], nil, Config{C0: -1}, 1, 0, nodeOf); err == nil {
+		t.Error("negative C0 should fail")
+	}
+	if _, err := NewEndpoint(r.eng, r.nics[0], r.cpus[0], nil, Config{}, 1, 5, nodeOf); err == nil {
+		t.Error("rank out of range should fail")
+	}
+}
+
+func TestResumeIdempotent(t *testing.T) {
+	r := newJobRig(t, 2, nil, nil)
+	r.eps[0].Resume()
+	r.eps[0].Resume() // second resume is a no-op
+	if !r.eps[0].Running() {
+		t.Fatal("endpoint should be running")
+	}
+	r.eps[0].Suspend()
+	if r.eps[0].Running() {
+		t.Fatal("endpoint should be suspended")
+	}
+}
+
+// TestCreditConservationProperty: after any traffic pattern completes and
+// the system is quiescent, the credits for every ordered pair (a->b) are
+// fully accounted: a's available credits plus the credits b is holding
+// back (owed) equal C0. A lost packet breaks exactly this invariant.
+func TestCreditConservationProperty(t *testing.T) {
+	prop := func(plan []uint16, c0seed uint8) bool {
+		if len(plan) > 30 {
+			plan = plan[:30]
+		}
+		c0 := int(c0seed%8) + 2
+		r := newJobRigCustom(3, func(c *Config) { c.C0 = c0 })
+		for _, ep := range r.eps {
+			ep.SetHandler(func(_, _ int, _ []byte) {})
+		}
+		// Issue sends per plan; each entry picks (src, dst, size).
+		for _, v := range plan {
+			src := int(v) % 3
+			dst := (src + 1 + int(v>>2)%2) % 3
+			size := int(v>>4)%3000 + 1
+			r.eps[src].Send(dst, size, nil)
+		}
+		r.eng.Run()
+		for a := 0; a < 3; a++ {
+			for b := 0; b < 3; b++ {
+				if a == b {
+					continue
+				}
+				if got := r.eps[a].Credits(b) + r.eps[b].Owed(a); got != c0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// newJobRigCustom is newJobRigQuiet with a config mutator.
+func newJobRigCustom(nodes int, mutate func(*Config)) *jobRig {
+	eng := sim.NewEngine()
+	net := myrinet.New(eng, myrinet.DefaultConfig(nodes))
+	mem := memmodel.Default()
+	r := &jobRig{eng: eng, net: net}
+	alloc, _ := Allocate(Switched, 252, 668, 1, nodes)
+	nodeOf := make([]myrinet.NodeID, nodes)
+	for i := range nodeOf {
+		nodeOf[i] = myrinet.NodeID(i)
+	}
+	for i := 0; i < nodes; i++ {
+		nic := lanai.New(eng, net, mem, lanai.DefaultConfig(myrinet.NodeID(i)))
+		cpu := sim.NewResource(eng, fmt.Sprintf("cpu%d", i))
+		cfg := DefaultConfig(alloc.C0)
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		ep, _ := NewEndpoint(eng, nic, cpu, mem, cfg, 1, i, nodeOf)
+		ctx, _ := nic.Register(1, i, alloc.SendSlots, alloc.RecvSlots, lanai.Hooks{})
+		ep.Attach(ctx)
+		ep.Resume()
+		r.nics = append(r.nics, nic)
+		r.cpus = append(r.cpus, cpu)
+		r.eps = append(r.eps, ep)
+	}
+	return r
+}
+
+// TestCreditConservationBrokenByLoss: the same invariant fails under loss
+// — the paper's justification for requiring a reliable SAN.
+func TestCreditConservationBrokenByLoss(t *testing.T) {
+	r := newJobRig(t, 2, func(c *Config) { c.C0 = 6 }, func(nc *myrinet.Config) {
+		nc.LossProb = 0.3
+		nc.Seed = 21
+	})
+	r.eps[1].SetHandler(func(_, _ int, _ []byte) {})
+	sent := 0
+	var fill func()
+	fill = func() {
+		for sent < 60 && r.eps[0].Send(1, 512, nil) {
+			sent++
+		}
+	}
+	r.eps[0].SetOnCanSend(fill)
+	fill()
+	r.eng.Run()
+	if got := r.eps[0].Credits(1) + r.eps[1].Owed(0); got == 6 {
+		t.Fatal("credit conservation survived 30% loss — loss accounting is broken")
+	}
+}

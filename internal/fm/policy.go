@@ -1,0 +1,93 @@
+// Package fm is the host-side Fast Messages library: per-process
+// communication endpoints with message fragmentation, credit-based flow
+// control with refills (explicit and piggybacked), and the host-CPU cost
+// model that shapes achievable bandwidth.
+//
+// The two buffer-management policies under study live here:
+//
+//   - Partitioned (original FM 2.0): the card's send queue and the pinned
+//     receive buffer are divided equally among the maximum number of
+//     contexts n, giving C0 = Br/(n²·p) credits per peer (paper §2.2).
+//   - Switched (the paper's contribution): the running process owns the
+//     whole buffer; queue contents are swapped at gang context switches,
+//     giving C0 = Br/p — an n² improvement (paper §3.3).
+package fm
+
+import "fmt"
+
+// Policy selects how NIC buffer space is shared among time-sliced
+// processes.
+type Policy int
+
+const (
+	// Partitioned statically divides the buffers among MaxContexts.
+	Partitioned Policy = iota
+	// Switched gives the full buffers to the running process and swaps
+	// contents at gang context switches.
+	Switched
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case Partitioned:
+		return "partitioned"
+	case Switched:
+		return "switched"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Allocation describes the per-process buffer and credit assignment a
+// policy produces.
+type Allocation struct {
+	// SendSlots and RecvSlots are the per-process queue capacities, in
+	// packet slots.
+	SendSlots int
+	RecvSlots int
+	// C0 is the initial (and maximal) number of send credits toward each
+	// peer (paper §2.2 / §3.3).
+	C0 int
+}
+
+// Allocate computes the per-process allocation.
+//
+// totalSend and totalRecv are the card's send-queue and the pinned receive
+// buffer capacities in packets (252 and 668 in the paper). maxContexts is
+// the fixed maximum number of FM processes per host (the gang matrix
+// depth); the division is NOT adapted to the number currently active
+// (paper §2.2). processors is the machine size p: credits assume the worst
+// case of every node sending to one process.
+func Allocate(policy Policy, totalSend, totalRecv, maxContexts, processors int) (Allocation, error) {
+	if totalSend <= 0 || totalRecv <= 0 {
+		return Allocation{}, fmt.Errorf("fm: non-positive buffer sizes %d/%d", totalSend, totalRecv)
+	}
+	if maxContexts <= 0 {
+		return Allocation{}, fmt.Errorf("fm: need at least one context, got %d", maxContexts)
+	}
+	if processors <= 0 {
+		return Allocation{}, fmt.Errorf("fm: need at least one processor, got %d", processors)
+	}
+	switch policy {
+	case Partitioned:
+		a := Allocation{
+			SendSlots: totalSend / maxContexts,
+			RecvSlots: totalRecv / maxContexts,
+		}
+		// C0 = B'r / (n·p) with B'r = Br/n, i.e. Br/(n²·p).
+		a.C0 = a.RecvSlots / (maxContexts * processors)
+		if a.SendSlots == 0 || a.RecvSlots == 0 {
+			return Allocation{}, fmt.Errorf("fm: %d contexts leave no buffer space", maxContexts)
+		}
+		return a, nil
+	case Switched:
+		return Allocation{
+			SendSlots: totalSend,
+			RecvSlots: totalRecv,
+			C0:        totalRecv / processors,
+		}, nil
+	default:
+		return Allocation{}, fmt.Errorf("fm: unknown policy %d", int(policy))
+	}
+}

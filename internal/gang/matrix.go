@@ -1,0 +1,232 @@
+// Package gang implements the ParPar gang-scheduling matrix: columns are
+// the machine's nodes, rows are time slots, and each cell holds (at most)
+// one process of a parallel job. The masterd rotates among rows in
+// round-robin order; the mapping of jobs into the matrix follows the DHC
+// (Distributed Hierarchical Control) buddy scheme of Feitelson & Rudolph:
+// a job of size s is assigned to the least-loaded aligned block of
+// 2^ceil(log2 s) columns, and occupies the leftmost s cells of that block
+// in the first row where they are all free (paper §2.1).
+package gang
+
+import (
+	"fmt"
+
+	"gangfm/internal/myrinet"
+)
+
+// Placement records where a job sits in the matrix.
+type Placement struct {
+	Job  myrinet.JobID
+	Row  int
+	Cols []int // the node columns assigned, ascending
+}
+
+// Matrix is the gang-scheduling table.
+type Matrix struct {
+	cols    int
+	maxRows int // 0 = unbounded
+	rows    [][]myrinet.JobID
+	jobs    map[myrinet.JobID]Placement
+	current int
+}
+
+// NewMatrix returns a matrix with the given number of node columns.
+// maxRows bounds the number of time slots (the fixed context count the
+// buffers must be divided by in partitioned mode); 0 means unbounded.
+func NewMatrix(cols, maxRows int) *Matrix {
+	if cols <= 0 {
+		panic("gang: need at least one column")
+	}
+	return &Matrix{
+		cols:    cols,
+		maxRows: maxRows,
+		jobs:    make(map[myrinet.JobID]Placement),
+		current: -1,
+	}
+}
+
+// Cols returns the number of node columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// Rows returns the number of allocated time slots.
+func (m *Matrix) Rows() int { return len(m.rows) }
+
+// Jobs returns the number of placed jobs.
+func (m *Matrix) Jobs() int { return len(m.jobs) }
+
+// Current returns the index of the active row, or -1 before the first
+// rotation.
+func (m *Matrix) Current() int { return m.current }
+
+// Placement returns a job's placement.
+func (m *Matrix) Placement(job myrinet.JobID) (Placement, bool) {
+	p, ok := m.jobs[job]
+	return p, ok
+}
+
+// JobAt returns the job occupying (row, col), or NoJob.
+func (m *Matrix) JobAt(row, col int) myrinet.JobID {
+	if row < 0 || row >= len(m.rows) || col < 0 || col >= m.cols {
+		return myrinet.NoJob
+	}
+	return m.rows[row][col]
+}
+
+// RowJobs returns the distinct jobs scheduled in a row.
+func (m *Matrix) RowJobs(row int) []myrinet.JobID {
+	if row < 0 || row >= len(m.rows) {
+		return nil
+	}
+	seen := make(map[myrinet.JobID]bool)
+	var out []myrinet.JobID
+	for _, j := range m.rows[row] {
+		if j != myrinet.NoJob && !seen[j] {
+			seen[j] = true
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// nextPow2 returns the smallest power of two >= n.
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// blockLoad sums occupied cells over the block's columns, across all rows
+// — the DHC controller's subtree load.
+func (m *Matrix) blockLoad(start, width int) int {
+	load := 0
+	for _, row := range m.rows {
+		for c := start; c < start+width; c++ {
+			if row[c] != myrinet.NoJob {
+				load++
+			}
+		}
+	}
+	return load
+}
+
+// Place assigns a job of the given size. It returns the placement or an
+// error when the job cannot fit (too large for the machine, or the slot
+// table is full).
+func (m *Matrix) Place(job myrinet.JobID, size int) (Placement, error) {
+	if size <= 0 {
+		return Placement{}, fmt.Errorf("gang: job %d has non-positive size %d", job, size)
+	}
+	if size > m.cols {
+		return Placement{}, fmt.Errorf("gang: job %d of size %d exceeds %d nodes", job, size, m.cols)
+	}
+	if _, dup := m.jobs[job]; dup {
+		return Placement{}, fmt.Errorf("gang: job %d already placed", job)
+	}
+
+	// DHC step 1: pick the least-loaded aligned block of the buddy size.
+	width := nextPow2(size)
+	if width > m.cols {
+		width = m.cols
+	}
+	bestStart, bestLoad := -1, -1
+	for start := 0; start+width <= m.cols; start += width {
+		load := m.blockLoad(start, width)
+		if bestStart < 0 || load < bestLoad {
+			bestStart, bestLoad = start, load
+		}
+	}
+
+	// DHC step 2: the leftmost `size` columns of the chosen block, in the
+	// first row where they are all free.
+	cols := make([]int, size)
+	for i := range cols {
+		cols[i] = bestStart + i
+	}
+	row := -1
+	for r := range m.rows {
+		if m.freeIn(r, cols) {
+			row = r
+			break
+		}
+	}
+	if row < 0 {
+		if m.maxRows > 0 && len(m.rows) >= m.maxRows {
+			return Placement{}, fmt.Errorf("gang: slot table full (%d rows) placing job %d", m.maxRows, job)
+		}
+		m.rows = append(m.rows, make([]myrinet.JobID, m.cols))
+		for c := range m.rows[len(m.rows)-1] {
+			m.rows[len(m.rows)-1][c] = myrinet.NoJob
+		}
+		row = len(m.rows) - 1
+	}
+	for _, c := range cols {
+		m.rows[row][c] = job
+	}
+	p := Placement{Job: job, Row: row, Cols: cols}
+	m.jobs[job] = p
+	return p, nil
+}
+
+func (m *Matrix) freeIn(row int, cols []int) bool {
+	for _, c := range cols {
+		if m.rows[row][c] != myrinet.NoJob {
+			return false
+		}
+	}
+	return true
+}
+
+// Remove deletes a job from the matrix. Trailing all-empty rows are
+// trimmed so the rotation does not visit dead slots.
+func (m *Matrix) Remove(job myrinet.JobID) error {
+	p, ok := m.jobs[job]
+	if !ok {
+		return fmt.Errorf("gang: removing unplaced job %d", job)
+	}
+	for _, c := range p.Cols {
+		m.rows[p.Row][c] = myrinet.NoJob
+	}
+	delete(m.jobs, job)
+	for len(m.rows) > 0 && m.rowEmpty(len(m.rows)-1) {
+		m.rows = m.rows[:len(m.rows)-1]
+	}
+	if m.current >= len(m.rows) {
+		m.current = len(m.rows) - 1
+	}
+	return nil
+}
+
+func (m *Matrix) rowEmpty(r int) bool {
+	for _, j := range m.rows[r] {
+		if j != myrinet.NoJob {
+			return false
+		}
+	}
+	return true
+}
+
+// Rotate advances to the next non-empty row in round-robin order and
+// returns its index, or -1 when the matrix holds no jobs. With a single
+// non-empty row, Rotate returns that row (the caller can detect the
+// no-switch-needed case by comparing with Current before rotating).
+func (m *Matrix) Rotate() int {
+	if len(m.rows) == 0 {
+		m.current = -1
+		return -1
+	}
+	start := m.current
+	for i := 1; i <= len(m.rows); i++ {
+		r := (start + i) % len(m.rows)
+		if r < 0 {
+			r += len(m.rows)
+		}
+		if !m.rowEmpty(r) {
+			m.current = r
+			return r
+		}
+	}
+	m.current = -1
+	return -1
+}

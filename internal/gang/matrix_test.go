@@ -1,0 +1,246 @@
+package gang
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gangfm/internal/myrinet"
+)
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 8: 8, 9: 16, 16: 16}
+	for n, want := range cases {
+		if got := nextPow2(n); got != want {
+			t.Errorf("nextPow2(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestPlaceSingleJob(t *testing.T) {
+	m := NewMatrix(16, 0)
+	p, err := m.Place(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Row != 0 || len(p.Cols) != 4 {
+		t.Fatalf("placement %+v", p)
+	}
+	// Buddy alignment: a size-4 job starts on a multiple of 4.
+	if p.Cols[0]%4 != 0 {
+		t.Fatalf("block not aligned: %v", p.Cols)
+	}
+	if m.Rows() != 1 || m.Jobs() != 1 {
+		t.Fatalf("rows=%d jobs=%d", m.Rows(), m.Jobs())
+	}
+}
+
+func TestPlaceTwoJobsShareRow(t *testing.T) {
+	// Two size-8 jobs fit side by side in one row of 16.
+	m := NewMatrix(16, 0)
+	p1, _ := m.Place(1, 8)
+	p2, err := m.Place(2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Row != 0 || p2.Row != 0 {
+		t.Fatalf("jobs should share row 0: %d, %d", p1.Row, p2.Row)
+	}
+	if p1.Cols[0] == p2.Cols[0] {
+		t.Fatal("jobs placed in the same block")
+	}
+	jobs := m.RowJobs(0)
+	if len(jobs) != 2 {
+		t.Fatalf("RowJobs = %v", jobs)
+	}
+}
+
+func TestPlaceLeastLoadedBlock(t *testing.T) {
+	// After loading the left half, a new job should land on the right.
+	m := NewMatrix(16, 0)
+	m.Place(1, 8) // left block, row 0
+	m.Place(2, 8) // right block, row 0
+	m.Place(3, 8) // row 1, either block
+	p4, _ := m.Place(4, 4)
+	// Job 3 made one 8-block heavier; job 4 (width 4) must land inside
+	// the lighter half.
+	p3, _ := m.Placement(3)
+	if p4.Cols[0] >= p3.Cols[0] && p4.Cols[0] < p3.Cols[0]+8 {
+		t.Fatalf("job 4 placed in the loaded block: job3 at %v, job4 at %v", p3.Cols, p4.Cols)
+	}
+}
+
+func TestPlaceFullMachineJob(t *testing.T) {
+	m := NewMatrix(16, 0)
+	p, err := m.Place(1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Cols) != 16 {
+		t.Fatal("full-machine job should take every column")
+	}
+	p2, err := m.Place(2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Row != 1 {
+		t.Fatalf("second full job in row %d, want 1", p2.Row)
+	}
+}
+
+func TestPlaceNonPowerOfTwo(t *testing.T) {
+	m := NewMatrix(16, 0)
+	p, err := m.Place(1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Cols) != 5 {
+		t.Fatalf("size-5 job got %d columns", len(p.Cols))
+	}
+	if p.Cols[0]%8 != 0 {
+		t.Fatalf("size-5 job should align to its 8-wide buddy block: %v", p.Cols)
+	}
+}
+
+func TestPlaceErrors(t *testing.T) {
+	m := NewMatrix(8, 2)
+	if _, err := m.Place(1, 0); err == nil {
+		t.Error("zero size should fail")
+	}
+	if _, err := m.Place(1, 9); err == nil {
+		t.Error("oversized job should fail")
+	}
+	m.Place(1, 8)
+	if _, err := m.Place(1, 4); err == nil {
+		t.Error("duplicate job should fail")
+	}
+	m.Place(2, 8)
+	if _, err := m.Place(3, 8); err == nil {
+		t.Error("exceeding maxRows should fail")
+	}
+}
+
+func TestRemoveAndTrim(t *testing.T) {
+	m := NewMatrix(8, 0)
+	m.Place(1, 8)
+	m.Place(2, 8)
+	if m.Rows() != 2 {
+		t.Fatal("want 2 rows")
+	}
+	if err := m.Remove(2); err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 1 {
+		t.Fatalf("trailing empty row not trimmed: %d rows", m.Rows())
+	}
+	if err := m.Remove(2); err == nil {
+		t.Fatal("double remove should fail")
+	}
+	m.Remove(1)
+	if m.Rows() != 0 || m.Jobs() != 0 {
+		t.Fatal("matrix should be empty")
+	}
+}
+
+func TestRotateRoundRobin(t *testing.T) {
+	m := NewMatrix(4, 0)
+	m.Place(1, 4)
+	m.Place(2, 4)
+	m.Place(3, 4)
+	var seen []int
+	for i := 0; i < 6; i++ {
+		seen = append(seen, m.Rotate())
+	}
+	want := []int{0, 1, 2, 0, 1, 2}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("rotation %v, want %v", seen, want)
+		}
+	}
+}
+
+func TestRotateSkipsEmptiedRow(t *testing.T) {
+	m := NewMatrix(4, 0)
+	m.Place(1, 4)
+	m.Place(2, 4)
+	m.Place(3, 4)
+	m.Rotate() // row 0
+	m.Remove(2)
+	if r := m.Rotate(); r != 2 {
+		t.Fatalf("rotation after removing row-1 job went to %d, want 2", r)
+	}
+}
+
+func TestRotateEmptyMatrix(t *testing.T) {
+	m := NewMatrix(4, 0)
+	if m.Rotate() != -1 {
+		t.Fatal("empty matrix rotation should return -1")
+	}
+}
+
+func TestJobAtBounds(t *testing.T) {
+	m := NewMatrix(4, 0)
+	m.Place(7, 2)
+	if m.JobAt(0, 0) != 7 {
+		t.Fatal("JobAt(0,0)")
+	}
+	if m.JobAt(5, 0) != myrinet.NoJob || m.JobAt(0, 9) != myrinet.NoJob || m.JobAt(-1, -1) != myrinet.NoJob {
+		t.Fatal("out-of-bounds JobAt should return NoJob")
+	}
+}
+
+// Property: after any sequence of placements (sizes 1..cols), no cell
+// holds two jobs, every job's cells are within one row and within one
+// aligned buddy block, and removals restore all cells.
+func TestMatrixInvariantProperty(t *testing.T) {
+	prop := func(sizes []uint8) bool {
+		m := NewMatrix(16, 0)
+		placed := make(map[myrinet.JobID]Placement)
+		next := myrinet.JobID(1)
+		for _, s := range sizes {
+			size := int(s)%16 + 1
+			p, err := m.Place(next, size)
+			if err != nil {
+				return false // unbounded rows: placement must succeed
+			}
+			placed[next] = p
+			next++
+		}
+		// Cell consistency.
+		counts := make(map[myrinet.JobID]int)
+		for r := 0; r < m.Rows(); r++ {
+			for c := 0; c < m.Cols(); c++ {
+				if j := m.JobAt(r, c); j != myrinet.NoJob {
+					counts[j]++
+					if placed[j].Row != r {
+						return false
+					}
+				}
+			}
+		}
+		for j, p := range placed {
+			if counts[j] != len(p.Cols) {
+				return false
+			}
+			width := nextPow2(len(p.Cols))
+			if width > 16 {
+				width = 16
+			}
+			block := p.Cols[0] / width
+			for _, c := range p.Cols {
+				if c/width != block {
+					return false // crossed a buddy boundary
+				}
+			}
+		}
+		// Remove everything.
+		for j := range placed {
+			if err := m.Remove(j); err != nil {
+				return false
+			}
+		}
+		return m.Rows() == 0 && m.Jobs() == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

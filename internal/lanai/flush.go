@@ -1,0 +1,81 @@
+package lanai
+
+// flush.go implements the state machines of paper Figure 3 (network flush)
+// and its mirror image for the release stage.
+//
+// During a flush, each node performs two independent things, interleaved
+// arbitrarily: a *local halt* ("lh": stop transmitting, broadcast a halt
+// message) and the *collection* of halt messages from every other node
+// ("ah" transitions). The flush completes in state H,p — locally halted
+// and p-1 remote halts counted (the node itself is the p-th).
+//
+// Because nodes are not synchronized, a node can receive halts — or even
+// readys — for an epoch it has not itself entered yet. Counters are
+// therefore keyed by epoch; this is the robustness refinement called out
+// in DESIGN.md (the real system relied on phase alternation).
+
+// phaseTracker counts one class of control message (halt or ready) per
+// epoch and fires a completion callback when the local transition has
+// happened and all expected remote messages have arrived.
+type phaseTracker struct {
+	peers int // number of remote nodes expected to report (p-1)
+
+	arrived map[uint64]int
+	local   map[uint64]bool
+	done    map[uint64]bool
+	onDone  map[uint64]func()
+}
+
+func newPhaseTracker(peers int) *phaseTracker {
+	return &phaseTracker{
+		peers:   peers,
+		arrived: make(map[uint64]int),
+		local:   make(map[uint64]bool),
+		done:    make(map[uint64]bool),
+		onDone:  make(map[uint64]func()),
+	}
+}
+
+// LocalTransition records the node's own halt/ready ("lh" in Figure 3) for
+// epoch and registers the completion callback.
+func (t *phaseTracker) LocalTransition(epoch uint64, onDone func()) {
+	if t.local[epoch] {
+		panic("lanai: duplicate local phase transition for epoch")
+	}
+	t.local[epoch] = true
+	t.onDone[epoch] = onDone
+	t.check(epoch)
+}
+
+// Arrive records a remote halt/ready ("ah" in Figure 3) for epoch.
+func (t *phaseTracker) Arrive(epoch uint64) {
+	t.arrived[epoch]++
+	if t.arrived[epoch] > t.peers {
+		panic("lanai: more phase messages than peers for one epoch")
+	}
+	t.check(epoch)
+}
+
+// State returns (locallyDone, remoteCount) for an epoch — the Figure 3
+// state label (S/H, k) with k = remoteCount + (1 if locallyDone).
+func (t *phaseTracker) State(epoch uint64) (local bool, remote int) {
+	return t.local[epoch], t.arrived[epoch]
+}
+
+// Done reports whether the epoch's phase has completed.
+func (t *phaseTracker) Done(epoch uint64) bool { return t.done[epoch] }
+
+func (t *phaseTracker) check(epoch uint64) {
+	if t.done[epoch] || !t.local[epoch] || t.arrived[epoch] < t.peers {
+		return
+	}
+	t.done[epoch] = true
+	cb := t.onDone[epoch]
+	// Free the epoch's bookkeeping; epochs are never revisited.
+	delete(t.arrived, epoch)
+	delete(t.local, epoch)
+	delete(t.onDone, epoch)
+	if cb != nil {
+		cb()
+	}
+}

@@ -1,0 +1,143 @@
+package lanai
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPhaseTrackerBasic(t *testing.T) {
+	pt := newPhaseTracker(3)
+	done := false
+	pt.LocalTransition(1, func() { done = true })
+	if done {
+		t.Fatal("completed before any remote arrival")
+	}
+	pt.Arrive(1)
+	pt.Arrive(1)
+	if done {
+		t.Fatal("completed with only 2 of 3 remote halts")
+	}
+	pt.Arrive(1)
+	if !done {
+		t.Fatal("did not complete at H,p")
+	}
+	if !pt.Done(1) {
+		t.Fatal("Done(1) should be true")
+	}
+}
+
+func TestPhaseTrackerRemoteFirst(t *testing.T) {
+	// Figure 3: an arriving halt may precede the local halt ("a certain
+	// LANai may receive a halt message before it was notified by its
+	// noded").
+	pt := newPhaseTracker(2)
+	pt.Arrive(5)
+	pt.Arrive(5)
+	done := false
+	pt.LocalTransition(5, func() { done = true })
+	if !done {
+		t.Fatal("local transition after all remotes should complete immediately")
+	}
+}
+
+func TestPhaseTrackerEpochIsolation(t *testing.T) {
+	pt := newPhaseTracker(1)
+	done1, done2 := false, false
+	pt.LocalTransition(1, func() { done1 = true })
+	// A halt for a *future* epoch must not complete epoch 1.
+	pt.Arrive(2)
+	if done1 {
+		t.Fatal("epoch-2 arrival completed epoch 1")
+	}
+	pt.Arrive(1)
+	if !done1 {
+		t.Fatal("epoch 1 should have completed")
+	}
+	pt.LocalTransition(2, func() { done2 = true })
+	if !done2 {
+		t.Fatal("epoch 2 should complete from the early arrival")
+	}
+}
+
+func TestPhaseTrackerZeroPeers(t *testing.T) {
+	pt := newPhaseTracker(0)
+	done := false
+	pt.LocalTransition(0, func() { done = true })
+	if !done {
+		t.Fatal("single-node flush should complete on local transition")
+	}
+}
+
+func TestPhaseTrackerState(t *testing.T) {
+	pt := newPhaseTracker(4)
+	if l, r := pt.State(7); l || r != 0 {
+		t.Fatal("initial state should be S,0")
+	}
+	pt.Arrive(7)
+	pt.Arrive(7)
+	if l, r := pt.State(7); l || r != 2 {
+		t.Fatalf("state after 2 arrivals = (%v,%d), want (false,2)", l, r)
+	}
+	pt.LocalTransition(7, nil)
+	if l, r := pt.State(7); !l || r != 2 {
+		t.Fatalf("state after lh = (%v,%d), want (true,2)", l, r)
+	}
+}
+
+func TestPhaseTrackerDuplicateLocalPanics(t *testing.T) {
+	pt := newPhaseTracker(2)
+	pt.LocalTransition(1, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate local transition")
+		}
+	}()
+	pt.LocalTransition(1, nil)
+}
+
+func TestPhaseTrackerOverArrivalPanics(t *testing.T) {
+	pt := newPhaseTracker(1)
+	pt.Arrive(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on arrivals exceeding peer count")
+		}
+	}()
+	pt.Arrive(1)
+}
+
+// Property (Figure 3): for ANY interleaving of the local halt and the p-1
+// arriving halts, the tracker completes exactly once, and only after all
+// transitions have happened.
+func TestFlushAllInterleavingsProperty(t *testing.T) {
+	prop := func(seed int64, peers8 uint8) bool {
+		peers := int(peers8%8) + 1
+		// Build the transition multiset: one "lh" + peers "ah".
+		events := make([]int, 0, peers+1)
+		events = append(events, -1) // local halt
+		for i := 0; i < peers; i++ {
+			events = append(events, i)
+		}
+		r := rand.New(rand.NewSource(seed))
+		r.Shuffle(len(events), func(i, j int) { events[i], events[j] = events[j], events[i] })
+
+		pt := newPhaseTracker(peers)
+		completions := 0
+		for i, ev := range events {
+			last := i == len(events)-1
+			if ev == -1 {
+				pt.LocalTransition(0, func() { completions++ })
+			} else {
+				pt.Arrive(0)
+			}
+			if !last && completions != 0 {
+				return false // completed early
+			}
+		}
+		return completions == 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

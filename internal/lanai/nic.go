@@ -1,0 +1,489 @@
+package lanai
+
+import (
+	"fmt"
+
+	"gangfm/internal/memmodel"
+	"gangfm/internal/myrinet"
+	"gangfm/internal/sim"
+)
+
+// Config holds the card's geometry and firmware cost parameters.
+type Config struct {
+	// Node is this card's address on the data network.
+	Node myrinet.NodeID
+
+	// SendSlots is the total number of packet slots in the send-queue
+	// region of the card's RAM. The paper's card has 512 KB of which
+	// ~400 KB hold the send queue: 252 slots of 1560 bytes.
+	SendSlots int
+	// RecvSlots is the total number of packet slots in the pinned DMA
+	// receive buffer on the host: 1 MB = 668 slots (paper §4.2).
+	RecvSlots int
+
+	// SendOverhead is the LANai processing time per injected packet
+	// (scan, route lookup, header build), in host cycles.
+	SendOverhead sim.Time
+	// RecvOverhead is the receive-context processing time per packet
+	// before the DMA starts, in host cycles.
+	RecvOverhead sim.Time
+	// CtlOverhead is the firmware cost of emitting one halt/ready
+	// control packet during the serial broadcast loop.
+	CtlOverhead sim.Time
+}
+
+// DefaultConfig returns the LANai 4.3 parameters used throughout the
+// reproduction.
+func DefaultConfig(node myrinet.NodeID) Config {
+	return Config{
+		Node:         node,
+		SendSlots:    252,
+		RecvSlots:    668,
+		SendOverhead: 400, // 2 us
+		RecvOverhead: 500, // 2.5 us
+		CtlOverhead:  150,
+	}
+}
+
+// Hooks are the host-library callbacks attached to a context. All hooks
+// are optional.
+type Hooks struct {
+	// OnArrive fires after a data packet has been DMA'd into the
+	// context's receive queue.
+	OnArrive func(ctx *Context)
+	// OnRefill fires when a flow-control refill for this context
+	// arrives; p carries the sending node/rank and the credit count.
+	OnRefill func(ctx *Context, p *myrinet.Packet)
+	// OnSendSpace fires when the send scanner frees a send-queue slot,
+	// so a host pump blocked on a full queue can resume.
+	OnSendSpace func(ctx *Context)
+}
+
+// Context is one hardware communication context on the card: an FM
+// process's send queue (card RAM) and receive queue (pinned host RAM).
+type Context struct {
+	Slot  int
+	Job   myrinet.JobID
+	Rank  int
+	SendQ *Queue
+	RecvQ *Queue
+	Hooks Hooks
+
+	nic *Context // guard against cross-NIC misuse (set to self at registration)
+}
+
+// DropReason classifies why the card discarded a packet.
+type DropReason int
+
+const (
+	// DropNoContext: no context registered for the packet's job — the
+	// situation the paper's synchronized startup (Fig 2) exists to
+	// prevent, and the direct cause of lost credits.
+	DropNoContext DropReason = iota
+	// DropRecvFull: the context's receive queue had no free slot. Under
+	// correct credit accounting this never happens.
+	DropRecvFull
+	// DropFiltered: a data filter (SHARE-style scheme) rejected it.
+	DropFiltered
+)
+
+// String names the drop reason.
+func (r DropReason) String() string {
+	switch r {
+	case DropNoContext:
+		return "no-context"
+	case DropRecvFull:
+		return "recv-full"
+	case DropFiltered:
+		return "filtered"
+	default:
+		return fmt.Sprintf("DropReason(%d)", int(r))
+	}
+}
+
+// Stats collects card-level counters.
+type Stats struct {
+	Injected   uint64
+	Received   uint64
+	Drops      map[DropReason]uint64
+	HaltsSent  uint64
+	ReadysSent uint64
+}
+
+// NIC is the simulated Myrinet card: LANai processor, firmware and queues.
+type NIC struct {
+	eng *sim.Engine
+	net *myrinet.Network
+	mem *memmodel.Model
+	cfg Config
+
+	contexts []*Context
+	byJob    map[myrinet.JobID]*Context
+
+	sendSlotsUsed int
+	recvSlotsUsed int
+
+	haltBit     bool
+	flush       *phaseTracker
+	release     *phaseTracker
+	scanPending bool
+	rr          int // round-robin cursor over context slots
+
+	// recvEngine serializes the receive context + DMA engine.
+	recvEngine *sim.Resource
+
+	// DataFilter, when set, is consulted for every incoming data packet
+	// before DMA; returning false drops the packet (and counts it as
+	// DropFiltered). Used by the SHARE-style alternative scheme.
+	DataFilter func(p *myrinet.Packet) bool
+	// OnControl, when set, receives Ack/Nack packets (alternative
+	// schemes); Halt/Ready are always handled by the flush trackers.
+	OnControl func(p *myrinet.Packet)
+	// OnDrop, when set, observes every dropped packet.
+	OnDrop func(p *myrinet.Packet, reason DropReason)
+
+	stats Stats
+}
+
+// New creates a card attached to the network.
+func New(eng *sim.Engine, net *myrinet.Network, mem *memmodel.Model, cfg Config) *NIC {
+	n := &NIC{
+		eng:        eng,
+		net:        net,
+		mem:        mem,
+		cfg:        cfg,
+		byJob:      make(map[myrinet.JobID]*Context),
+		flush:      newPhaseTracker(net.Nodes() - 1),
+		release:    newPhaseTracker(net.Nodes() - 1),
+		recvEngine: sim.NewResource(eng, fmt.Sprintf("nic%d-recv", cfg.Node)),
+		stats:      Stats{Drops: make(map[DropReason]uint64)},
+	}
+	net.Attach(cfg.Node, n)
+	return n
+}
+
+// Node returns the card's network address.
+func (n *NIC) Node() myrinet.NodeID { return n.cfg.Node }
+
+// NetworkNodes returns the size of the fabric the card is attached to (the
+// routing-table information COMM_init_node reads from the configuration).
+func (n *NIC) NetworkNodes() int { return n.net.Nodes() }
+
+// Config returns the card's configuration.
+func (n *NIC) Config() Config { return n.cfg }
+
+// Stats returns a snapshot of the counters.
+func (n *NIC) Stats() Stats { return n.stats }
+
+// Halted reports the state of the halt bit.
+func (n *NIC) Halted() bool { return n.haltBit }
+
+// Register allocates a hardware context with the given queue capacities
+// (in packet slots). It fails if the card or the pinned DMA region cannot
+// accommodate the request, or the job already has a context — the resource
+// scarcity that motivates the whole paper.
+func (n *NIC) Register(job myrinet.JobID, rank, sendSlots, recvSlots int, hooks Hooks) (*Context, error) {
+	if sendSlots <= 0 || recvSlots <= 0 {
+		return nil, fmt.Errorf("lanai: context for job %d needs positive queue sizes", job)
+	}
+	if n.sendSlotsUsed+sendSlots > n.cfg.SendSlots {
+		return nil, fmt.Errorf("lanai: NIC RAM exhausted: %d send slots in use, %d requested, %d total",
+			n.sendSlotsUsed, sendSlots, n.cfg.SendSlots)
+	}
+	if n.recvSlotsUsed+recvSlots > n.cfg.RecvSlots {
+		return nil, fmt.Errorf("lanai: pinned DMA buffer exhausted: %d recv slots in use, %d requested, %d total",
+			n.recvSlotsUsed, recvSlots, n.cfg.RecvSlots)
+	}
+	if _, dup := n.byJob[job]; dup {
+		return nil, fmt.Errorf("lanai: job %d already has a context on node %d", job, n.cfg.Node)
+	}
+	ctx := &Context{
+		Slot:  len(n.contexts),
+		Job:   job,
+		Rank:  rank,
+		SendQ: NewQueue(sendSlots),
+		RecvQ: NewQueue(recvSlots),
+		Hooks: hooks,
+	}
+	ctx.nic = ctx
+	n.contexts = append(n.contexts, ctx)
+	n.byJob[job] = ctx
+	n.sendSlotsUsed += sendSlots
+	n.recvSlotsUsed += recvSlots
+	return ctx, nil
+}
+
+// Unregister releases the context's card and DMA resources.
+func (n *NIC) Unregister(ctx *Context) {
+	if n.byJob[ctx.Job] == ctx {
+		delete(n.byJob, ctx.Job)
+	}
+	for i, c := range n.contexts {
+		if c == ctx {
+			n.contexts = append(n.contexts[:i], n.contexts[i+1:]...)
+			break
+		}
+	}
+	n.sendSlotsUsed -= ctx.SendQ.Cap()
+	n.recvSlotsUsed -= ctx.RecvQ.Cap()
+	for i, c := range n.contexts {
+		c.Slot = i
+	}
+	if n.rr >= len(n.contexts) {
+		n.rr = 0
+	}
+}
+
+// SetIdentity rebinds a context to a different (job, rank) — the pointer
+// update half of the buffer switch: queue contents are swapped separately
+// by the glueFM layer.
+func (n *NIC) SetIdentity(ctx *Context, job myrinet.JobID, rank int, hooks Hooks) {
+	if n.byJob[ctx.Job] == ctx {
+		delete(n.byJob, ctx.Job)
+	}
+	ctx.Job = job
+	ctx.Rank = rank
+	ctx.Hooks = hooks
+	n.byJob[job] = ctx
+}
+
+// ContextFor returns the context serving job, or nil.
+func (n *NIC) ContextFor(job myrinet.JobID) *Context {
+	return n.byJob[job]
+}
+
+// Contexts returns the live contexts (do not mutate).
+func (n *NIC) Contexts() []*Context { return n.contexts }
+
+// EnqueueSend places a host-built packet in the context's send queue and
+// wakes the send scanner. It reports whether a slot was free; the host
+// library must not call it when the queue is full (it should wait for
+// OnSendSpace), but the card tolerates it.
+func (n *NIC) EnqueueSend(ctx *Context, p *myrinet.Packet) bool {
+	if !ctx.SendQ.Enqueue(p) {
+		return false
+	}
+	n.kickSender()
+	return true
+}
+
+// DequeueRecv removes the oldest packet from the context's receive queue
+// (the host library calls this from FM_extract).
+func (n *NIC) DequeueRecv(ctx *Context) *myrinet.Packet {
+	return ctx.RecvQ.Dequeue()
+}
+
+// kickSender arms the send scanner if it is idle, transmission is not
+// halted, and some context has a packet queued.
+func (n *NIC) kickSender() {
+	if n.scanPending || n.haltBit || !n.anyReady() {
+		return
+	}
+	n.scanPending = true
+	n.eng.Schedule(n.cfg.SendOverhead, func() {
+		n.scanPending = false
+		// The firmware checks the halt bit before sending each packet
+		// (paper §3.2); if it was set while we were preparing, the
+		// packet stays queued.
+		if n.haltBit {
+			return
+		}
+		ctx := n.nextReady()
+		if ctx == nil {
+			return
+		}
+		p := ctx.SendQ.Dequeue()
+		n.stats.Injected++
+		linkFree := n.net.Send(p)
+		if ctx.Hooks.OnSendSpace != nil {
+			ctx.Hooks.OnSendSpace(ctx)
+		}
+		n.eng.ScheduleAt(linkFree, func() { n.kickSender() })
+	})
+}
+
+// anyReady reports whether any context has a packet queued to send.
+func (n *NIC) anyReady() bool {
+	for _, ctx := range n.contexts {
+		if ctx.SendQ.Len() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// nextReady returns the next context with a queued packet, round-robin.
+func (n *NIC) nextReady() *Context {
+	if len(n.contexts) == 0 {
+		return nil
+	}
+	for i := 0; i < len(n.contexts); i++ {
+		ctx := n.contexts[(n.rr+i)%len(n.contexts)]
+		if ctx.SendQ.Len() > 0 {
+			n.rr = (n.rr + i + 1) % len(n.contexts)
+			return ctx
+		}
+	}
+	return nil
+}
+
+// SendRefill injects an explicit flow-control refill. Refills bypass the
+// credit check and the data send queue (they are small control-like
+// packets the firmware emits directly).
+func (n *NIC) SendRefill(job myrinet.JobID, srcRank, dstRank int, dst myrinet.NodeID, credits int) {
+	n.net.Send(&myrinet.Packet{
+		Type: myrinet.Refill, Src: n.cfg.Node, Dst: dst,
+		Job: job, SrcRank: srcRank, DstRank: dstRank, Credits: credits,
+	})
+}
+
+// SendRaw injects a firmware-generated packet directly, bypassing the data
+// send queue and the halt bit. The alternative schemes use it for
+// NIC-level acknowledgements, which (like PM's) flow regardless of the
+// destination process's scheduling state.
+func (n *NIC) SendRaw(p *myrinet.Packet) {
+	n.net.Send(p)
+}
+
+// HaltNetwork implements the first stage of the context switch: set the
+// halt bit, broadcast a halt message to every other node (serial loop —
+// Myrinet has no hardware broadcast), and invoke onFlushed once halts
+// from all other nodes have been collected (state H,p of Figure 3).
+func (n *NIC) HaltNetwork(epoch uint64, onFlushed func()) {
+	n.haltBit = true
+	peers := n.net.Nodes() - 1
+	if peers == 0 {
+		n.flush.LocalTransition(epoch, onFlushed)
+		return
+	}
+	// Serial broadcast loop: each control packet costs firmware time and
+	// is serialized behind in-flight data at the injection port.
+	delay := sim.Time(0)
+	for d := 0; d < n.net.Nodes(); d++ {
+		dst := myrinet.NodeID(d)
+		if dst == n.cfg.Node {
+			continue
+		}
+		delay += n.cfg.CtlOverhead
+		n.eng.Schedule(delay, func() {
+			n.stats.HaltsSent++
+			n.net.Send(&myrinet.Packet{Type: myrinet.Halt, Src: n.cfg.Node, Dst: dst, Job: myrinet.NoJob, Epoch: epoch})
+		})
+	}
+	n.eng.Schedule(delay, func() {
+		n.flush.LocalTransition(epoch, onFlushed)
+	})
+}
+
+// ReleaseNetwork implements the third stage: broadcast readiness to
+// receive for the new context and, once every other node has also
+// reported ready, clear the halt bit, restart the send scanner, and invoke
+// onReleased.
+func (n *NIC) ReleaseNetwork(epoch uint64, onReleased func()) {
+	complete := func() {
+		n.haltBit = false
+		n.kickSender()
+		if onReleased != nil {
+			onReleased()
+		}
+	}
+	peers := n.net.Nodes() - 1
+	if peers == 0 {
+		n.release.LocalTransition(epoch, complete)
+		return
+	}
+	delay := sim.Time(0)
+	for d := 0; d < n.net.Nodes(); d++ {
+		dst := myrinet.NodeID(d)
+		if dst == n.cfg.Node {
+			continue
+		}
+		delay += n.cfg.CtlOverhead
+		n.eng.Schedule(delay, func() {
+			n.stats.ReadysSent++
+			n.net.Send(&myrinet.Packet{Type: myrinet.Ready, Src: n.cfg.Node, Dst: dst, Job: myrinet.NoJob, Epoch: epoch})
+		})
+	}
+	n.eng.Schedule(delay, func() {
+		n.release.LocalTransition(epoch, complete)
+	})
+}
+
+// FlushState exposes the Figure 3 state label for an epoch: whether the
+// local halt has happened and how many remote halts have been counted.
+func (n *NIC) FlushState(epoch uint64) (local bool, remote int) {
+	return n.flush.State(epoch)
+}
+
+// HandlePacket is the receive context: it consumes a packet from the
+// network, identifies its type and destination, and DMAs data packets into
+// the target context's receive queue (paper §2.2).
+func (n *NIC) HandlePacket(p *myrinet.Packet) {
+	switch p.Type {
+	case myrinet.Halt:
+		// Control messages are consumed by the same receive context
+		// that performs data DMA, so a halt is counted only after every
+		// packet that preceded it on the wire has been fully deposited
+		// in its receive queue. The buffer switch that follows flush
+		// completion therefore sees complete queues.
+		n.recvEngine.Use(n.cfg.CtlOverhead, func() { n.flush.Arrive(p.Epoch) })
+	case myrinet.Ready:
+		n.recvEngine.Use(n.cfg.CtlOverhead, func() { n.release.Arrive(p.Epoch) })
+	case myrinet.Ack, myrinet.Nack:
+		if n.OnControl != nil {
+			n.OnControl(p)
+		}
+	case myrinet.Refill:
+		ctx := n.byJob[p.Job]
+		if ctx == nil {
+			n.drop(p, DropNoContext)
+			return
+		}
+		n.recvEngine.Use(n.cfg.RecvOverhead, func() {
+			if cur := n.byJob[p.Job]; cur != nil && cur.Hooks.OnRefill != nil {
+				cur.Hooks.OnRefill(cur, p)
+			}
+		})
+	case myrinet.Data:
+		if n.DataFilter != nil && !n.DataFilter(p) {
+			n.drop(p, DropFiltered)
+			return
+		}
+		ctx := n.byJob[p.Job]
+		if ctx == nil {
+			n.drop(p, DropNoContext)
+			return
+		}
+		cost := n.cfg.RecvOverhead + n.mem.DMACycles(p.WireSize())
+		n.recvEngine.Use(cost, func() {
+			// Re-resolve: a buffer switch may have rebound contexts
+			// while the DMA was in progress. Data for a job is only in
+			// flight while that job is scheduled (the gang-scheduling
+			// invariant), so the context is normally still there.
+			cur := n.byJob[p.Job]
+			if cur == nil {
+				n.drop(p, DropNoContext)
+				return
+			}
+			if !cur.RecvQ.Enqueue(p) {
+				n.drop(p, DropRecvFull)
+				return
+			}
+			n.stats.Received++
+			if cur.Hooks.OnArrive != nil {
+				cur.Hooks.OnArrive(cur)
+			}
+		})
+	}
+}
+
+func (n *NIC) drop(p *myrinet.Packet, reason DropReason) {
+	n.stats.Drops[reason]++
+	if n.OnDrop != nil {
+		n.OnDrop(p, reason)
+	}
+	// A data packet also consumes its piggybacked credits when dropped;
+	// the loss of both is exactly how FM's accounting gets corrupted
+	// (paper §2.2). Nothing to do here — the damage is the *absence* of
+	// bookkeeping.
+}

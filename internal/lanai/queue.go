@@ -1,0 +1,100 @@
+// Package lanai models the LANai 4.3 processor and firmware on the Myrinet
+// card: hardware communication contexts, the dual-context control program
+// (a send scanner and an interrupt-driven receive context), the halt bit
+// checked before every packet injection, and the network flush / release
+// protocols of paper §3.2 (Figure 3).
+package lanai
+
+import "gangfm/internal/myrinet"
+
+// Queue is a fixed-capacity FIFO of packets occupying fixed-size slots, as
+// the FM queues do (capacity counts packet slots, not bytes).
+type Queue struct {
+	cap  int
+	pkts []*myrinet.Packet
+	// drops counts enqueue attempts rejected for lack of space.
+	drops uint64
+}
+
+// NewQueue returns a queue with capacity slots.
+func NewQueue(capacity int) *Queue {
+	return &Queue{cap: capacity}
+}
+
+// Cap returns the slot capacity.
+func (q *Queue) Cap() int { return q.cap }
+
+// Len returns the number of valid packets currently queued.
+func (q *Queue) Len() int { return len(q.pkts) }
+
+// Full reports whether no slot is free.
+func (q *Queue) Full() bool { return len(q.pkts) >= q.cap }
+
+// Drops returns the number of rejected enqueues.
+func (q *Queue) Drops() uint64 { return q.drops }
+
+// Enqueue appends p; it reports whether a slot was available.
+func (q *Queue) Enqueue(p *myrinet.Packet) bool {
+	if q.Full() {
+		q.drops++
+		return false
+	}
+	q.pkts = append(q.pkts, p)
+	return true
+}
+
+// Dequeue removes and returns the oldest packet, or nil if empty.
+func (q *Queue) Dequeue() *myrinet.Packet {
+	if len(q.pkts) == 0 {
+		return nil
+	}
+	p := q.pkts[0]
+	q.pkts[0] = nil
+	q.pkts = q.pkts[1:]
+	return p
+}
+
+// Peek returns the oldest packet without removing it, or nil.
+func (q *Queue) Peek() *myrinet.Packet {
+	if len(q.pkts) == 0 {
+		return nil
+	}
+	return q.pkts[0]
+}
+
+// At returns the i-th oldest packet without removing it, or nil when out
+// of range. FM_extract inspects a batch of pending packets this way.
+func (q *Queue) At(i int) *myrinet.Packet {
+	if i < 0 || i >= len(q.pkts) {
+		return nil
+	}
+	return q.pkts[i]
+}
+
+// Drain removes and returns all queued packets, oldest first. It is used
+// by the buffer switch to move queue contents to a backing store.
+func (q *Queue) Drain() []*myrinet.Packet {
+	out := q.pkts
+	q.pkts = nil
+	return out
+}
+
+// Load refills the queue from a backing store, oldest first. It panics if
+// the packets exceed capacity, which would indicate a switch between
+// incompatible queue geometries.
+func (q *Queue) Load(pkts []*myrinet.Packet) {
+	if len(pkts) > q.cap {
+		panic("lanai: restoring more packets than queue capacity")
+	}
+	q.pkts = append(q.pkts[:0], pkts...)
+}
+
+// ValidBytes returns the total wire bytes of queued packets — what the
+// improved buffer-switch algorithm actually copies.
+func (q *Queue) ValidBytes() int {
+	n := 0
+	for _, p := range q.pkts {
+		n += p.WireSize()
+	}
+	return n
+}

@@ -1,0 +1,123 @@
+package lanai
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gangfm/internal/myrinet"
+)
+
+func TestQueueBasics(t *testing.T) {
+	q := NewQueue(3)
+	if q.Cap() != 3 || q.Len() != 0 || q.Full() {
+		t.Fatal("fresh queue state wrong")
+	}
+	if q.Dequeue() != nil || q.Peek() != nil {
+		t.Fatal("empty queue should return nil")
+	}
+	p1 := &myrinet.Packet{MsgID: 1}
+	p2 := &myrinet.Packet{MsgID: 2}
+	p3 := &myrinet.Packet{MsgID: 3}
+	p4 := &myrinet.Packet{MsgID: 4}
+	for _, p := range []*myrinet.Packet{p1, p2, p3} {
+		if !q.Enqueue(p) {
+			t.Fatal("enqueue failed with space available")
+		}
+	}
+	if !q.Full() {
+		t.Fatal("queue should be full")
+	}
+	if q.Enqueue(p4) {
+		t.Fatal("enqueue succeeded on full queue")
+	}
+	if q.Drops() != 1 {
+		t.Fatalf("Drops = %d, want 1", q.Drops())
+	}
+	if q.Peek() != p1 {
+		t.Fatal("Peek should return oldest")
+	}
+	if q.Dequeue() != p1 || q.Dequeue() != p2 || q.Dequeue() != p3 {
+		t.Fatal("FIFO order violated")
+	}
+}
+
+func TestQueueDrainLoad(t *testing.T) {
+	q := NewQueue(5)
+	for i := 0; i < 4; i++ {
+		q.Enqueue(&myrinet.Packet{MsgID: uint64(i)})
+	}
+	pkts := q.Drain()
+	if len(pkts) != 4 || q.Len() != 0 {
+		t.Fatalf("Drain returned %d packets, queue len %d", len(pkts), q.Len())
+	}
+	q2 := NewQueue(5)
+	q2.Load(pkts)
+	for i := 0; i < 4; i++ {
+		if q2.Dequeue().MsgID != uint64(i) {
+			t.Fatal("Load did not preserve order")
+		}
+	}
+}
+
+func TestQueueLoadOverCapacityPanics(t *testing.T) {
+	q := NewQueue(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic loading beyond capacity")
+		}
+	}()
+	q.Load([]*myrinet.Packet{{}, {}})
+}
+
+func TestQueueValidBytes(t *testing.T) {
+	q := NewQueue(4)
+	q.Enqueue(&myrinet.Packet{Type: myrinet.Data, PayloadLen: 100})
+	q.Enqueue(&myrinet.Packet{Type: myrinet.Data, PayloadLen: myrinet.MaxPayload})
+	want := (100 + myrinet.HeaderSize) + myrinet.PacketSize
+	if q.ValidBytes() != want {
+		t.Fatalf("ValidBytes = %d, want %d", q.ValidBytes(), want)
+	}
+}
+
+// Property: a queue behaves exactly like a bounded FIFO for any sequence
+// of enqueue/dequeue operations.
+func TestQueueFIFOModelProperty(t *testing.T) {
+	prop := func(ops []bool, capacity uint8) bool {
+		capz := int(capacity%16) + 1
+		q := NewQueue(capz)
+		var model []*myrinet.Packet
+		next := uint64(0)
+		for _, enq := range ops {
+			if enq {
+				p := &myrinet.Packet{MsgID: next}
+				next++
+				ok := q.Enqueue(p)
+				if ok != (len(model) < capz) {
+					return false
+				}
+				if ok {
+					model = append(model, p)
+				}
+			} else {
+				got := q.Dequeue()
+				if len(model) == 0 {
+					if got != nil {
+						return false
+					}
+				} else {
+					if got != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			}
+			if q.Len() != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,68 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestStats(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if Mean(xs) != 2.5 {
+		t.Errorf("Mean = %v", Mean(xs))
+	}
+	if Max(xs) != 4 || Min(xs) != 1 {
+		t.Errorf("Max/Min = %v/%v", Max(xs), Min(xs))
+	}
+	if Median(xs) != 2.5 {
+		t.Errorf("Median = %v", Median(xs))
+	}
+	if Median([]float64{5, 1, 9}) != 5 {
+		t.Errorf("odd Median")
+	}
+	if got := Stddev([]float64{2, 2, 2}); got != 0 {
+		t.Errorf("Stddev of constants = %v", got)
+	}
+}
+
+func TestStatsEmpty(t *testing.T) {
+	if Mean(nil) != 0 || Max(nil) != 0 || Min(nil) != 0 || Median(nil) != 0 || Stddev(nil) != 0 {
+		t.Fatal("empty inputs should yield 0")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Figure X", "a", "b")
+	tb.AddRow(1, 2.5)
+	tb.AddRow("x", "y")
+	if tb.Rows() != 2 {
+		t.Fatalf("Rows = %d", tb.Rows())
+	}
+	s := tb.String()
+	for _, want := range []string{"Figure X", "a", "b", "1", "2.50", "x", "y"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("table output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// Property: Min <= Median <= Max and Min <= Mean <= Max.
+func TestOrderingProperty(t *testing.T) {
+	prop := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		lo, hi := Min(xs), Max(xs)
+		m, md := Mean(xs), Median(xs)
+		eps := 1e-9 * (math.Abs(hi) + 1)
+		return lo <= m+eps && m <= hi+eps && lo <= md+eps && md <= hi+eps
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

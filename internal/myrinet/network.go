@@ -1,0 +1,213 @@
+package myrinet
+
+import (
+	"fmt"
+
+	"gangfm/internal/sim"
+)
+
+// Handler receives packets delivered by the network. Each node attaches
+// exactly one handler (its NIC).
+type Handler interface {
+	HandlePacket(p *Packet)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(p *Packet)
+
+// HandlePacket calls f(p).
+func (f HandlerFunc) HandlePacket(p *Packet) { f(p) }
+
+// Config holds the network's physical parameters.
+type Config struct {
+	// Nodes is the number of attached compute nodes.
+	Nodes int
+	// LinkMBs is the per-direction link bandwidth in MB/s. Myrinet in
+	// the paper's era is 1.28 Gb/s per direction = 160 MB/s.
+	LinkMBs float64
+	// SwitchLatency is the fixed propagation delay through the crossbar
+	// (source NIC to destination NIC), in cycles.
+	SwitchLatency sim.Time
+	// PerPacketGap is the inter-packet gap at the injection port (route
+	// header processing, sampling delay), in cycles.
+	PerPacketGap sim.Time
+	// LossProb, if nonzero, drops each packet independently with this
+	// probability. FM assumes an insignificant SAN error rate; the
+	// failure-injection tests exercise what happens when that assumption
+	// breaks (paper §2.2: a single loss corrupts the credit accounting).
+	LossProb float64
+	// LoseControl extends loss injection to control packets too. By
+	// default only Data/Refill packets are subject to loss, because the
+	// interesting paper-level failure is credit desynchronization.
+	LoseControl bool
+	// Seed seeds the deterministic loss generator.
+	Seed uint64
+}
+
+// DefaultConfig returns the ParPar data-network parameters: 16 nodes on
+// 160 MB/s links with ~1 µs of switch latency.
+func DefaultConfig(nodes int) Config {
+	return Config{
+		Nodes:         nodes,
+		LinkMBs:       160,
+		SwitchLatency: 200, // 1 µs at 200 MHz
+		PerPacketGap:  40,  // 200 ns
+		Seed:          1,
+	}
+}
+
+// Stats aggregates network-level counters.
+type Stats struct {
+	Sent      map[PacketType]uint64
+	Delivered map[PacketType]uint64
+	Dropped   map[PacketType]uint64
+	Bytes     uint64
+}
+
+func newStats() Stats {
+	return Stats{
+		Sent:      make(map[PacketType]uint64),
+		Delivered: make(map[PacketType]uint64),
+		Dropped:   make(map[PacketType]uint64),
+	}
+}
+
+// Network is the simulated Myrinet fabric.
+type Network struct {
+	eng      *sim.Engine
+	cfg      Config
+	clock    sim.Clock
+	handlers []Handler
+	// ports serializes each node's injection link.
+	ports []*sim.Resource
+	// lastArrival enforces FIFO per (src,dst) route even under unusual
+	// latency parameterizations.
+	lastArrival [][]sim.Time
+	seq         [][]uint64
+	rng         *sim.Rand
+	stats       Stats
+	// inFlight tracks per-job data packets currently on the wire — the
+	// quantity the flush protocol guarantees is zero when it completes.
+	inFlight map[JobID]int
+}
+
+// New constructs a network on the given engine.
+func New(eng *sim.Engine, cfg Config) *Network {
+	if cfg.Nodes <= 0 {
+		panic("myrinet: config needs at least one node")
+	}
+	n := &Network{
+		eng:      eng,
+		cfg:      cfg,
+		clock:    sim.DefaultClock,
+		handlers: make([]Handler, cfg.Nodes),
+		ports:    make([]*sim.Resource, cfg.Nodes),
+		rng:      sim.NewRand(cfg.Seed),
+		stats:    newStats(),
+		inFlight: make(map[JobID]int),
+	}
+	n.lastArrival = make([][]sim.Time, cfg.Nodes)
+	n.seq = make([][]uint64, cfg.Nodes)
+	for i := range n.ports {
+		n.ports[i] = sim.NewResource(eng, fmt.Sprintf("port%d", i))
+		n.lastArrival[i] = make([]sim.Time, cfg.Nodes)
+		n.seq[i] = make([]uint64, cfg.Nodes)
+	}
+	return n
+}
+
+// Nodes returns the number of attached nodes.
+func (n *Network) Nodes() int { return n.cfg.Nodes }
+
+// Config returns the network configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Stats returns a snapshot of the counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// Attach registers the handler (NIC) for node id.
+func (n *Network) Attach(id NodeID, h Handler) {
+	n.handlers[id] = h
+}
+
+// txCycles returns the serialization time for size bytes at link rate.
+func (n *Network) txCycles(size int) sim.Time {
+	return n.clock.CopyCycles(size, n.cfg.LinkMBs) + n.cfg.PerPacketGap
+}
+
+// Send injects the packet at the source's output port. The port serializes
+// transmissions; the packet arrives at the destination handler after the
+// serialization delay plus switch latency. Send returns the time at which
+// the source's link becomes free again (i.e. when the NIC's send engine
+// can start the next packet).
+//
+// Sending to self is delivered locally after the switch latency without
+// occupying the injection port (FM short-circuits self sends).
+func (n *Network) Send(p *Packet) sim.Time {
+	if p.Src < 0 || int(p.Src) >= n.cfg.Nodes || p.Dst < 0 || int(p.Dst) >= n.cfg.Nodes {
+		panic(fmt.Sprintf("myrinet: packet with bad endpoints %d->%d", p.Src, p.Dst))
+	}
+	n.stats.Sent[p.Type]++
+	n.stats.Bytes += uint64(p.WireSize())
+	p.Seq = n.seq[p.Src][p.Dst]
+	n.seq[p.Src][p.Dst]++
+
+	if p.Type == Data {
+		n.inFlight[p.Job]++
+	}
+	if p.Src == p.Dst {
+		n.eng.Schedule(n.cfg.SwitchLatency, func() { n.deliver(p) })
+		return n.eng.Now()
+	}
+
+	tx := n.txCycles(p.WireSize())
+	var arrival sim.Time
+	linkFree := n.ports[p.Src].Use(tx, nil)
+	arrival = linkFree + n.cfg.SwitchLatency
+	// Per-route FIFO guard: never deliver before an earlier packet on
+	// the same route.
+	if last := n.lastArrival[p.Src][p.Dst]; arrival <= last {
+		arrival = last + 1
+	}
+	n.lastArrival[p.Src][p.Dst] = arrival
+
+	drop := n.cfg.LossProb > 0 &&
+		(n.cfg.LoseControl || !p.Type.IsControl()) &&
+		n.rng.Bool(n.cfg.LossProb)
+	if drop {
+		n.stats.Dropped[p.Type]++
+		n.landed(p)
+		return linkFree
+	}
+	n.eng.ScheduleAt(arrival, func() { n.deliver(p) })
+	return linkFree
+}
+
+func (n *Network) deliver(p *Packet) {
+	n.landed(p)
+	h := n.handlers[p.Dst]
+	if h == nil {
+		n.stats.Dropped[p.Type]++
+		return
+	}
+	n.stats.Delivered[p.Type]++
+	h.HandlePacket(p)
+}
+
+func (n *Network) landed(p *Packet) {
+	if p.Type == Data {
+		n.inFlight[p.Job]--
+	}
+}
+
+// InFlight reports how many of the job's data packets are currently on the
+// wire. The flush protocol's guarantee — the invariant the buffer switch
+// depends on — is that this is zero for the halted job when every node has
+// collected all halts.
+func (n *Network) InFlight(job JobID) int { return n.inFlight[job] }
+
+// PortFreeAt returns when node id's injection port becomes idle — the NIC
+// send engine uses this to pace its scanner.
+func (n *Network) PortFreeAt(id NodeID) sim.Time {
+	return n.ports[id].FreeAt()
+}

@@ -1,0 +1,323 @@
+package myrinet
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gangfm/internal/sim"
+)
+
+func collector(got *[]*Packet) Handler {
+	return HandlerFunc(func(p *Packet) { *got = append(*got, p) })
+}
+
+func TestPacketTypeStrings(t *testing.T) {
+	for ty, want := range map[PacketType]string{
+		Data: "Data", Refill: "Refill", Halt: "Halt", Ready: "Ready", Ack: "Ack", Nack: "Nack",
+	} {
+		if ty.String() != want {
+			t.Errorf("PacketType %d String = %q, want %q", ty, ty.String(), want)
+		}
+	}
+}
+
+func TestControlClassification(t *testing.T) {
+	if Data.IsControl() || Refill.IsControl() {
+		t.Error("Data/Refill misclassified as control")
+	}
+	for _, ty := range []PacketType{Halt, Ready, Ack, Nack} {
+		if !ty.IsControl() {
+			t.Errorf("%v should be control", ty)
+		}
+	}
+}
+
+func TestWireSize(t *testing.T) {
+	d := &Packet{Type: Data, PayloadLen: MaxPayload}
+	if d.WireSize() != PacketSize {
+		t.Errorf("full data packet wire size = %d, want %d", d.WireSize(), PacketSize)
+	}
+	h := &Packet{Type: Halt}
+	if h.WireSize() != ControlSize {
+		t.Errorf("halt wire size = %d, want %d", h.WireSize(), ControlSize)
+	}
+	r := &Packet{Type: Refill, PayloadLen: 0}
+	if r.WireSize() != ControlSize {
+		t.Errorf("refill wire size = %d, want %d", r.WireSize(), ControlSize)
+	}
+}
+
+func TestDelivery(t *testing.T) {
+	eng := sim.NewEngine()
+	net := New(eng, DefaultConfig(4))
+	var got []*Packet
+	net.Attach(1, collector(&got))
+	net.Send(&Packet{Type: Data, Src: 0, Dst: 1, PayloadLen: 100})
+	eng.Run()
+	if len(got) != 1 {
+		t.Fatalf("delivered %d packets, want 1", len(got))
+	}
+	if eng.Now() == 0 {
+		t.Fatal("delivery should take nonzero time")
+	}
+}
+
+func TestFIFOPerRoute(t *testing.T) {
+	eng := sim.NewEngine()
+	net := New(eng, DefaultConfig(2))
+	var got []*Packet
+	net.Attach(1, collector(&got))
+	const n = 50
+	for i := 0; i < n; i++ {
+		net.Send(&Packet{Type: Data, Src: 0, Dst: 1, PayloadLen: 10 + i*7, MsgID: uint64(i)})
+	}
+	eng.Run()
+	if len(got) != n {
+		t.Fatalf("delivered %d, want %d", len(got), n)
+	}
+	for i, p := range got {
+		if p.MsgID != uint64(i) {
+			t.Fatalf("FIFO violated at %d: got msg %d", i, p.MsgID)
+		}
+		if p.Seq != uint64(i) {
+			t.Fatalf("sequence stamping wrong at %d: %d", i, p.Seq)
+		}
+	}
+}
+
+// TestControlAfterDataFIFO verifies the property the flush protocol relies
+// on: a Halt sent after data on the same route arrives after the data.
+func TestControlAfterDataFIFO(t *testing.T) {
+	eng := sim.NewEngine()
+	net := New(eng, DefaultConfig(2))
+	var got []*Packet
+	net.Attach(1, collector(&got))
+	for i := 0; i < 10; i++ {
+		net.Send(&Packet{Type: Data, Src: 0, Dst: 1, PayloadLen: MaxPayload})
+	}
+	net.Send(&Packet{Type: Halt, Src: 0, Dst: 1})
+	eng.Run()
+	if got[len(got)-1].Type != Halt {
+		t.Fatal("halt overtook data packets")
+	}
+}
+
+func TestSerializationShapesBandwidth(t *testing.T) {
+	// 100 full packets at 160 MB/s should take ~100 * (1560B/160MBs).
+	eng := sim.NewEngine()
+	cfg := DefaultConfig(2)
+	net := New(eng, cfg)
+	var got []*Packet
+	net.Attach(1, collector(&got))
+	const n = 100
+	for i := 0; i < n; i++ {
+		net.Send(&Packet{Type: Data, Src: 0, Dst: 1, PayloadLen: MaxPayload})
+	}
+	eng.Run()
+	perPkt := sim.DefaultClock.CopyCycles(PacketSize, cfg.LinkMBs) + cfg.PerPacketGap
+	want := sim.Time(n)*perPkt + cfg.SwitchLatency
+	gotT := eng.Now()
+	if gotT < want-10 || gotT > want+10 {
+		t.Fatalf("last delivery at %d, want ~%d", gotT, want)
+	}
+}
+
+func TestIndependentSourcesDontSerialize(t *testing.T) {
+	eng := sim.NewEngine()
+	net := New(eng, DefaultConfig(4))
+	var got []*Packet
+	net.Attach(3, collector(&got))
+	// Two different sources inject simultaneously; both arrive after a
+	// single transmission time, not two.
+	net.Send(&Packet{Type: Data, Src: 0, Dst: 3, PayloadLen: MaxPayload})
+	net.Send(&Packet{Type: Data, Src: 1, Dst: 3, PayloadLen: MaxPayload})
+	eng.Run()
+	perPkt := sim.DefaultClock.CopyCycles(PacketSize, 160) + 40
+	if eng.Now() > perPkt+200+20 {
+		t.Fatalf("independent sources appear serialized: done at %d", eng.Now())
+	}
+}
+
+func TestSelfSend(t *testing.T) {
+	eng := sim.NewEngine()
+	net := New(eng, DefaultConfig(2))
+	var got []*Packet
+	net.Attach(0, collector(&got))
+	net.Send(&Packet{Type: Data, Src: 0, Dst: 0, PayloadLen: 5})
+	eng.Run()
+	if len(got) != 1 {
+		t.Fatal("self-send not delivered")
+	}
+}
+
+func TestLossInjection(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := DefaultConfig(2)
+	cfg.LossProb = 0.5
+	cfg.Seed = 99
+	net := New(eng, cfg)
+	var got []*Packet
+	net.Attach(1, collector(&got))
+	const n = 1000
+	for i := 0; i < n; i++ {
+		net.Send(&Packet{Type: Data, Src: 0, Dst: 1, PayloadLen: 10})
+	}
+	eng.Run()
+	s := net.Stats()
+	if s.Dropped[Data] == 0 {
+		t.Fatal("no packets dropped at 50% loss")
+	}
+	if int(s.Dropped[Data])+len(got) != n {
+		t.Fatalf("dropped %d + delivered %d != sent %d", s.Dropped[Data], len(got), n)
+	}
+	// Control packets are exempt unless LoseControl.
+	for i := 0; i < 100; i++ {
+		net.Send(&Packet{Type: Halt, Src: 0, Dst: 1})
+	}
+	eng.Run()
+	if net.Stats().Dropped[Halt] != 0 {
+		t.Fatal("control packets dropped without LoseControl")
+	}
+}
+
+func TestLoseControlFlag(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := DefaultConfig(2)
+	cfg.LossProb = 0.9
+	cfg.LoseControl = true
+	cfg.Seed = 5
+	net := New(eng, cfg)
+	net.Attach(1, HandlerFunc(func(*Packet) {}))
+	for i := 0; i < 200; i++ {
+		net.Send(&Packet{Type: Halt, Src: 0, Dst: 1})
+	}
+	eng.Run()
+	if net.Stats().Dropped[Halt] == 0 {
+		t.Fatal("LoseControl=true should drop control packets")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	eng := sim.NewEngine()
+	net := New(eng, DefaultConfig(3))
+	net.Attach(1, HandlerFunc(func(*Packet) {}))
+	net.Send(&Packet{Type: Data, Src: 0, Dst: 1, PayloadLen: 100})
+	net.Send(&Packet{Type: Refill, Src: 2, Dst: 1})
+	eng.Run()
+	s := net.Stats()
+	if s.Sent[Data] != 1 || s.Sent[Refill] != 1 {
+		t.Fatalf("sent counters wrong: %+v", s.Sent)
+	}
+	if s.Delivered[Data] != 1 || s.Delivered[Refill] != 1 {
+		t.Fatalf("delivered counters wrong: %+v", s.Delivered)
+	}
+	wantBytes := uint64(100 + HeaderSize + ControlSize)
+	if s.Bytes != wantBytes {
+		t.Fatalf("bytes = %d, want %d", s.Bytes, wantBytes)
+	}
+}
+
+func TestUnattachedHandlerDrops(t *testing.T) {
+	eng := sim.NewEngine()
+	net := New(eng, DefaultConfig(2))
+	net.Send(&Packet{Type: Data, Src: 0, Dst: 1, PayloadLen: 1})
+	eng.Run()
+	if net.Stats().Dropped[Data] != 1 {
+		t.Fatal("packet to unattached node should count as dropped")
+	}
+}
+
+func TestBadEndpointsPanic(t *testing.T) {
+	eng := sim.NewEngine()
+	net := New(eng, DefaultConfig(2))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range destination")
+		}
+	}()
+	net.Send(&Packet{Type: Data, Src: 0, Dst: 7})
+}
+
+// Property: for any interleaving of sizes, delivery order per route equals
+// send order (FIFO), for every pair of nodes used.
+func TestFIFOProperty(t *testing.T) {
+	prop := func(sizes []uint16, dsts []uint8) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		eng := sim.NewEngine()
+		net := New(eng, DefaultConfig(4))
+		got := make(map[NodeID][]*Packet)
+		for i := 0; i < 4; i++ {
+			id := NodeID(i)
+			net.Attach(id, HandlerFunc(func(p *Packet) { got[id] = append(got[id], p) }))
+		}
+		next := make(map[[2]NodeID]uint64)
+		for i, sz := range sizes {
+			dst := NodeID(1)
+			if i < len(dsts) {
+				dst = NodeID(dsts[i] % 4)
+			}
+			src := NodeID(0)
+			if dst == 0 {
+				src = 1
+			}
+			key := [2]NodeID{src, dst}
+			net.Send(&Packet{
+				Type: Data, Src: src, Dst: dst,
+				PayloadLen: int(sz%MaxPayload) + 1,
+				MsgID:      next[key],
+			})
+			next[key]++
+		}
+		eng.Run()
+		for _, pkts := range got {
+			perSrc := make(map[NodeID]uint64)
+			for _, p := range pkts {
+				if p.MsgID != perSrc[p.Src] {
+					return false
+				}
+				perSrc[p.Src]++
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInFlightTracking(t *testing.T) {
+	eng := sim.NewEngine()
+	net := New(eng, DefaultConfig(2))
+	net.Attach(1, HandlerFunc(func(*Packet) {}))
+	for i := 0; i < 5; i++ {
+		net.Send(&Packet{Type: Data, Src: 0, Dst: 1, Job: 7, PayloadLen: 100})
+	}
+	if net.InFlight(7) != 5 {
+		t.Fatalf("InFlight = %d after sends, want 5", net.InFlight(7))
+	}
+	eng.Run()
+	if net.InFlight(7) != 0 {
+		t.Fatalf("InFlight = %d after delivery, want 0", net.InFlight(7))
+	}
+	// Control packets are not tracked.
+	net.Send(&Packet{Type: Halt, Src: 0, Dst: 1, Job: 7})
+	if net.InFlight(7) != 0 {
+		t.Fatal("control packets must not count as in-flight data")
+	}
+	eng.Run()
+}
+
+func TestInFlightAccountsDrops(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := DefaultConfig(2)
+	cfg.LossProb = 1.0
+	net := New(eng, cfg)
+	net.Attach(1, HandlerFunc(func(*Packet) {}))
+	net.Send(&Packet{Type: Data, Src: 0, Dst: 1, Job: 3, PayloadLen: 10})
+	eng.Run()
+	if net.InFlight(3) != 0 {
+		t.Fatalf("dropped packet left InFlight = %d", net.InFlight(3))
+	}
+}

@@ -1,0 +1,262 @@
+package parpar
+
+import (
+	"fmt"
+
+	"gangfm/internal/core"
+	"gangfm/internal/fm"
+	"gangfm/internal/lanai"
+	"gangfm/internal/memmodel"
+	"gangfm/internal/myrinet"
+	"gangfm/internal/sim"
+)
+
+// Config parameterizes a cluster.
+type Config struct {
+	// Nodes is the number of compute nodes (the paper's ParPar has 16,
+	// plus a separate manager host not counted here).
+	Nodes int
+	// Slots is the gang matrix depth — the fixed maximum number of
+	// contexts the buffers must accommodate in partitioned mode.
+	Slots int
+	// Policy selects Partitioned (original FM) or Switched buffers.
+	Policy fm.Policy
+	// Mode selects the buffer-switch algorithm (Switched policy).
+	Mode core.CopyMode
+	// Quantum is the gang-scheduling time slice.
+	Quantum sim.Time
+
+	// CtrlBase and CtrlJitter shape control-network message latency:
+	// base Ethernet+daemon cost plus uniform [0, jitter) per message.
+	CtrlBase   sim.Time
+	CtrlJitter sim.Time
+	// CtrlSerialGap is the per-destination serialization of the
+	// masterd's slot-switch unicasts on the control Ethernet; it sets
+	// the notification skew that grows with machine size.
+	CtrlSerialGap sim.Time
+	// InitJobCost is the noded CPU time for COMM_init_job.
+	InitJobCost sim.Time
+	// ForkDelay is the time from COMM_init_job to the forked process
+	// notifying readiness.
+	ForkDelay sim.Time
+
+	// NetConfig optionally overrides the data-network parameters (Nodes
+	// is forced to match).
+	NetConfig *myrinet.Config
+	// FMTweak optionally adjusts each endpoint's fm.Config after the
+	// allocation-derived defaults are set.
+	FMTweak func(*fm.Config)
+	// Seed drives control-network jitter (and NetConfig.Seed when unset).
+	Seed uint64
+}
+
+// DefaultConfig returns the paper's setup: 16-ish nodes, 4 slots, the
+// switched policy with the improved copy, and a 1 second quantum (the
+// quantum used for the overhead percentage in §4.2).
+func DefaultConfig(nodes int) Config {
+	return Config{
+		Nodes:         nodes,
+		Slots:         4,
+		Policy:        fm.Switched,
+		Mode:          core.ValidOnly,
+		Quantum:       sim.DefaultClock.FromDuration(1_000_000_000), // 1 s
+		CtrlBase:      20_000,                                       // 100 us
+		CtrlJitter:    400_000,                                      // up to 2 ms of daemon skew
+		CtrlSerialGap: 100_000,                                      // 500 us per switch-notification unicast
+		InitJobCost:   10_000,
+		ForkDelay:     1_000_000, // 5 ms
+		Seed:          1,
+	}
+}
+
+// Node is one compute node: card, host CPU, glueFM manager, and the noded
+// state for the processes it hosts.
+type Node struct {
+	ID  myrinet.NodeID
+	NIC *lanai.NIC
+	CPU *sim.Resource
+	Mgr *core.Manager
+
+	cluster *Cluster
+	procs   map[myrinet.JobID]*Proc
+}
+
+// Cluster is the assembled system.
+type Cluster struct {
+	Eng *sim.Engine
+	Net *myrinet.Network
+	Mem *memmodel.Model
+
+	cfg    Config
+	rng    *sim.Rand
+	ctrl   *ctrlNet
+	nodes  []*Node
+	master *Masterd
+}
+
+// New assembles a cluster.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("parpar: need at least one node")
+	}
+	if cfg.Slots <= 0 {
+		return nil, fmt.Errorf("parpar: need at least one slot")
+	}
+	if cfg.Quantum == 0 {
+		return nil, fmt.Errorf("parpar: zero quantum")
+	}
+	eng := sim.NewEngine()
+	ncfg := myrinet.DefaultConfig(cfg.Nodes)
+	if cfg.NetConfig != nil {
+		ncfg = *cfg.NetConfig
+		ncfg.Nodes = cfg.Nodes
+	}
+	if ncfg.Seed == 0 {
+		ncfg.Seed = cfg.Seed
+	}
+	c := &Cluster{
+		Eng: eng,
+		Net: myrinet.New(eng, ncfg),
+		Mem: memmodel.Default(),
+		cfg: cfg,
+		rng: sim.NewRand(cfg.Seed ^ 0xABCD),
+	}
+	c.ctrl = newCtrlNet(eng, cfg.CtrlBase, cfg.CtrlJitter, c.rng)
+	for i := 0; i < cfg.Nodes; i++ {
+		nic := lanai.New(eng, c.Net, c.Mem, lanai.DefaultConfig(myrinet.NodeID(i)))
+		cpu := sim.NewResource(eng, fmt.Sprintf("host%d", i))
+		mgr, err := core.NewManager(eng, nic, cpu, c.Mem, core.Config{
+			Policy:      cfg.Policy,
+			Mode:        cfg.Mode,
+			MaxContexts: cfg.Slots,
+			Processors:  cfg.Nodes,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := mgr.InitNode(); err != nil {
+			return nil, err
+		}
+		c.nodes = append(c.nodes, &Node{
+			ID: myrinet.NodeID(i), NIC: nic, CPU: cpu, Mgr: mgr,
+			cluster: c, procs: make(map[myrinet.JobID]*Proc),
+		})
+	}
+	c.master = newMasterd(c)
+	return c, nil
+}
+
+// Config returns the cluster configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Nodes returns the compute nodes.
+func (c *Cluster) Nodes() []*Node { return c.nodes }
+
+// Master returns the manager daemon.
+func (c *Cluster) Master() *Masterd { return c.master }
+
+// Submit places a job in the gang matrix and starts the Figure 2 launch
+// protocol. The job runs when its time slot is scheduled.
+func (c *Cluster) Submit(spec JobSpec) (*Job, error) {
+	return c.master.submit(spec)
+}
+
+// Run processes events until the cluster goes quiescent (all jobs done and
+// the rotation stopped).
+func (c *Cluster) Run() { c.Eng.Run() }
+
+// RunUntil processes events up to the given virtual time.
+func (c *Cluster) RunUntil(t sim.Time) { c.Eng.RunUntil(t) }
+
+// RunFor processes events for d more cycles.
+func (c *Cluster) RunFor(d sim.Time) { c.Eng.RunUntil(c.Eng.Now() + d) }
+
+// SwitchHistory returns every node's recorded switch statistics.
+func (c *Cluster) SwitchHistory() [][]core.SwitchStats {
+	out := make([][]core.SwitchStats, len(c.nodes))
+	for i, n := range c.nodes {
+		out[i] = n.Mgr.History()
+	}
+	return out
+}
+
+// node-side daemon actions -------------------------------------------------
+
+// loadJob is the noded's handling of the masterd's job-load message: run
+// COMM_init_job (context allocated, environment prepared — the process can
+// already receive), fork the process, and notify the masterd.
+func (n *Node) loadJob(job *Job, rank int) {
+	n.CPU.Use(n.cluster.cfg.InitJobCost, func() {
+		alloc := n.Mgr.Alloc()
+		fmCfg := fm.DefaultConfig(alloc.C0)
+		if n.cluster.cfg.FMTweak != nil {
+			n.cluster.cfg.FMTweak(&fmCfg)
+		}
+		ep, err := fm.NewEndpoint(n.cluster.Eng, n.NIC, n.CPU, n.cluster.Mem,
+			fmCfg, job.ID, rank, job.nodeOf)
+		if err != nil {
+			panic(fmt.Sprintf("parpar: endpoint for job %d rank %d: %v", job.ID, rank, err))
+		}
+		p := &Proc{
+			cluster: n.cluster, node: n, job: job, rank: rank,
+			EP:      ep,
+			program: job.Spec.NewProgram(rank),
+		}
+		if err := n.Mgr.InitJob(job.ID, rank, ep); err != nil {
+			panic(fmt.Sprintf("parpar: InitJob: %v", err))
+		}
+		n.procs[job.ID] = p
+		job.procs[rank] = p
+		// Fork; the child notifies readiness through the noded.
+		n.cluster.Eng.Schedule(n.cluster.cfg.ForkDelay, func() {
+			n.cluster.ctrl.send(func() { n.cluster.master.rankReady(job) })
+		})
+	})
+}
+
+// startJob is the noded's handling of the masterd's all-up broadcast: it
+// writes the sync byte on the pipe; FM_initialize returns and the process
+// enters its program. The process only actually runs (SIGCONT) when a slot
+// switch binds and resumes it — the masterd forces one after the job
+// synchronizes, so resumption is consistent across all of the job's nodes.
+func (n *Node) startJob(job *Job, rank int) {
+	p := job.procs[rank]
+	if p == nil || p.started {
+		return
+	}
+	p.started = true
+	p.program.Start(p)
+}
+
+// switchSlot is the noded's handling of the masterd's slot-switch
+// broadcast: the three-stage context switch to this node's cell of the
+// new row (or an idle switch when the cell is empty or the job has
+// already terminated).
+func (n *Node) switchSlot(epoch uint64, job myrinet.JobID, ack func(core.SwitchStats)) {
+	done := func(s core.SwitchStats) {
+		n.cluster.ctrl.send(func() { ack(s) })
+	}
+	if job != myrinet.NoJob {
+		if _, known := n.procs[job]; known {
+			if err := n.Mgr.SwitchTo(epoch, job, done); err != nil {
+				panic(fmt.Sprintf("parpar: node %d switch to job %d: %v", n.ID, job, err))
+			}
+			return
+		}
+	}
+	if err := n.Mgr.SwitchIdle(epoch, done); err != nil {
+		panic(fmt.Sprintf("parpar: node %d idle switch: %v", n.ID, err))
+	}
+}
+
+// endJob is the noded's handling of job termination: release the
+// communication context and forget the process.
+func (n *Node) endJob(job myrinet.JobID) {
+	if _, ok := n.procs[job]; !ok {
+		return
+	}
+	if err := n.Mgr.EndJob(job); err != nil {
+		panic(fmt.Sprintf("parpar: EndJob: %v", err))
+	}
+	delete(n.procs, job)
+}

@@ -1,0 +1,66 @@
+// Package parpar assembles the full cluster of the paper: compute nodes
+// (host CPU + LANai card + noded daemon), the masterd manager host, the
+// Myrinet data network, and the Ethernet control network. It implements
+// the job-launch protocol of Figure 2 and drives the gang-scheduling
+// rotation that triggers the three-stage buffer switch.
+package parpar
+
+import (
+	"gangfm/internal/sim"
+)
+
+// ctrlNet models the 10 Mb/s switched Ethernet control network plus the
+// daemon wakeup costs at each end: a message arrives after a base latency
+// plus a uniformly distributed jitter. The jitter is what desynchronizes
+// the nodeds at a context switch and makes the halt stage grow with the
+// node count (Figure 7).
+type ctrlNet struct {
+	eng    *sim.Engine
+	base   sim.Time
+	jitter sim.Time
+	rng    *sim.Rand
+}
+
+func newCtrlNet(eng *sim.Engine, base, jitter sim.Time, rng *sim.Rand) *ctrlNet {
+	return &ctrlNet{eng: eng, base: base, jitter: jitter, rng: rng}
+}
+
+// delay samples one message latency.
+func (c *ctrlNet) delay() sim.Time {
+	d := c.base
+	if c.jitter > 0 {
+		d += sim.Time(c.rng.Uint64() % uint64(c.jitter))
+	}
+	return d
+}
+
+// send delivers fn after one control-message latency.
+func (c *ctrlNet) send(fn func()) {
+	c.eng.Schedule(c.delay(), fn)
+}
+
+// broadcast delivers fn(i) to each of n destinations, each with its own
+// independently sampled latency — the multicast preloading of [Kavas et
+// al. 2001] reaches all nodes in one send, but per-node delivery and
+// daemon scheduling still jitter.
+func (c *ctrlNet) broadcast(n int, fn func(i int)) {
+	for i := 0; i < n; i++ {
+		i := i
+		c.eng.Schedule(c.delay(), func() { fn(i) })
+	}
+}
+
+// serialBroadcast delivers fn(i) to each destination with a cumulative
+// per-destination gap on top of the sampled latency: the masterd's
+// slot-switch notifications go out as consecutive unicasts on the 10 Mb/s
+// control Ethernet, so the skew between the first and last noded grows
+// with the machine size. This skew is what makes the halt stage and the
+// receive-buffer occupancy grow with the node count (Figures 7 and 8):
+// early-notified nodes stop and keep absorbing traffic from nodes that
+// have not yet heard.
+func (c *ctrlNet) serialBroadcast(n int, gap sim.Time, fn func(i int)) {
+	for i := 0; i < n; i++ {
+		i := i
+		c.eng.Schedule(c.delay()+sim.Time(i+1)*gap, func() { fn(i) })
+	}
+}

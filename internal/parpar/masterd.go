@@ -1,0 +1,237 @@
+package parpar
+
+import (
+	"fmt"
+
+	"gangfm/internal/core"
+	"gangfm/internal/gang"
+	"gangfm/internal/myrinet"
+	"gangfm/internal/sim"
+)
+
+// Masterd is the cluster manager daemon: it owns the gang matrix, loads
+// jobs (Figure 2), and drives the round-robin slot rotation whose switch
+// broadcast triggers the three-stage buffer switch on every node.
+type Masterd struct {
+	c      *Cluster
+	matrix *gang.Matrix
+	jobs   map[myrinet.JobID]*Job
+	nextID myrinet.JobID
+
+	epoch     uint64
+	ticking   bool
+	lastRow   int
+	activated bool
+
+	// in-flight rotation bookkeeping
+	inFlight  bool
+	acks      int
+	quantumUp bool
+	// kickASAP requests the next rotation as soon as the in-flight round
+	// completes, without waiting for the quantum — set when a job
+	// finishes its Figure 2 synchronization so it starts promptly.
+	kickASAP bool
+	// skipEv is the pending no-switch-needed re-check, cancelable when a
+	// job-ready event wants an immediate rotation.
+	skipEv *sim.Event
+}
+
+func newMasterd(c *Cluster) *Masterd {
+	return &Masterd{
+		c:       c,
+		matrix:  gang.NewMatrix(c.cfg.Nodes, c.cfg.Slots),
+		jobs:    make(map[myrinet.JobID]*Job),
+		nextID:  1,
+		lastRow: -1,
+	}
+}
+
+// Matrix exposes the gang matrix (read-only use).
+func (m *Masterd) Matrix() *gang.Matrix { return m.matrix }
+
+// Epoch returns the current switch round number.
+func (m *Masterd) Epoch() uint64 { return m.epoch }
+
+// Jobs returns the number of live jobs.
+func (m *Masterd) Jobs() int { return len(m.jobs) }
+
+// activeRow returns the currently scheduled row (-1 before the first
+// rotation).
+func (m *Masterd) activeRow() int {
+	if !m.activated {
+		return -1
+	}
+	return m.lastRow
+}
+
+func (m *Masterd) submit(spec JobSpec) (*Job, error) {
+	if spec.Size <= 0 {
+		return nil, fmt.Errorf("parpar: job %q has size %d", spec.Name, spec.Size)
+	}
+	if spec.NewProgram == nil {
+		return nil, fmt.Errorf("parpar: job %q has no program", spec.Name)
+	}
+	id := m.nextID
+	placement, err := m.matrix.Place(id, spec.Size)
+	if err != nil {
+		return nil, err
+	}
+	m.nextID++
+	job := &Job{
+		ID: id, Spec: spec, Placement: placement,
+		nodeOf:     make([]myrinet.NodeID, spec.Size),
+		procs:      make([]*Proc, spec.Size),
+		Results:    make([]any, spec.Size),
+		SubmitTime: m.c.Eng.Now(),
+	}
+	for rank, col := range placement.Cols {
+		job.nodeOf[rank] = myrinet.NodeID(col)
+	}
+	m.jobs[id] = job
+
+	// Figure 2: notify each allocated node to load the job.
+	for rank, col := range placement.Cols {
+		rank, col := rank, col
+		m.c.ctrl.send(func() { m.c.nodes[col].loadJob(job, rank) })
+	}
+	m.maybeTick()
+	return job, nil
+}
+
+// rankReady collects the per-node process-created notifications; once all
+// arrive, the all-up synchronization is broadcast (Figure 2).
+func (m *Masterd) rankReady(job *Job) {
+	job.readyRanks++
+	if job.readyRanks < job.Spec.Size {
+		return
+	}
+	job.state = JobRunning
+	job.SyncTime = m.c.Eng.Now()
+	for rank, col := range job.Placement.Cols {
+		rank, col := rank, col
+		m.c.ctrl.send(func() { m.c.nodes[col].startJob(job, rank) })
+	}
+	// Force the next rotation to perform a real slot switch even if it
+	// lands on the already-active row — the new job's processes are
+	// resumed only through a switch — and request it promptly rather
+	// than waiting out the quantum.
+	m.activated = false
+	m.kickASAP = true
+	m.advance()
+}
+
+// rankDone collects per-rank completions; when a job finishes it leaves
+// the matrix and its contexts are released cluster-wide.
+func (m *Masterd) rankDone(job *Job, rank int, result any) {
+	if job.state == JobDone {
+		return
+	}
+	job.Results[rank] = result
+	job.doneRanks++
+	if job.doneRanks < job.Spec.Size {
+		return
+	}
+	job.state = JobDone
+	job.DoneTime = m.c.Eng.Now()
+	if err := m.matrix.Remove(job.ID); err != nil {
+		panic(fmt.Sprintf("parpar: removing done job: %v", err))
+	}
+	delete(m.jobs, job.ID)
+	for _, col := range job.Placement.Cols {
+		col := col
+		m.c.ctrl.send(func() { m.c.nodes[col].endJob(job.ID) })
+	}
+	for _, fn := range job.onDone {
+		fn(job)
+	}
+}
+
+// maybeTick starts the rotation loop if it is not running.
+func (m *Masterd) maybeTick() {
+	if m.ticking {
+		return
+	}
+	m.ticking = true
+	m.tick()
+}
+
+// advance starts the next rotation when permitted: never while a switch
+// round is in flight, and otherwise once the quantum has elapsed — or
+// immediately when a job-ready kick is pending.
+func (m *Masterd) advance() {
+	if m.inFlight {
+		return
+	}
+	if m.quantumUp || m.kickASAP {
+		m.tick()
+	}
+}
+
+// tick rotates to the next time slot. The switch broadcast goes to every
+// node (all LANais participate in the flush protocol); the next tick fires
+// once the quantum has elapsed AND every node has acknowledged switch
+// completion — the masterd never overlaps rotations.
+func (m *Masterd) tick() {
+	if m.inFlight {
+		return
+	}
+	m.kickASAP = false
+	if m.skipEv != nil {
+		m.skipEv.Cancel()
+		m.skipEv = nil
+	}
+	row := m.matrix.Rotate()
+	if row == -1 {
+		m.ticking = false
+		m.activated = false
+		m.lastRow = -1
+		return
+	}
+	if m.activated && row == m.lastRow {
+		// Single populated slot: nothing to switch; check again next
+		// quantum (or sooner, if a job-ready kick cancels the wait).
+		m.skipEv = m.c.Eng.Schedule(m.c.cfg.Quantum, m.tick)
+		return
+	}
+	m.lastRow = row
+	m.activated = true
+	m.epoch++
+	epoch := m.epoch
+
+	m.inFlight = true
+	m.acks = 0
+	m.quantumUp = false
+	// Snapshot the row's per-node targets now, so every node of the
+	// round sees the same decision regardless of delivery jitter. A job
+	// becomes a switch target only once its Figure 2 synchronization
+	// completed: before that, some nodes may not even have allocated its
+	// context, and binding it on a subset would let senders race ahead
+	// of receivers — exactly the packet loss the sync exists to prevent.
+	targets := make([]myrinet.JobID, len(m.c.nodes))
+	for i := range targets {
+		targets[i] = myrinet.NoJob
+		if id := m.matrix.JobAt(row, i); id != myrinet.NoJob {
+			if job, ok := m.jobs[id]; ok && job.state == JobRunning {
+				targets[i] = id
+			}
+		}
+	}
+	m.c.ctrl.serialBroadcast(len(m.c.nodes), m.c.cfg.CtrlSerialGap, func(i int) {
+		m.c.nodes[i].switchSlot(epoch, targets[i], func(core.SwitchStats) {
+			m.acks++
+			if m.acks == len(m.c.nodes) {
+				m.inFlight = false
+			}
+			m.advance()
+		})
+	})
+	m.c.Eng.Schedule(m.c.cfg.Quantum, func() {
+		// A later round (started early by a job-ready kick) owns the
+		// pacing now; this round's timer is stale.
+		if m.epoch != epoch {
+			return
+		}
+		m.quantumUp = true
+		m.advance()
+	})
+}

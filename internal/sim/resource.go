@@ -1,0 +1,66 @@
+package sim
+
+// Resource models a serially-reusable piece of hardware (a host CPU, a NIC
+// DMA engine, a link transmitter): at most one operation occupies it at a
+// time, and requests queue in FIFO order.
+//
+// Acquire-style APIs invite deadlocks in callback-driven simulations, so
+// Resource instead exposes a single combining operation: Use schedules work
+// of a given duration as soon as the resource is free, and invokes done
+// when the work completes. The occupancy bookkeeping is just a "free at"
+// watermark — exact, because grants are FIFO and durations are known at
+// request time.
+type Resource struct {
+	eng    *Engine
+	name   string
+	freeAt Time
+	busy   Time // total busy cycles, for utilization stats
+}
+
+// NewResource returns a resource bound to the engine.
+func NewResource(eng *Engine, name string) *Resource {
+	return &Resource{eng: eng, name: name}
+}
+
+// Name returns the diagnostic name given at construction.
+func (r *Resource) Name() string { return r.name }
+
+// FreeAt returns the earliest time at which the resource will be idle.
+func (r *Resource) FreeAt() Time { return r.freeAt }
+
+// BusyCycles returns the cumulative cycles of scheduled occupancy.
+func (r *Resource) BusyCycles() Time { return r.busy }
+
+// Idle reports whether the resource is free at the current time.
+func (r *Resource) Idle() bool { return r.freeAt <= r.eng.Now() }
+
+// Use reserves the resource for dur cycles starting as soon as it is free,
+// and schedules done at the completion time. It returns the completion
+// time. A nil done simply occupies the resource.
+func (r *Resource) Use(dur Time, done func()) Time {
+	start := r.freeAt
+	if now := r.eng.Now(); start < now {
+		start = now
+	}
+	end := start + dur
+	r.freeAt = end
+	r.busy += dur
+	if done != nil {
+		r.eng.ScheduleAt(end, done)
+	}
+	return end
+}
+
+// Block extends the resource's occupancy through at least time t, without a
+// completion callback. It is used to model an external agent (e.g. the
+// noded copying buffers) holding the CPU.
+func (r *Resource) Block(until Time) {
+	if until > r.freeAt {
+		if now := r.eng.Now(); r.freeAt < now {
+			r.busy += until - now
+		} else {
+			r.busy += until - r.freeAt
+		}
+		r.freeAt = until
+	}
+}

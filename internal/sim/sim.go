@@ -1,0 +1,220 @@
+// Package sim provides the deterministic discrete-event simulation kernel
+// on which the whole gangfm stack runs.
+//
+// All simulated activity is expressed as events on a single virtual clock.
+// Time is measured in CPU cycles of the simulated 200 MHz host processor
+// (the paper reports every overhead in cycles of a 200 MHz Pentium Pro, so
+// using cycles as the base unit lets every result be compared directly).
+//
+// The engine is intentionally single-goroutine: determinism is what makes
+// the protocol tests meaningful. Parallelism belongs one level up, where
+// independent engine instances (one per parameter-sweep point) run on
+// separate goroutines.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a point on (or a span of) the virtual clock, in CPU cycles.
+type Time uint64
+
+// Common spans, assuming the default 200 MHz clock. These are convenience
+// constants for tests and examples; code that must honor a configurable
+// clock should go through Clock instead.
+const (
+	Cycle Time = 1
+)
+
+// Clock converts between wall-clock durations, data rates, and cycles.
+type Clock struct {
+	// Hz is the frequency of the simulated processor. The paper's host
+	// is a 200 MHz Pentium Pro.
+	Hz uint64
+}
+
+// DefaultClock is the 200 MHz Pentium-Pro clock used throughout the paper.
+var DefaultClock = Clock{Hz: 200_000_000}
+
+// FromDuration converts a wall-clock duration to cycles.
+func (c Clock) FromDuration(d time.Duration) Time {
+	if d <= 0 {
+		return 0
+	}
+	return Time(float64(d) / float64(time.Second) * float64(c.Hz))
+}
+
+// ToDuration converts cycles to a wall-clock duration.
+func (c Clock) ToDuration(t Time) time.Duration {
+	return time.Duration(float64(t) / float64(c.Hz) * float64(time.Second))
+}
+
+// CyclesPerByte returns the per-byte cost, in cycles, of moving data at the
+// given rate in megabytes per second (decimal MB, as used in the paper).
+func (c Clock) CyclesPerByte(mbPerSec float64) float64 {
+	if mbPerSec <= 0 {
+		return math.Inf(1)
+	}
+	return float64(c.Hz) / (mbPerSec * 1e6)
+}
+
+// CopyCycles returns the number of cycles needed to move n bytes at the
+// given MB/s rate, rounded up so a nonzero transfer never costs zero.
+func (c Clock) CopyCycles(n int, mbPerSec float64) Time {
+	if n <= 0 {
+		return 0
+	}
+	cy := float64(n) * c.CyclesPerByte(mbPerSec)
+	return Time(math.Ceil(cy))
+}
+
+// Event is a scheduled callback. Events are created through Engine.Schedule
+// and friends and may be canceled until they fire.
+type Event struct {
+	when     Time
+	seq      uint64 // tie-breaker: FIFO among same-time events
+	fn       func()
+	index    int // heap index; -1 when not queued
+	canceled bool
+}
+
+// When returns the virtual time at which the event will fire.
+func (ev *Event) When() Time { return ev.when }
+
+// Cancel prevents the event from firing. Canceling an already-fired or
+// already-canceled event is a no-op. Cancel reports whether the event was
+// still pending.
+func (ev *Event) Cancel() bool {
+	if ev == nil || ev.canceled || ev.index < 0 {
+		return false
+	}
+	ev.canceled = true
+	return true
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is the discrete-event simulation core. The zero value is not
+// usable; construct with NewEngine.
+type Engine struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	fired   uint64
+	stopped bool
+}
+
+// NewEngine returns an engine with the clock at zero and an empty queue.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events executed so far (diagnostics).
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events still queued.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule queues fn to run delay cycles from now and returns the event.
+func (e *Engine) Schedule(delay Time, fn func()) *Event {
+	return e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt queues fn to run at absolute time t. Scheduling in the past
+// panics: it always indicates a cost-accounting bug, and silently clamping
+// would corrupt causality.
+func (e *Engine) ScheduleAt(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: event scheduled at %d, before now=%d", t, e.now))
+	}
+	e.seq++
+	ev := &Event{when: t, seq: e.seq, fn: fn, index: -1}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Step executes the single earliest pending event. It reports whether an
+// event was executed (false means the queue is empty).
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.when
+		e.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+// RunUntil executes all events with time <= limit, then advances the clock
+// to limit. Events scheduled beyond the limit stay queued.
+func (e *Engine) RunUntil(limit Time) {
+	e.stopped = false
+	for !e.stopped {
+		ev := e.peek()
+		if ev == nil || ev.when > limit {
+			break
+		}
+		e.Step()
+	}
+	if e.now < limit {
+		e.now = limit
+	}
+}
+
+// Stop makes the innermost Run/RunUntil return after the current event.
+func (e *Engine) Stop() { e.stopped = true }
+
+func (e *Engine) peek() *Event {
+	for len(e.queue) > 0 {
+		ev := e.queue[0]
+		if !ev.canceled {
+			return ev
+		}
+		heap.Pop(&e.queue)
+	}
+	return nil
+}
