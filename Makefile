@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: check vet build test race fuzz-smoke figures
+
+# The full CI gate: static checks, build, race-enabled tests, and a short
+# fixed-seed chaos-fuzz campaign (deterministic, so safe to gate on).
+check: vet build race fuzz-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+fuzz-smoke:
+	$(GO) run ./cmd/gangsim fuzz -seed 1 -runs 5
+	$(GO) run ./cmd/gangsim fuzz -compare -seed 77
+
+figures:
+	$(GO) run ./cmd/gangsim all

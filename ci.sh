@@ -1,0 +1,14 @@
+#!/bin/sh
+# ci.sh — the repository's CI gate, runnable locally or from a workflow.
+# Equivalent to `make check`; kept as a script so CI needs only a shell.
+set -eux
+
+go vet ./...
+go build ./...
+go test -race ./...
+
+# Chaos-fuzz smoke: a short fixed-seed campaign plus the paper-§2.2
+# differential (FM wedges under loss, go-back-N recovers). Both are
+# deterministic by construction, so they are safe to gate on.
+go run ./cmd/gangsim fuzz -seed 1 -runs 5
+go run ./cmd/gangsim fuzz -compare -seed 77

@@ -7,6 +7,7 @@
 //
 //	fmbench -bench bandwidth -msgs 10000 -size 16384
 //	fmbench -bench bandwidth -policy partitioned -slots 8   # the wedge
+//	fmbench -bench bandwidth -policy partitioned -loss 0.01 # §2.2 audit
 //	fmbench -bench latency -msgs 2000 -size 64
 //	fmbench -bench alltoall -nodes 8 -msgs 500 -jobs 2
 package main
@@ -14,32 +15,41 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
+	"os"
 	"time"
 
 	"gangfm"
 	"gangfm/internal/core"
 	"gangfm/internal/fm"
-	"gangfm/internal/myrinet"
 	"gangfm/internal/sim"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+// run is the whole benchmark driver, separated from main so the smoke
+// tests can execute it in-process.
+func run(args []string, out io.Writer) int {
+	fs := flag.NewFlagSet("fmbench", flag.ContinueOnError)
 	var (
-		bench   = flag.String("bench", "bandwidth", "bandwidth | latency | alltoall")
-		nodes   = flag.Int("nodes", 16, "cluster size")
-		policy  = flag.String("policy", "switched", "switched | partitioned")
-		mode    = flag.String("copy", "valid", "valid | full (buffer switch algorithm)")
-		slots   = flag.Int("slots", 4, "gang slot-table depth (buffer divisor when partitioned)")
-		jobs    = flag.Int("jobs", 1, "identical jobs to gang-schedule")
-		msgs    = flag.Int("msgs", 5000, "messages (per sender / per peer)")
-		size    = flag.Int("size", 16384, "message size in bytes")
-		quantum = flag.Duration("quantum", time.Second, "gang-scheduling quantum (virtual)")
-		loss    = flag.Float64("loss", 0, "packet loss probability on the data network")
-		seed    = flag.Uint64("seed", 1, "simulation seed")
-		limit   = flag.Duration("limit", 60*time.Second, "virtual-time limit before declaring a wedge")
+		bench   = fs.String("bench", "bandwidth", "bandwidth | latency | alltoall")
+		nodes   = fs.Int("nodes", 16, "cluster size")
+		policy  = fs.String("policy", "switched", "switched | partitioned")
+		mode    = fs.String("copy", "valid", "valid | full (buffer switch algorithm)")
+		slots   = fs.Int("slots", 4, "gang slot-table depth (buffer divisor when partitioned)")
+		jobs    = fs.Int("jobs", 1, "identical jobs to gang-schedule")
+		msgs    = fs.Int("msgs", 5000, "messages (per sender / per peer)")
+		size    = fs.Int("size", 16384, "message size in bytes")
+		quantum = fs.Duration("quantum", time.Second, "gang-scheduling quantum (virtual)")
+		loss    = fs.Float64("loss", 0, "packet loss probability on the data network")
+		seed    = fs.Uint64("seed", 1, "simulation seed")
+		limit   = fs.Duration("limit", 60*time.Second, "virtual-time limit before declaring a wedge")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	cfg := gangfm.DefaultClusterConfig(*nodes)
 	cfg.Slots = *slots
@@ -51,7 +61,8 @@ func main() {
 	case "partitioned":
 		cfg.Policy = fm.Partitioned
 	default:
-		log.Fatalf("unknown policy %q", *policy)
+		fmt.Fprintf(out, "unknown policy %q\n", *policy)
+		return 2
 	}
 	switch *mode {
 	case "valid":
@@ -59,18 +70,18 @@ func main() {
 	case "full":
 		cfg.Mode = core.FullCopy
 	default:
-		log.Fatalf("unknown copy mode %q", *mode)
+		fmt.Fprintf(out, "unknown copy mode %q\n", *mode)
+		return 2
 	}
 	if *loss > 0 {
-		net := myrinet.DefaultConfig(*nodes)
-		net.LossProb = *loss
-		net.Seed = *seed
-		cfg.NetConfig = &net
+		plan := gangfm.Loss(*seed, *loss)
+		cfg.Chaos = &plan
 	}
 
 	cluster, err := gangfm.NewCluster(cfg)
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintln(out, err)
+		return 1
 	}
 
 	var specs []gangfm.JobSpec
@@ -84,14 +95,16 @@ func main() {
 		case "alltoall":
 			specs = append(specs, gangfm.AllToAll(name, *nodes, *msgs, *size))
 		default:
-			log.Fatalf("unknown benchmark %q", *bench)
+			fmt.Fprintf(out, "unknown benchmark %q\n", *bench)
+			return 2
 		}
 	}
 	var submitted []*gangfm.Job
 	for _, spec := range specs {
 		job, err := cluster.Submit(spec)
 		if err != nil {
-			log.Fatal(err)
+			fmt.Fprintln(out, err)
+			return 1
 		}
 		submitted = append(submitted, job)
 	}
@@ -100,7 +113,7 @@ func main() {
 	cluster.RunUntil(sim.DefaultClock.FromDuration(*limit))
 	real := time.Since(start)
 	clock := gangfm.Clock()
-	fmt.Printf("simulated %v of virtual time in %v real (%d events)\n\n",
+	fmt.Fprintf(out, "simulated %v of virtual time in %v real (%d events)\n\n",
 		clock.ToDuration(cluster.Eng.Now()).Round(time.Millisecond), real.Round(time.Millisecond), cluster.Eng.Fired())
 
 	for i, job := range submitted {
@@ -108,23 +121,23 @@ func main() {
 		case "bandwidth":
 			res, err := gangfm.ExtractBandwidth(job)
 			if err != nil {
-				fmt.Printf("job %d: WEDGED (%v)\n", i, err)
+				fmt.Fprintf(out, "job %d: WEDGED (%v)\n", i, err)
 				continue
 			}
-			fmt.Printf("job %d: %d x %d B in %v -> %.1f MB/s\n",
+			fmt.Fprintf(out, "job %d: %d x %d B in %v -> %.1f MB/s\n",
 				i, res.Messages, res.MsgSize, clock.ToDuration(res.Elapsed()).Round(time.Microsecond), res.MBs(clock))
 		case "latency":
 			if job.State() != gangfm.JobDone {
-				fmt.Printf("job %d: not finished\n", i)
+				fmt.Fprintf(out, "job %d: not finished\n", i)
 				continue
 			}
 			res := job.Results[0].(gangfm.PingPongResult)
-			fmt.Printf("job %d: %d-byte round trip %v (%d cycles)\n",
+			fmt.Fprintf(out, "job %d: %d-byte round trip %v (%d cycles)\n",
 				i, res.Size, clock.ToDuration(res.RoundTrip()), res.RoundTrip())
 		case "alltoall":
 			results, err := gangfm.ExtractAllToAll(job)
 			if err != nil {
-				fmt.Printf("job %d: WEDGED (%v)\n", i, err)
+				fmt.Fprintf(out, "job %d: WEDGED (%v)\n", i, err)
 				continue
 			}
 			var bytes uint64
@@ -136,7 +149,7 @@ func main() {
 				}
 			}
 			secs := clock.ToDuration(span).Seconds()
-			fmt.Printf("job %d: all-to-all moved %.1f MB in %v -> %.1f MB/s aggregate\n",
+			fmt.Fprintf(out, "job %d: all-to-all moved %.1f MB in %v -> %.1f MB/s aggregate\n",
 				i, float64(bytes)/1e6, clock.ToDuration(span).Round(time.Microsecond), float64(bytes)/secs/1e6)
 		}
 	}
@@ -152,7 +165,14 @@ func main() {
 		}
 	}
 	if switches > 0 {
-		fmt.Printf("\n%d buffer switches, mean %v each\n",
+		fmt.Fprintf(out, "\n%d buffer switches, mean %v each\n",
 			switches, clock.ToDuration(totalCycles/sim.Time(switches)).Round(time.Microsecond))
 	}
+
+	// The invariant auditor runs on every cluster; under -loss it is the
+	// mechanical witness of the §2.2 wedge.
+	if !cluster.Auditor().Ok() {
+		fmt.Fprintf(out, "\n%s\n", cluster.Auditor().Summary())
+	}
+	return 0
 }

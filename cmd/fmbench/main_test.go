@@ -1,0 +1,50 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLatencySmoke: a small latency run completes and reports a round trip.
+func TestLatencySmoke(t *testing.T) {
+	var out strings.Builder
+	code := run([]string{"-bench", "latency", "-nodes", "2", "-msgs", "20", "-size", "64",
+		"-quantum", "2ms", "-limit", "2s"}, &out)
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "round trip") {
+		t.Fatalf("no latency result:\n%s", out.String())
+	}
+}
+
+// TestLossRunReportsAuditorVerdict: a partitioned run under loss wedges and
+// the auditor's summary (with the replay seed) appears in the output.
+func TestLossRunReportsAuditorVerdict(t *testing.T) {
+	var out strings.Builder
+	code := run([]string{"-bench", "bandwidth", "-nodes", "2", "-policy", "partitioned",
+		"-msgs", "300", "-size", "512", "-quantum", "2ms", "-loss", "0.2", "-seed", "77",
+		"-limit", "1s"}, &out)
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "WEDGED") {
+		t.Fatalf("lossy run did not wedge:\n%s", s)
+	}
+	if !strings.Contains(s, "violation") || !strings.Contains(s, "seed 77") {
+		t.Fatalf("auditor verdict missing:\n%s", s)
+	}
+}
+
+// TestBadFlags: unknown benchmarks and policies exit 2.
+func TestBadFlags(t *testing.T) {
+	var out strings.Builder
+	if code := run([]string{"-bench", "nope"}, &out); code != 2 {
+		t.Fatalf("bad bench: exit %d", code)
+	}
+	out.Reset()
+	if code := run([]string{"-policy", "nope"}, &out); code != 2 {
+		t.Fatalf("bad policy: exit %d", code)
+	}
+}

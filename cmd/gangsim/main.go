@@ -6,8 +6,10 @@
 // Usage:
 //
 //	gangsim [-quick] [-par N] <fig5|fig6|fig7|fig8|fig9|overhead|credits|all>
+//	gangsim fuzz [-seed S] [-runs N] [-shrink] [-trace] [-compare]
 //
-// All runs are deterministic; -quick shrinks the sweeps for smoke runs.
+// All runs are deterministic; -quick shrinks the sweeps for smoke runs,
+// and a fuzz failure replays exactly from its printed seed.
 package main
 
 import (
@@ -21,6 +23,10 @@ import (
 )
 
 func main() {
+	// The fuzz subcommand owns its flags; dispatch before the global parse.
+	if len(os.Args) > 1 && os.Args[1] == "fuzz" {
+		os.Exit(runFuzz(os.Args[2:], os.Stdout))
+	}
 	quick := flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
 	par := flag.Int("par", runtime.NumCPU(), "max concurrently simulated points")
 	flag.Usage = usage
@@ -80,6 +86,10 @@ experiments:
   schemes   ablation: paper scheme vs SHARE discard vs PM quiescence (5)
   dyncos    ablation: gang vs dynamic coscheduling responsiveness (5)
   all       everything above
+
+chaos:
+  fuzz      seeded fault-injection fuzzer over random clusters, jobs and
+            fault plans; failing seeds replay exactly (see fuzz -h)
 `)
 }
 

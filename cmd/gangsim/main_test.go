@@ -1,0 +1,70 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"gangfm/internal/experiments"
+)
+
+// TestFuzzSubcommandSmoke: a tiny campaign runs end to end, prints one
+// verdict per run and the replay hint.
+func TestFuzzSubcommandSmoke(t *testing.T) {
+	var out strings.Builder
+	if code := runFuzz([]string{"-seed", "1", "-runs", "5", "-shrink=false"}, &out); code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out.String())
+	}
+	s := out.String()
+	if strings.Count(s, "seed ") < 5 {
+		t.Fatalf("expected 5 verdict lines:\n%s", s)
+	}
+	if !strings.Contains(s, "replay any with") {
+		t.Fatalf("missing replay hint:\n%s", s)
+	}
+}
+
+// TestFuzzSubcommandReplayIsIdentical: the acceptance contract — the same
+// seed reproduces byte-identical output, injection traces included.
+func TestFuzzSubcommandReplayIsIdentical(t *testing.T) {
+	run := func() string {
+		var out strings.Builder
+		if code := runFuzz([]string{"-seed", "7", "-runs", "3", "-trace"}, &out); code != 0 {
+			t.Fatalf("exit %d:\n%s", code, out.String())
+		}
+		return out.String()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed produced different output:\n--- a ---\n%s\n--- b ---\n%s", a, b)
+	}
+}
+
+// TestFuzzCompareSmoke: the differential known-answer check prints the FM
+// stall and the go-back-N recovery.
+func TestFuzzCompareSmoke(t *testing.T) {
+	var out strings.Builder
+	if code := runFuzz([]string{"-compare", "-seed", "77", "-prob", "0.2"}, &out); code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "stalled=true") || !strings.Contains(s, "recovered=true") {
+		t.Fatalf("differential verdict wrong:\n%s", s)
+	}
+}
+
+// TestFuzzBadFlag: unknown flags exit with a usage error, not a panic.
+func TestFuzzBadFlag(t *testing.T) {
+	var out strings.Builder
+	if code := runFuzz([]string{"-nope"}, &out); code != 2 {
+		t.Fatalf("exit %d for bad flag", code)
+	}
+}
+
+// TestExperimentSmoke: the cheapest experiment command still renders its
+// table (the figure regenerators have their own deep tests; this pins the
+// CLI wiring).
+func TestExperimentSmoke(t *testing.T) {
+	table := experiments.CreditsTable(experiments.Credits()).String()
+	if !strings.Contains(table, "C0") {
+		t.Fatalf("credits table did not render:\n%s", table)
+	}
+}

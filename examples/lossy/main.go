@@ -20,22 +20,26 @@ import (
 func main() {
 	fmt.Println("loss prob | delivered | dropped | outcome")
 	for _, loss := range []float64{0, 0.001, 0.01, 0.05} {
-		delivered, dropped, done := run(loss)
+		delivered, dropped, done, verdict := run(loss)
 		outcome := "completed"
 		if !done {
 			outcome = "WEDGED (credits lost, no retransmission)"
 		}
 		fmt.Printf("%9.3f | %9d | %7d | %s\n", loss, delivered, dropped, outcome)
+		if verdict != "" {
+			fmt.Printf("          | auditor: %s\n", verdict)
+		}
 	}
 }
 
-func run(loss float64) (delivered, dropped uint64, done bool) {
-	net := myrinet.DefaultConfig(2)
-	net.LossProb = loss
-	net.Seed = 42
-
+func run(loss float64) (delivered, dropped uint64, done bool, verdict string) {
 	cfg := gangfm.DefaultClusterConfig(2)
-	cfg.NetConfig = &net
+	if loss > 0 {
+		// A seeded fault plan replaces the old raw loss knob: the same
+		// plan drives the injection trace and the auditor's replay seed.
+		plan := gangfm.Loss(42, loss)
+		cfg.Chaos = &plan
+	}
 	cluster, err := gangfm.NewCluster(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -50,5 +54,11 @@ func run(loss float64) (delivered, dropped uint64, done bool) {
 	delivered = stats.Delivered[myrinet.Data]
 	dropped = stats.Dropped[myrinet.Data]
 	_, err = gangfm.ExtractBandwidth(job)
-	return delivered, dropped, err == nil
+	// The invariant auditor reaches the same verdict mechanically: a
+	// wedged run reports the stall, a clean one stays silent.
+	if !cluster.Auditor().Ok() {
+		vs := cluster.Auditor().Violations()
+		verdict = fmt.Sprintf("%d violation(s), first: %s", len(vs), vs[0].Invariant)
+	}
+	return delivered, dropped, err == nil, verdict
 }

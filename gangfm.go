@@ -13,7 +13,7 @@
 //
 //	internal/sim         deterministic discrete-event kernel (cycles of a 200 MHz P6)
 //	internal/memmodel    memory cost model (host copies, write-combining, DMA)
-//	internal/myrinet     the Myrinet fabric: FIFO routes, serialized ports, loss injection
+//	internal/myrinet     the Myrinet fabric: FIFO routes, serialized ports, injector seam
 //	internal/lanai       the LANai card: contexts, send scanner, receive DMA, flush protocol
 //	internal/fm          the FM library: fragmentation, credits, refills, host cost model
 //	internal/core        glueFM (Table 1 API) and the buffer-switching context switch
@@ -21,6 +21,7 @@
 //	internal/parpar      masterd/noded daemons, control network, job lifecycle (Fig 2)
 //	internal/workload    the paper's benchmarks (bandwidth, all-to-all, ping-pong)
 //	internal/altsched    related-work alternatives (SHARE-style discard, PM-style flush)
+//	internal/chaos       fault injection + invariant auditing (and chaos/fuzzer)
 //	internal/experiments the figure/table regenerators
 //
 // # Quick start
@@ -39,6 +40,7 @@
 package gangfm
 
 import (
+	"gangfm/internal/chaos"
 	"gangfm/internal/core"
 	"gangfm/internal/fm"
 	"gangfm/internal/parpar"
@@ -120,6 +122,53 @@ type AllToAllResult = workload.AllToAllResult
 
 // PingPongResult is the measurement reported by a ping-pong job.
 type PingPongResult = workload.PingPongResult
+
+// FaultPlan is a seeded, schedulable fault plan for chaos runs; set it on
+// ClusterConfig.Chaos to inject packet loss/duplication, control-network
+// faults, CPU pauses/slowdowns, and backing-store corruption. The zero
+// plan injects nothing.
+type FaultPlan = chaos.Plan
+
+// Fault is one schedulable fault event of a FaultPlan.
+type Fault = chaos.Fault
+
+// FaultKind enumerates the injectable fault classes.
+type FaultKind = chaos.FaultKind
+
+// Injectable fault classes.
+const (
+	// DataLoss drops data packets — the paper's §2.2 fragility.
+	DataLoss = chaos.DataLoss
+	// DataDup duplicates data packets.
+	DataDup = chaos.DataDup
+	// RefillLoss drops explicit credit-refill packets.
+	RefillLoss = chaos.RefillLoss
+	// HaltLoss drops flush-protocol halt packets (stage 1).
+	HaltLoss = chaos.HaltLoss
+	// ReadyLoss drops flush-protocol ready packets (stage 3).
+	ReadyLoss = chaos.ReadyLoss
+	// StoreCorrupt flips state in a parked job's backing store.
+	StoreCorrupt = chaos.StoreCorrupt
+	// CtrlLoss drops masterd/noded control messages.
+	CtrlLoss = chaos.CtrlLoss
+	// CtrlDelay delays masterd/noded control messages.
+	CtrlDelay = chaos.CtrlDelay
+	// NodePause blocks one node's host CPU for a window.
+	NodePause = chaos.NodePause
+	// NodeSlow steals a fraction of one node's host CPU for a window.
+	NodeSlow = chaos.NodeSlow
+)
+
+// Violation is one invariant breach recorded by the auditor.
+type Violation = chaos.Violation
+
+// Auditor is the cluster's invariant auditor; Cluster.Auditor() returns it
+// after a run for inspection (Ok, Violations, Summary).
+type Auditor = chaos.Auditor
+
+// Loss returns the classic fault plan of paper §2.2: open-ended uniform
+// data-packet loss on every link, driven by seed.
+func Loss(seed uint64, prob float64) FaultPlan { return chaos.Loss(seed, prob) }
 
 // NewCluster assembles a cluster.
 func NewCluster(cfg ClusterConfig) (*Cluster, error) { return parpar.New(cfg) }

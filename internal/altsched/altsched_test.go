@@ -3,7 +3,7 @@ package altsched
 import (
 	"testing"
 
-	"gangfm/internal/core"
+	"gangfm/internal/chaos"
 	"gangfm/internal/lanai"
 	"gangfm/internal/memmodel"
 	"gangfm/internal/myrinet"
@@ -78,51 +78,32 @@ func TestWindowLimitsOutstanding(t *testing.T) {
 
 func TestLossRecoveryByRetransmission(t *testing.T) {
 	// Unlike FM's credits (which wedge permanently), go-back-N recovers
-	// from loss — the property SHARE's discard approach depends on.
+	// from loss — the property SHARE's discard approach depends on. The
+	// fault plan is the same kind internal/parpar accepts, so the two
+	// stacks' responses to identical loss are directly comparable.
 	cfg := DefaultClusterConfig(1)
 	cfg.Seed = 7
+	cfg.Quantum = 100_000_000 // no rotation during the stream
+	plan := chaos.Loss(7, 0.05)
+	cfg.Chaos = &plan
 	c, err := NewCluster(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Inject loss by replacing the network config: rebuild with loss.
-	ncfg := myrinet.DefaultConfig(2)
-	ncfg.LossProb = 0.05
-	ncfg.Seed = 7
-	eng := sim.NewEngine()
-	net := myrinet.New(eng, ncfg)
-	mem := memmodel.Default()
-	nicA := lanai.New(eng, net, mem, lanai.DefaultConfig(0))
-	nicB := lanai.New(eng, net, mem, lanai.DefaultConfig(1))
-	cpuA := sim.NewResource(eng, "a")
-	cpuB := sim.NewResource(eng, "b")
-	mgrA, err := NewManager(eng, nicA, cpuA, mem, ShareDiscard, core.ValidOnly)
-	if err != nil {
-		t.Fatal(err)
-	}
-	mgrB, err := NewManager(eng, nicB, cpuB, mem, ShareDiscard, core.ValidOnly)
-	if err != nil {
-		t.Fatal(err)
-	}
-	nodeOf := []myrinet.NodeID{0, 1}
-	chCfg := DefaultRChannelConfig()
-	epA, _ := NewEndpoint(eng, nicA, cpuA, chCfg, 1, 0, nodeOf, 1024)
-	epB, _ := NewEndpoint(eng, nicB, cpuB, chCfg, 1, 1, nodeOf, 1024)
-	mgrA.AddProcess(epA)
-	mgrB.AddProcess(epB)
-	mgrA.Switch(1, 1, nil)
-	mgrB.Switch(1, 1, nil)
-	eng.Run()
-	epA.Channel(1).Send(300)
-	eng.RunUntil(eng.Now() + 400_000_000)
-	st := epB.Channel(0).Stats()
+	c.Start()
+	tx, rx := c.Endpoints(1)[0], c.Endpoints(1)[1]
+	tx.Channel(1).Send(300)
+	c.RunFor(400_000_000)
+	st := rx.Channel(0).Stats()
 	if st.Delivered != 300 {
 		t.Fatalf("delivered %d/300 under 5%% loss", st.Delivered)
 	}
-	if epA.Channel(1).Stats().Retransmissions == 0 {
+	if tx.Channel(1).Stats().Retransmissions == 0 {
 		t.Fatal("expected retransmissions under loss")
 	}
-	_ = c
+	if dropped := c.Net.Stats().Dropped[myrinet.Data]; dropped == 0 {
+		t.Fatal("injector dropped nothing")
+	}
 }
 
 func TestShareDiscardSwitchSkipsFlush(t *testing.T) {

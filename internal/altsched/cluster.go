@@ -3,6 +3,7 @@ package altsched
 import (
 	"fmt"
 
+	"gangfm/internal/chaos"
 	"gangfm/internal/core"
 	"gangfm/internal/lanai"
 	"gangfm/internal/memmodel"
@@ -28,6 +29,11 @@ type ClusterConfig struct {
 	// PayloadLen is the fixed per-packet payload of the streams.
 	PayloadLen int
 	Seed       uint64
+
+	// Chaos, when non-nil, is a fault plan injected into the data network
+	// — the same plans internal/parpar accepts, so FM's behavior under a
+	// fault and the alternatives' can be compared run for run.
+	Chaos *chaos.Plan
 }
 
 // DefaultClusterConfig returns a 2-node comparison setup.
@@ -77,6 +83,9 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	}
 	eng := sim.NewEngine()
 	net := myrinet.New(eng, myrinet.DefaultConfig(cfg.Nodes))
+	if cfg.Chaos != nil && !cfg.Chaos.Empty() {
+		net.SetInjector(chaos.NewInjector(eng, *cfg.Chaos))
+	}
 	mem := memmodel.Default()
 	rng := sim.NewRand(cfg.Seed)
 	c := &Cluster{Eng: eng, Net: net, cfg: cfg, eps: make(map[myrinet.JobID][]*Endpoint)}

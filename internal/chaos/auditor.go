@@ -1,0 +1,158 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+
+	"gangfm/internal/myrinet"
+	"gangfm/internal/sim"
+)
+
+// Violation is one invariant breach, timestamped in virtual time.
+type Violation struct {
+	Time sim.Time
+	// Invariant names the broken property ("credit-conservation",
+	// "flush-order", "store-integrity", "gang-exclusivity", ...).
+	Invariant string
+	// Detail describes the concrete breach.
+	Detail string
+}
+
+// String formats the violation.
+func (v Violation) String() string {
+	return fmt.Sprintf("%12d %s: %s", v.Time, v.Invariant, v.Detail)
+}
+
+// Check is a registered periodic audit: it inspects live state and reports
+// breaches through report. Checks must be read-only — they run interleaved
+// with the protocol at quantum boundaries.
+type Check func(now sim.Time, report func(invariant, detail string))
+
+// violationCap bounds the retained violation list; a systemic breach
+// repeats every audit tick and the first occurrences carry the signal.
+const violationCap = 200
+
+// Auditor is the central invariant registry: hook points all over the
+// stack report violations here, and registered checks run periodically
+// (the cluster schedules them every quantum). Every report carries the
+// replay seed so a failure message alone suffices to reproduce the run.
+type Auditor struct {
+	eng  *sim.Engine
+	seed uint64
+
+	failFast   bool
+	checks     []Check
+	seen       map[string]bool
+	violations []Violation
+	dropped    uint64
+	stopped    bool
+}
+
+// NewAuditor builds an auditor; seed is the value needed to replay the run
+// (the fault plan's seed, or the cluster seed when no plan is installed).
+func NewAuditor(eng *sim.Engine, seed uint64) *Auditor {
+	return &Auditor{eng: eng, seed: seed, seen: make(map[string]bool)}
+}
+
+// Seed returns the replay seed.
+func (a *Auditor) Seed() uint64 { return a.seed }
+
+// SetFailFast makes the first violation stop the simulation engine, so
+// the event queue freezes at the instant of the breach for inspection.
+func (a *Auditor) SetFailFast(on bool) { a.failFast = on }
+
+// Register adds a periodic check.
+func (a *Auditor) Register(c Check) { a.checks = append(a.checks, c) }
+
+// RunChecks runs every registered check once, at the current time.
+func (a *Auditor) RunChecks() {
+	now := a.eng.Now()
+	for _, c := range a.checks {
+		c(now, a.Report)
+	}
+}
+
+// Report records a violation. Duplicate (invariant, detail) pairs are
+// collapsed: a wedged invariant re-reports identically every audit tick.
+func (a *Auditor) Report(invariant, detail string) {
+	key := invariant + "\x00" + detail
+	if a.seen[key] {
+		return
+	}
+	a.seen[key] = true
+	if len(a.violations) >= violationCap {
+		a.dropped++
+		return
+	}
+	a.violations = append(a.violations, Violation{Time: a.eng.Now(), Invariant: invariant, Detail: detail})
+	if a.failFast && !a.stopped {
+		a.stopped = true
+		a.eng.Stop()
+	}
+}
+
+// Ok reports whether no violation has been recorded.
+func (a *Auditor) Ok() bool { return len(a.violations) == 0 && a.dropped == 0 }
+
+// Violations returns the recorded violations in report order.
+func (a *Auditor) Violations() []Violation {
+	out := make([]Violation, len(a.violations))
+	copy(out, a.violations)
+	return out
+}
+
+// Summary formats the verdict with the replay seed — the line a failing
+// fuzz run prints.
+func (a *Auditor) Summary() string {
+	if a.Ok() {
+		return fmt.Sprintf("ok: no invariant violations (seed %d)", a.seed)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d invariant violation(s) — replay with seed %d:", len(a.violations), a.seed)
+	for _, v := range a.violations {
+		b.WriteString("\n  " + v.String())
+	}
+	if a.dropped > 0 {
+		fmt.Fprintf(&b, "\n  ... %d further distinct violations suppressed", a.dropped)
+	}
+	return b.String()
+}
+
+// CreditLedger tracks the flow-control credits the network destroys. FM
+// has no retransmission: when a Data packet is lost, one credit of the
+// src→dst pool and its piggybacked refill (Credits of the dst→src pool)
+// vanish; a lost Refill destroys its carried credits. The ledger gives
+// the credit-conservation auditor the ground truth to distinguish a
+// loss-induced stall (a violation of FM's reliable-SAN assumption) from a
+// legitimately exhausted window.
+type CreditLedger struct {
+	destroyed map[myrinet.JobID]int
+	drops     map[myrinet.JobID]int
+}
+
+// NewCreditLedger builds an empty ledger.
+func NewCreditLedger() *CreditLedger {
+	return &CreditLedger{
+		destroyed: make(map[myrinet.JobID]int),
+		drops:     make(map[myrinet.JobID]int),
+	}
+}
+
+// RecordDrop accounts one dropped packet (network loss or card-level
+// discard). Control packets carry no credits and are ignored.
+func (l *CreditLedger) RecordDrop(p *myrinet.Packet) {
+	switch p.Type {
+	case myrinet.Data:
+		l.destroyed[p.Job] += 1 + p.Credits
+		l.drops[p.Job]++
+	case myrinet.Refill:
+		l.destroyed[p.Job] += p.Credits
+		l.drops[p.Job]++
+	}
+}
+
+// Destroyed returns how many credits the job has irrecoverably lost.
+func (l *CreditLedger) Destroyed(job myrinet.JobID) int { return l.destroyed[job] }
+
+// Drops returns how many of the job's packets were dropped.
+func (l *CreditLedger) Drops(job myrinet.JobID) int { return l.drops[job] }

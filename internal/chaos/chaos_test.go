@@ -1,0 +1,149 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+
+	"gangfm/internal/myrinet"
+	"gangfm/internal/sim"
+)
+
+// TestPlanValidate pins the structural rules: empty windows, node faults
+// without an Until, out-of-range probabilities and factors.
+func TestPlanValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		plan Plan
+		ok   bool
+	}{
+		{"zero plan", Plan{}, true},
+		{"classic loss", Loss(1, 0.05), true},
+		{"windowed loss", Plan{Faults: []Fault{{Kind: DataLoss, Prob: 0.5, From: 10, Until: 20, Node: -1}}}, true},
+		{"empty window", Plan{Faults: []Fault{{Kind: DataLoss, Prob: 0.5, From: 20, Until: 10}}}, false},
+		{"prob > 1", Plan{Faults: []Fault{{Kind: RefillLoss, Prob: 1.5}}}, false},
+		{"pause needs until", Plan{Faults: []Fault{{Kind: NodePause, Node: 0}}}, false},
+		{"pause needs node", Plan{Faults: []Fault{{Kind: NodePause, Node: -1, From: 0, Until: 100}}}, false},
+		{"slow factor out of range", Plan{Faults: []Fault{{Kind: NodeSlow, Node: 0, From: 0, Until: 100, Factor: 1.0}}}, false},
+		{"delay must be positive", Plan{Faults: []Fault{{Kind: CtrlDelay, Prob: 0.1}}}, false},
+		{"unknown kind", Plan{Faults: []Fault{{Kind: FaultKind(99)}}}, false},
+	}
+	for _, tc := range cases {
+		err := tc.plan.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: expected a validation error", tc.name)
+		}
+	}
+}
+
+// TestInjectorTraceDeterminism: the core replay contract at the unit level.
+// Two injectors built from the same plan, fed the same packet sequence,
+// emit byte-identical traces and identical verdicts.
+func TestInjectorTraceDeterminism(t *testing.T) {
+	plan := Plan{Seed: 42, Faults: []Fault{
+		{Kind: DataLoss, Prob: 0.3, Node: -1},
+		{Kind: DataDup, Prob: 0.3, Node: -1},
+		{Kind: RefillLoss, Prob: 0.5, Node: -1},
+	}}
+	feed := func() (string, []myrinet.Verdict) {
+		in := NewInjector(sim.NewEngine(), plan)
+		var verdicts []myrinet.Verdict
+		for i := 0; i < 200; i++ {
+			typ := myrinet.Data
+			if i%5 == 0 {
+				typ = myrinet.Refill
+			}
+			p := &myrinet.Packet{Type: typ, Src: myrinet.NodeID(i % 3), Dst: myrinet.NodeID((i + 1) % 3), Job: 1}
+			verdicts = append(verdicts, in.Packet(sim.Time(i*100), p))
+		}
+		return in.TraceString(), verdicts
+	}
+	trA, vA := feed()
+	trB, vB := feed()
+	if trA != trB {
+		t.Fatalf("same plan produced different traces:\n--- a ---\n%s\n--- b ---\n%s", trA, trB)
+	}
+	for i := range vA {
+		if vA[i] != vB[i] {
+			t.Fatalf("verdict %d differs: %+v vs %+v", i, vA[i], vB[i])
+		}
+	}
+	drops, dups := 0, 0
+	for _, v := range vA {
+		if v.Drop {
+			drops++
+		}
+		if v.Duplicate {
+			dups++
+		}
+	}
+	if drops == 0 || dups == 0 {
+		t.Fatalf("plan with p=0.3/0.3/0.5 over 200 packets fired nothing: drops=%d dups=%d", drops, dups)
+	}
+}
+
+// TestInjectorWindows: a fault outside its [From, Until) window never fires.
+func TestInjectorWindows(t *testing.T) {
+	plan := Plan{Seed: 7, Faults: []Fault{
+		{Kind: DataLoss, Prob: 1.0, From: 1000, Until: 2000, Node: -1},
+	}}
+	in := NewInjector(sim.NewEngine(), plan)
+	p := func() *myrinet.Packet { return &myrinet.Packet{Type: myrinet.Data, Src: 0, Dst: 1, Job: 1} }
+	if v := in.Packet(999, p()); v.Drop {
+		t.Fatal("fired before From")
+	}
+	if v := in.Packet(1000, p()); !v.Drop {
+		t.Fatal("p=1.0 fault inside its window did not fire")
+	}
+	if v := in.Packet(2000, p()); v.Drop {
+		t.Fatal("fired at Until (window is half-open)")
+	}
+}
+
+// TestAuditorDedupeAndSummary: identical reports collapse to one violation,
+// the summary carries the replay seed, and Ok flips on the first report.
+func TestAuditorDedupeAndSummary(t *testing.T) {
+	a := NewAuditor(sim.NewEngine(), 1234)
+	if !a.Ok() {
+		t.Fatal("fresh auditor not Ok")
+	}
+	a.Report("credit-bounds", "node 0 job 1: credits 9 > C0 5")
+	a.Report("credit-bounds", "node 0 job 1: credits 9 > C0 5") // duplicate
+	a.Report("flush-stall", "round 3 stuck")
+	if a.Ok() {
+		t.Fatal("auditor Ok after violations")
+	}
+	if got := len(a.Violations()); got != 2 {
+		t.Fatalf("dedupe failed: %d violations, want 2", got)
+	}
+	sum := a.Summary()
+	if !strings.Contains(sum, "seed 1234") {
+		t.Fatalf("summary lacks the replay seed:\n%s", sum)
+	}
+	if !strings.Contains(sum, "credit-bounds") || !strings.Contains(sum, "flush-stall") {
+		t.Fatalf("summary lacks the invariants:\n%s", sum)
+	}
+}
+
+// TestAuditorFailFast: with fail-fast set, the first violation stops the
+// engine so a wedged run ends at the point of corruption.
+func TestAuditorFailFast(t *testing.T) {
+	eng := sim.NewEngine()
+	a := NewAuditor(eng, 1)
+	a.SetFailFast(true)
+	a.Register(func(now sim.Time, report func(invariant, detail string)) {
+		report("test-invariant", "boom")
+	})
+	fired := false
+	eng.Schedule(100, func() { a.RunChecks() })
+	eng.Schedule(200, func() { fired = true })
+	eng.Run()
+	if fired {
+		t.Fatal("engine kept running after a fail-fast violation")
+	}
+	if a.Ok() {
+		t.Fatal("violation not recorded")
+	}
+}

@@ -1,0 +1,448 @@
+// Package fuzzer is the simulation fuzzer of the chaos harness: it samples
+// random cluster shapes, job mixes and fault plans from a single seed, runs
+// each sampled scenario under the invariant auditor, and shrinks failing
+// plans to a minimal reproduction. Because every decision — sampling,
+// injection, scheduling — flows from the seed through deterministic
+// generators, a one-line failure report ("seed 41 ...") is a complete
+// reproduction recipe: `gangsim fuzz -seed 41 -runs 1` replays it exactly.
+//
+// The package sits above the whole stack (it imports parpar, altsched and
+// workload), which is why it lives in its own directory rather than in
+// package chaos itself: chaos must stay importable by every layer.
+package fuzzer
+
+import (
+	"fmt"
+	"strings"
+
+	"gangfm/internal/altsched"
+	"gangfm/internal/chaos"
+	"gangfm/internal/fm"
+	"gangfm/internal/myrinet"
+	"gangfm/internal/parpar"
+	"gangfm/internal/sim"
+	"gangfm/internal/workload"
+)
+
+// DefaultHorizon is how long each fuzz run simulates. Wedged runs never go
+// quiescent (the rotation and audit loops keep ticking), so runs are bounded
+// by virtual time: 50 quanta of the fuzzer's fast 400k-cycle quantum.
+const DefaultHorizon sim.Time = 50 * quantum
+
+// quantum is the gang-scheduling slice used by fuzzed clusters — short, so
+// a run crosses many switch rounds inside the horizon.
+const quantum sim.Time = 400_000
+
+// Config parameterizes a fuzzing campaign.
+type Config struct {
+	// Seed is the campaign's base seed; run i uses Seed+i.
+	Seed uint64
+	// Runs is the number of scenarios to sample and execute.
+	Runs int
+	// Horizon bounds each run's virtual time (0 means DefaultHorizon).
+	Horizon sim.Time
+	// Shrink minimizes every failing plan before reporting it.
+	Shrink bool
+}
+
+// Scenario is one sampled cluster shape + job mix + fault plan. It is fully
+// determined by its Seed.
+type Scenario struct {
+	Seed   uint64
+	Nodes  int
+	Slots  int
+	Policy fm.Policy
+	Jobs   []parpar.JobSpec
+	Plan   chaos.Plan
+}
+
+// String summarizes the scenario on one line.
+func (s Scenario) String() string {
+	names := make([]string, len(s.Jobs))
+	for i, j := range s.Jobs {
+		names[i] = fmt.Sprintf("%s/%d", j.Name, j.Size)
+	}
+	return fmt.Sprintf("seed %d: %d nodes, %d slots, %v, jobs [%s], %d fault(s)",
+		s.Seed, s.Nodes, s.Slots, s.Policy, strings.Join(names, " "), len(s.Plan.Faults))
+}
+
+// RunResult is the outcome of executing one scenario.
+type RunResult struct {
+	Scenario Scenario
+	// Violations are the auditor's findings (deduplicated, in order).
+	Violations []chaos.Violation
+	// Crash is the recovered panic message when the protocol stack died
+	// outright (fault kinds like DataDup can drive FM into states its own
+	// internal assertions reject), empty otherwise.
+	Crash string
+	// DoneJobs counts jobs that finished within the horizon, of TotalJobs.
+	DoneJobs, TotalJobs int
+	// Trace is the injector's firing log (capped; see chaos.Injector).
+	Trace []string
+	// Minimal is the shrunk failing plan when shrinking ran, else the
+	// scenario's full plan.
+	Minimal chaos.Plan
+}
+
+// Failed reports whether the run found anything: an invariant violation or
+// an outright crash.
+func (r RunResult) Failed() bool { return len(r.Violations) > 0 || r.Crash != "" }
+
+// String formats the verdict for campaign logs.
+func (r RunResult) String() string {
+	var b strings.Builder
+	b.WriteString(r.Scenario.String())
+	switch {
+	case r.Crash != "":
+		fmt.Fprintf(&b, "\n  CRASH: %s", r.Crash)
+	case len(r.Violations) > 0:
+		fmt.Fprintf(&b, "\n  %d violation(s):", len(r.Violations))
+		for _, v := range r.Violations {
+			b.WriteString("\n    " + v.String())
+		}
+	default:
+		fmt.Fprintf(&b, "\n  ok (%d/%d jobs done)", r.DoneJobs, r.TotalJobs)
+	}
+	if r.Failed() && len(r.Minimal.Faults) > 0 && len(r.Minimal.Faults) < len(r.Scenario.Plan.Faults) {
+		fmt.Fprintf(&b, "\n  shrunk to %d fault(s): %s", len(r.Minimal.Faults), r.Minimal)
+	}
+	return b.String()
+}
+
+// Sample derives a scenario from a seed. The same seed always yields the
+// same scenario; the generator draws in a fixed order.
+func Sample(seed uint64) Scenario {
+	rng := sim.NewRand(seed ^ 0xC0FFEE)
+	s := Scenario{
+		Seed:  seed,
+		Nodes: 2 + rng.Intn(3), // 2..4
+		Slots: 2 + rng.Intn(2), // 2..3
+	}
+	if rng.Bool(0.5) {
+		s.Policy = fm.Partitioned
+	} else {
+		s.Policy = fm.Switched
+	}
+	njobs := 1 + rng.Intn(2)
+	for j := 0; j < njobs; j++ {
+		name := fmt.Sprintf("j%d", j)
+		switch rng.Intn(4) {
+		case 0:
+			s.Jobs = append(s.Jobs, workload.Bandwidth(name+"-bw", 50+rng.Intn(150), 256+rng.Intn(768)))
+		case 1:
+			s.Jobs = append(s.Jobs, workload.PingPong(name+"-pp", 3+rng.Intn(8), 64+rng.Intn(192)))
+		case 2:
+			ranks := 2 + rng.Intn(s.Nodes-1) // 2..Nodes
+			s.Jobs = append(s.Jobs, workload.AllToAll(name+"-a2a", ranks, 3+rng.Intn(8), 128+rng.Intn(384)))
+		default:
+			s.Jobs = append(s.Jobs, workload.Compute(name+"-cpu", 1+rng.Intn(s.Nodes), sim.Time(200_000+rng.Intn(800_000))))
+		}
+	}
+	s.Plan = samplePlan(rng, seed, s.Nodes)
+	return s
+}
+
+// samplePlan draws 1..3 faults. Probabilities are kept moderate so most
+// runs exercise a meaningfully faulty but not totally demolished network.
+func samplePlan(rng *sim.Rand, seed uint64, nodes int) chaos.Plan {
+	kinds := []chaos.FaultKind{
+		// Data loss is over-represented: it is the paper's central fault.
+		chaos.DataLoss, chaos.DataLoss, chaos.DataDup, chaos.RefillLoss,
+		chaos.HaltLoss, chaos.ReadyLoss, chaos.StoreCorrupt,
+		chaos.CtrlLoss, chaos.CtrlDelay, chaos.NodePause, chaos.NodeSlow,
+	}
+	plan := chaos.Plan{Seed: seed}
+	nf := 1 + rng.Intn(3)
+	for i := 0; i < nf; i++ {
+		f := chaos.Fault{Kind: kinds[rng.Intn(len(kinds))], Node: -1}
+		if rng.Bool(0.3) {
+			f.Node = rng.Intn(nodes)
+		}
+		f.From = sim.Time(rng.Intn(int(DefaultHorizon / 4)))
+		if rng.Bool(0.5) {
+			f.Until = f.From + quantum*sim.Time(2+rng.Intn(20))
+		}
+		switch f.Kind {
+		case chaos.NodePause:
+			f.Node = rng.Intn(nodes)
+			f.Until = f.From + quantum*sim.Time(2+rng.Intn(8))
+		case chaos.NodeSlow:
+			f.Factor = 0.25 + 0.5*rng.Float64()
+			f.Until = f.From + quantum*sim.Time(2+rng.Intn(8))
+		case chaos.CtrlDelay:
+			f.Prob = 0.1 + 0.4*rng.Float64()
+			f.Delay = sim.Time(50_000 * (1 + rng.Intn(6)))
+		case chaos.HaltLoss, chaos.ReadyLoss, chaos.CtrlLoss:
+			// Flush/control faults wedge hard at high probability; keep a
+			// spread so some runs survive and some stall.
+			f.Prob = 0.05 + 0.55*rng.Float64()
+		default:
+			f.Prob = 0.05 + 0.3*rng.Float64()
+		}
+		plan.Faults = append(plan.Faults, f)
+	}
+	return plan
+}
+
+// Execute runs one scenario to the horizon and collects the verdict. A
+// panic inside the protocol stack is recovered and reported as a crash
+// finding — for a fuzzer, a stack that dies on a fault is as interesting as
+// one that wedges.
+func Execute(s Scenario, horizon sim.Time) (res RunResult) {
+	if horizon <= 0 {
+		horizon = DefaultHorizon
+	}
+	res.Scenario = s
+	res.TotalJobs = len(s.Jobs)
+	res.Minimal = s.Plan
+
+	var c *parpar.Cluster
+	var jobs []*parpar.Job
+	defer func() {
+		if r := recover(); r != nil {
+			res.Crash = fmt.Sprint(r)
+		}
+		if c != nil {
+			res.Violations = c.Auditor().Violations()
+			res.Trace = c.ChaosTrace()
+			for _, j := range jobs {
+				if j.State() == parpar.JobDone {
+					res.DoneJobs++
+				}
+			}
+		}
+	}()
+
+	cfg := fuzzClusterConfig(s)
+	cl, err := parpar.New(cfg)
+	if err != nil {
+		res.Crash = err.Error()
+		return res
+	}
+	c = cl
+	for _, spec := range s.Jobs {
+		job, err := c.Submit(spec)
+		if err != nil {
+			res.Crash = err.Error()
+			return res
+		}
+		jobs = append(jobs, job)
+	}
+	c.RunUntil(horizon)
+	return res
+}
+
+// fuzzClusterConfig maps a scenario onto a fast-quantum cluster config.
+func fuzzClusterConfig(s Scenario) parpar.Config {
+	cfg := parpar.DefaultConfig(s.Nodes)
+	cfg.Slots = s.Slots
+	cfg.Policy = s.Policy
+	cfg.Quantum = quantum
+	cfg.CtrlJitter = 50_000
+	cfg.ForkDelay = 50_000
+	cfg.Seed = s.Seed
+	plan := s.Plan
+	cfg.Chaos = &plan
+	return cfg
+}
+
+// FuzzOne samples and executes the scenario for one seed.
+func FuzzOne(seed uint64, horizon sim.Time) RunResult {
+	return Execute(Sample(seed), horizon)
+}
+
+// Report is a campaign's outcome.
+type Report struct {
+	Runs     []RunResult
+	Failures int
+	Crashes  int
+}
+
+// Fuzz executes cfg.Runs scenarios with seeds cfg.Seed, cfg.Seed+1, ....
+// logf, when non-nil, receives one progress line per run.
+func Fuzz(cfg Config, logf func(format string, args ...any)) Report {
+	if cfg.Runs <= 0 {
+		cfg.Runs = 1
+	}
+	var rep Report
+	for i := 0; i < cfg.Runs; i++ {
+		res := FuzzOne(cfg.Seed+uint64(i), cfg.Horizon)
+		if res.Failed() {
+			rep.Failures++
+			if res.Crash != "" {
+				rep.Crashes++
+			}
+			if cfg.Shrink {
+				res.Minimal = Shrink(res.Scenario, cfg.Horizon)
+			}
+		}
+		rep.Runs = append(rep.Runs, res)
+		if logf != nil {
+			logf("%s", res)
+		}
+	}
+	return rep
+}
+
+// Shrink minimizes a failing scenario's fault plan: it greedily drops
+// faults whose removal keeps the scenario failing, then narrows the
+// surviving faults' windows. The result is the smallest plan (under this
+// greedy strategy) that still produces a violation or crash — the fault
+// actually responsible for the finding.
+func Shrink(s Scenario, horizon sim.Time) chaos.Plan {
+	fails := func(p chaos.Plan) bool {
+		t := s
+		t.Plan = p
+		return Execute(t, horizon).Failed()
+	}
+	plan := s.Plan
+	if !fails(plan) {
+		return plan // not reproducible; nothing to shrink
+	}
+	// Pass 1: drop faults one at a time until no single removal keeps the
+	// failure alive.
+	for changed := true; changed && len(plan.Faults) > 1; {
+		changed = false
+		for i := range plan.Faults {
+			cand := chaos.Plan{Seed: plan.Seed}
+			cand.Faults = append(cand.Faults, plan.Faults[:i]...)
+			cand.Faults = append(cand.Faults, plan.Faults[i+1:]...)
+			if fails(cand) {
+				plan = cand
+				changed = true
+				break
+			}
+		}
+	}
+	// Pass 2: narrow each surviving fault's active window by bisection —
+	// first close open-ended windows, then halve from both ends.
+	for i := range plan.Faults {
+		if plan.Faults[i].Kind == chaos.NodePause || plan.Faults[i].Kind == chaos.NodeSlow {
+			continue // windows are the fault's semantics; leave them
+		}
+		if plan.Faults[i].Until == 0 {
+			cand := clonePlan(plan)
+			cand.Faults[i].Until = horizonOr(horizon)
+			if fails(cand) {
+				plan = cand
+			}
+		}
+		for step := 0; step < 4 && plan.Faults[i].Until != 0; step++ {
+			f := plan.Faults[i]
+			mid := f.From + (f.Until-f.From)/2
+			if mid <= f.From {
+				break
+			}
+			late := clonePlan(plan)
+			late.Faults[i].From = mid
+			if fails(late) {
+				plan = late
+				continue
+			}
+			early := clonePlan(plan)
+			early.Faults[i].Until = mid
+			if fails(early) {
+				plan = early
+				continue
+			}
+			break
+		}
+	}
+	return plan
+}
+
+func clonePlan(p chaos.Plan) chaos.Plan {
+	out := chaos.Plan{Seed: p.Seed, Faults: make([]chaos.Fault, len(p.Faults))}
+	copy(out.Faults, p.Faults)
+	return out
+}
+
+func horizonOr(h sim.Time) sim.Time {
+	if h <= 0 {
+		return DefaultHorizon
+	}
+	return h
+}
+
+// StallComparison contrasts the two stacks' responses to the same loss
+// plan: FM (no retransmission — paper §2.2) versus the go-back-N transport
+// of the alternative schemes.
+type StallComparison struct {
+	// FMViolations are the auditor findings from the Partitioned FM run.
+	FMViolations []chaos.Violation
+	// FMStalled is true when a credit-conservation stall was detected.
+	FMStalled bool
+	// FMDestroyed is the ledger's destroyed-credit count for the FM job.
+	FMDestroyed int
+	// AltDelivered / AltRetransmissions / AltDropped summarize the
+	// go-back-N run: everything delivered despite drops, via retransmit.
+	AltDelivered       uint64
+	AltRetransmissions uint64
+	AltDropped         uint64
+	// AltRecovered is true when the alternative delivered every message.
+	AltRecovered bool
+}
+
+// CompareLoss runs the paper's §2.2 experiment as a differential check: the
+// same seeded loss plan against Partitioned FM (expected: permanent credit
+// stall, flagged by the auditor) and against the go-back-N alternative
+// (expected: full delivery through retransmission, no findings). It is the
+// fuzzer's known-answer test — if this stops distinguishing the stacks, the
+// harness itself is broken.
+func CompareLoss(seed uint64, prob float64) StallComparison {
+	var cmp StallComparison
+
+	// FM side: a long one-way stream under loss.
+	fmCfg := parpar.DefaultConfig(2)
+	fmCfg.Policy = fm.Partitioned
+	fmCfg.Quantum = quantum
+	fmCfg.CtrlJitter = 50_000
+	fmCfg.ForkDelay = 50_000
+	plan := chaos.Loss(seed, prob)
+	fmCfg.Chaos = &plan
+	c, err := parpar.New(fmCfg)
+	if err != nil {
+		panic(err)
+	}
+	if _, err := c.Submit(workload.Bandwidth("stream", 200, 512)); err != nil {
+		panic(err)
+	}
+	c.RunUntil(DefaultHorizon)
+	cmp.FMViolations = c.Auditor().Violations()
+	for _, v := range cmp.FMViolations {
+		if v.Invariant == "credit-conservation" {
+			cmp.FMStalled = true
+		}
+	}
+	cmp.FMDestroyed = c.Ledger().Destroyed(1)
+
+	// Alternative side: the same plan kind on the go-back-N transport.
+	altCfg := altsched.DefaultClusterConfig(1)
+	altCfg.Seed = seed
+	altCfg.Quantum = 100_000_000 // no rotation: isolate transport recovery
+	altPlan := chaos.Loss(seed, prob)
+	altCfg.Chaos = &altPlan
+	ac, err := altsched.NewCluster(altCfg)
+	if err != nil {
+		panic(err)
+	}
+	ac.Start()
+	const msgs = 300
+	ac.Endpoints(1)[0].Channel(1).Send(msgs)
+	ac.RunFor(400_000_000)
+	st := ac.Endpoints(1)[1].Channel(0).Stats()
+	cmp.AltDelivered = st.Delivered
+	cmp.AltRetransmissions = ac.Endpoints(1)[0].Channel(1).Stats().Retransmissions
+	cmp.AltDropped = ac.Net.Stats().Dropped[myrinet.Data]
+	cmp.AltRecovered = st.Delivered == msgs
+	return cmp
+}
+
+// String formats the comparison as the two-line verdict gangsim prints.
+func (c StallComparison) String() string {
+	fmLine := fmt.Sprintf("FM (no retransmission): %d credits destroyed, stalled=%v, %d violation(s)",
+		c.FMDestroyed, c.FMStalled, len(c.FMViolations))
+	altLine := fmt.Sprintf("go-back-N alternative:  %d delivered via %d retransmissions over %d drops, recovered=%v",
+		c.AltDelivered, c.AltRetransmissions, c.AltDropped, c.AltRecovered)
+	return fmLine + "\n" + altLine
+}

@@ -1,0 +1,259 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+
+	"gangfm/internal/myrinet"
+	"gangfm/internal/sim"
+)
+
+// traceCap bounds the injection trace so pathological plans cannot eat the
+// heap; overflow is counted, not silently dropped.
+const traceCap = 10_000
+
+// slowSliceTarget bounds how many CPU-steal slices a NodeSlow fault
+// schedules, so wide windows stay cheap.
+const slowSliceTarget = 2000
+
+// minSlowSlice is the smallest steal-slice period, in cycles (0.25 ms).
+const minSlowSlice = 50_000
+
+// Injector compiles a Plan into deterministic fault decisions. It
+// implements myrinet.Injector for packet faults; the parpar cluster also
+// wires CtrlMessage into its control network, ArmNode onto each host CPU,
+// and StoreHook into each node's buffer-switch manager.
+//
+// All decisions are functions of the plan seed and the order in which the
+// simulation presents events — both deterministic — so a run can be
+// replayed exactly from (cluster config, plan).
+type Injector struct {
+	eng  *sim.Engine
+	rng  *sim.Rand
+	plan Plan
+
+	trace    []string
+	overflow uint64
+	counts   map[FaultKind]uint64
+}
+
+// NewInjector builds an injector for the plan. Invalid plans panic: a plan
+// is test/driver input, and silently skipping faults would make "no
+// violations" meaningless.
+func NewInjector(eng *sim.Engine, plan Plan) *Injector {
+	if err := plan.Validate(); err != nil {
+		panic(err)
+	}
+	return &Injector{
+		eng:    eng,
+		rng:    sim.NewRand(plan.Seed),
+		plan:   plan,
+		counts: make(map[FaultKind]uint64),
+	}
+}
+
+// Plan returns the compiled plan.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// Counts returns how many times each fault kind fired.
+func (in *Injector) Counts() map[FaultKind]uint64 {
+	out := make(map[FaultKind]uint64, len(in.counts))
+	for k, v := range in.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Trace returns the injection trace: one line per fired fault, in firing
+// order. Identical (seed, plan, workload) runs yield identical traces —
+// the determinism contract the chaos tests pin down.
+func (in *Injector) Trace() []string {
+	out := make([]string, len(in.trace))
+	copy(out, in.trace)
+	return out
+}
+
+// TraceString joins the trace, noting any overflow.
+func (in *Injector) TraceString() string {
+	s := strings.Join(in.trace, "\n")
+	if in.overflow > 0 {
+		s += fmt.Sprintf("\n... %d further injections not recorded", in.overflow)
+	}
+	return s
+}
+
+func (in *Injector) record(kind FaultKind, format string, args ...any) {
+	in.counts[kind]++
+	if len(in.trace) >= traceCap {
+		in.overflow++
+		return
+	}
+	in.trace = append(in.trace,
+		fmt.Sprintf("%12d %-13s %s", in.eng.Now(), kind, fmt.Sprintf(format, args...)))
+}
+
+// packetKind maps a packet type to the fault kinds that can affect it.
+func packetKinds(t myrinet.PacketType) (drop FaultKind, canDup bool, ok bool) {
+	switch t {
+	case myrinet.Data:
+		return DataLoss, true, true
+	case myrinet.Refill:
+		return RefillLoss, false, true
+	case myrinet.Halt:
+		return HaltLoss, false, true
+	case myrinet.Ready:
+		return ReadyLoss, false, true
+	default:
+		return 0, false, false
+	}
+}
+
+// Packet decides the fate of one packet at injection time (implements
+// myrinet.Injector). Each active matching fault consumes exactly one RNG
+// draw whether or not it fires, keeping the decision sequence aligned
+// across runs.
+func (in *Injector) Packet(now sim.Time, p *myrinet.Packet) myrinet.Verdict {
+	dropKind, canDup, ok := packetKinds(p.Type)
+	if !ok {
+		return myrinet.Verdict{}
+	}
+	var v myrinet.Verdict
+	for i := range in.plan.Faults {
+		f := &in.plan.Faults[i]
+		if !f.active(now) || !f.matchesNode(int(p.Src)) {
+			continue
+		}
+		switch f.Kind {
+		case dropKind:
+			if in.rng.Bool(f.Prob) && !v.Drop {
+				v.Drop = true
+				in.record(f.Kind, "%s", p)
+			}
+		case DataDup:
+			if canDup && in.rng.Bool(f.Prob) && !v.Duplicate {
+				v.Duplicate = true
+				in.record(f.Kind, "%s", p)
+			}
+		}
+	}
+	if v.Drop {
+		// A packet cannot be both lost and duplicated.
+		v.Duplicate = false
+	}
+	return v
+}
+
+// CtrlMessage decides the fate of one control-Ethernet message destined
+// for node dst (dst < 0 for masterd-bound messages): extra latency to add
+// and whether to drop it outright.
+func (in *Injector) CtrlMessage(now sim.Time, dst int) (extra sim.Time, drop bool) {
+	for i := range in.plan.Faults {
+		f := &in.plan.Faults[i]
+		if !f.active(now) || !f.matchesNode(dst) {
+			continue
+		}
+		switch f.Kind {
+		case CtrlLoss:
+			if in.rng.Bool(f.Prob) && !drop {
+				drop = true
+				in.record(CtrlLoss, "ctrl message to node %d", dst)
+			}
+		case CtrlDelay:
+			if in.rng.Bool(f.Prob) {
+				extra += f.Delay
+				in.record(CtrlDelay, "ctrl message to node %d +%d cycles", dst, f.Delay)
+			}
+		}
+	}
+	if drop {
+		extra = 0
+	}
+	return extra, drop
+}
+
+// ArmNode schedules the plan's CPU faults (NodePause, NodeSlow) against
+// one node's host CPU. Called once per node at cluster construction.
+func (in *Injector) ArmNode(node int, cpu *sim.Resource) {
+	for i := range in.plan.Faults {
+		f := in.plan.Faults[i]
+		if !f.matchesNode(node) {
+			continue
+		}
+		switch f.Kind {
+		case NodePause:
+			until := f.Until
+			in.eng.ScheduleAt(f.From, func() {
+				in.record(NodePause, "node %d CPU blocked until %d", node, until)
+				cpu.Block(until)
+			})
+		case NodeSlow:
+			period := (f.Until - f.From) / slowSliceTarget
+			if period < minSlowSlice {
+				period = minSlowSlice
+			}
+			steal := sim.Time(float64(period) * f.Factor)
+			if steal == 0 {
+				continue
+			}
+			in.eng.ScheduleAt(f.From, func() {
+				in.record(NodeSlow, "node %d losing %.0f%% CPU until %d", node, f.Factor*100, f.Until)
+			})
+			for t := f.From; t < f.Until; t += period {
+				t := t
+				in.eng.ScheduleAt(t, func() { cpu.Block(t + steal) })
+			}
+		}
+	}
+}
+
+// CPUFaultActive reports whether a NodePause or NodeSlow window covers the
+// node at time t. The delivery-stall auditor uses it to excuse progress
+// freezes that a CPU fault fully explains — a paused host is slow, not
+// protocol-broken.
+func (in *Injector) CPUFaultActive(node int, t sim.Time) bool {
+	for i := range in.plan.Faults {
+		f := &in.plan.Faults[i]
+		if (f.Kind == NodePause || f.Kind == NodeSlow) && f.active(t) && f.matchesNode(node) {
+			return true
+		}
+	}
+	return false
+}
+
+// StoreHook returns the backing-store corruption hook for one node, or nil
+// when the plan has no StoreCorrupt fault for it. The hook is invoked by
+// the core manager right after a descheduled job's queues are saved (and
+// after the integrity digest is taken); it mutates the parked packets in
+// place — the digest check at restore time is expected to report it.
+func (in *Injector) StoreHook(node int) func(job myrinet.JobID, send, recv []*myrinet.Packet) {
+	var relevant []Fault
+	for _, f := range in.plan.Faults {
+		if f.Kind == StoreCorrupt && f.matchesNode(node) {
+			relevant = append(relevant, f)
+		}
+	}
+	if len(relevant) == 0 {
+		return nil
+	}
+	return func(job myrinet.JobID, send, recv []*myrinet.Packet) {
+		now := in.eng.Now()
+		for _, f := range relevant {
+			if !f.active(now) || !in.rng.Bool(f.Prob) {
+				continue
+			}
+			pkts := make([]*myrinet.Packet, 0, len(send)+len(recv))
+			pkts = append(pkts, send...)
+			pkts = append(pkts, recv...)
+			if len(pkts) == 0 {
+				continue
+			}
+			// Corrupt a field the protocol itself never re-reads (Seq is
+			// re-stamped by the network on send), so the fault is crash-
+			// free and detectable only by the integrity digest — exactly
+			// the silent-corruption scenario the digest exists for.
+			victim := pkts[in.rng.Intn(len(pkts))]
+			victim.Seq ^= 0xDEAD
+			in.record(StoreCorrupt, "node %d job %d packet {%s}", node, job, victim)
+		}
+	}
+}

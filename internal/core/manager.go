@@ -83,10 +83,56 @@ type SwitchStats struct {
 func (s SwitchStats) Total() sim.Time { return s.Halt + s.Copy + s.Release }
 
 // backingStore holds a descheduled process's queue contents in pageable
-// virtual memory (Figure 4).
+// virtual memory (Figure 4). The digest is taken at save time and verified
+// at restore: the store sits in pageable RAM across an arbitrary number of
+// scheduling rounds, exactly where silent corruption would be invisible to
+// the protocol itself.
 type backingStore struct {
-	send []*myrinet.Packet
-	recv []*myrinet.Packet
+	send   []*myrinet.Packet
+	recv   []*myrinet.Packet
+	digest uint64
+	stored bool
+}
+
+// queueDigest hashes every protocol-visible field of the parked packets
+// (FNV-1a). Any bit that changes between save and restore changes the sum.
+func queueDigest(send, recv []*myrinet.Packet) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= prime
+		}
+	}
+	hash := func(pkts []*myrinet.Packet) {
+		mix(uint64(len(pkts)))
+		for _, p := range pkts {
+			mix(uint64(p.Type))
+			mix(uint64(p.Src))
+			mix(uint64(p.Dst))
+			mix(uint64(p.Job))
+			mix(uint64(p.SrcRank))
+			mix(uint64(p.DstRank))
+			mix(p.MsgID)
+			mix(uint64(p.Frag))
+			mix(uint64(p.NFrags))
+			mix(uint64(p.PayloadLen))
+			mix(uint64(p.Credits))
+			mix(p.Epoch)
+			mix(p.Seq)
+			for _, b := range p.Payload {
+				h ^= uint64(b)
+				h *= prime
+			}
+		}
+	}
+	hash(send)
+	hash(recv)
+	return h
 }
 
 // proc is the manager's record of one job's process on this node.
@@ -141,6 +187,19 @@ type Manager struct {
 	// touched — the point where the protocol guarantees the outgoing
 	// job has nothing in flight. Tests assert that invariant here.
 	OnPreCopy func(from, to myrinet.JobID)
+	// OnStore, when set, observes a job's queues right after they are
+	// saved to the backing store (and after the integrity digest is
+	// taken). The chaos layer's StoreCorrupt fault mutates them here.
+	OnStore func(job myrinet.JobID, send, recv []*myrinet.Packet)
+	// Audit, when set, receives invariant-violation reports (backing
+	// store digest mismatches, deliveries to descheduled jobs).
+	Audit func(invariant, detail string)
+}
+
+func (m *Manager) audit(invariant, detail string) {
+	if m.Audit != nil {
+		m.Audit(invariant, detail)
+	}
 }
 
 // NewManager builds a manager; call InitNode before use (the split mirrors
@@ -202,6 +261,17 @@ func (m *Manager) InitNode() error {
 			return fmt.Errorf("core: allocating the full-size context: %w", err)
 		}
 		m.hwCtx = ctx
+		// The gang-scheduling invariant: under buffer switching, data for a
+		// job may land only while that job owns the buffers. A deposit for
+		// any other job means the flush/release barrier leaked traffic
+		// across a switch.
+		m.nic.OnDeposit = func(ctx *lanai.Context, p *myrinet.Packet) {
+			if p.Job != m.Current() {
+				m.audit("descheduled-delivery", fmt.Sprintf(
+					"node %d: data for job %d deposited while job %d owns the buffers",
+					m.nic.Node(), p.Job, m.Current()))
+			}
+		}
 	}
 	m.inited = true
 	return nil
@@ -281,8 +351,16 @@ func (m *Manager) EndJob(job myrinet.JobID) error {
 }
 
 // bind points the shared hardware context at pr and loads its stored
-// queue contents.
+// queue contents, verifying the save-time integrity digest first.
 func (m *Manager) bind(pr *proc) {
+	if pr.store.stored {
+		if got := queueDigest(pr.store.send, pr.store.recv); got != pr.store.digest {
+			m.audit("store-integrity", fmt.Sprintf(
+				"node %d job %d backing store digest %#x, saved %#x — queues corrupted while paged out",
+				m.nic.Node(), pr.job, got, pr.store.digest))
+		}
+		pr.store.stored = false
+	}
 	m.nic.SetIdentity(m.hwCtx, pr.job, pr.rank, lanai.Hooks{})
 	pr.p.Attach(m.hwCtx)
 	m.hwCtx.SendQ.Load(pr.store.send)
@@ -435,6 +513,11 @@ func (m *Manager) copyBuffers(next *proc, stats *SwitchStats, done func()) {
 		if m.current != nil {
 			m.current.store.send = m.hwCtx.SendQ.Drain()
 			m.current.store.recv = m.hwCtx.RecvQ.Drain()
+			m.current.store.digest = queueDigest(m.current.store.send, m.current.store.recv)
+			m.current.store.stored = true
+			if m.OnStore != nil {
+				m.OnStore(m.current.job, m.current.store.send, m.current.store.recv)
+			}
 		} else {
 			m.hwCtx.SendQ.Drain()
 			m.hwCtx.RecvQ.Drain()

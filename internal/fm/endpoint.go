@@ -131,6 +131,11 @@ type Endpoint struct {
 	onCanSend    func()
 	flushWaiters []func()
 
+	// deliveredBytes counts payload handed to the message handler; together
+	// with the bytes parked in reasm it must always equal PayloadBytesRecv
+	// (the reassembly byte-accounting invariant the chaos auditor checks).
+	deliveredBytes uint64
+
 	stats Stats
 }
 
@@ -444,6 +449,7 @@ func (e *Endpoint) reassemble(p *myrinet.Packet) {
 	if pa.got == pa.nfrags {
 		delete(e.reasm, src)
 		e.stats.MessagesRecvd++
+		e.deliveredBytes += uint64(pa.size)
 		if e.handler != nil {
 			e.handler(src, pa.size, pa.payload)
 		}
@@ -483,4 +489,58 @@ func (e *Endpoint) sendRefill(peer int) {
 func (e *Endpoint) refillArrived(p *myrinet.Packet) {
 	e.stats.RefillsRecvd++
 	e.addCredits(p.SrcRank, p.Credits)
+}
+
+// C0 returns the configured per-peer credit maximum.
+func (e *Endpoint) C0() int { return e.cfg.C0 }
+
+// Stalled reports whether the endpoint is head-of-line blocked on credits:
+// a message is queued, no injection is in progress, and the head message's
+// destination has no send credits. The chaos auditor combines this with the
+// network's drop ledger to tell a loss-induced permanent stall (paper §2.2)
+// from an ordinary transient window closure.
+func (e *Endpoint) Stalled() (dst int, ok bool) {
+	if len(e.outbox) == 0 || e.pumping {
+		return 0, false
+	}
+	m := &e.outbox[0]
+	if e.sendCredits[m.dst] > 0 {
+		return 0, false
+	}
+	return m.dst, true
+}
+
+// AuditInvariants checks the endpoint-local protocol invariants and reports
+// each breach. It is read-only and safe to call at any instant:
+//
+//   - send credits toward every peer stay within [0, C0];
+//   - consumed-since-refill counts stay within [0, C0] (a peer cannot have
+//     sent more packets than its window without a refill in between);
+//   - every payload byte received is either delivered to the handler or
+//     parked in an in-progress reassembly — bytes never vanish.
+func (e *Endpoint) AuditInvariants(report func(invariant, detail string)) {
+	for peer := range e.sendCredits {
+		if peer == e.rank {
+			continue
+		}
+		if c := e.sendCredits[peer]; c < 0 || c > e.cfg.C0 {
+			report("credit-bounds", fmt.Sprintf(
+				"job %d rank %d holds %d credits toward rank %d (C0=%d)",
+				e.job, e.rank, c, peer, e.cfg.C0))
+		}
+		if o := e.consumed[peer]; o < 0 || o > e.cfg.C0 {
+			report("credit-bounds", fmt.Sprintf(
+				"job %d rank %d owes %d credits to rank %d (C0=%d)",
+				e.job, e.rank, o, peer, e.cfg.C0))
+		}
+	}
+	var pending uint64
+	for _, pa := range e.reasm {
+		pending += uint64(pa.size)
+	}
+	if e.stats.PayloadBytesRecv != e.deliveredBytes+pending {
+		report("byte-accounting", fmt.Sprintf(
+			"job %d rank %d received %d payload bytes but delivered %d with %d pending reassembly",
+			e.job, e.rank, e.stats.PayloadBytesRecv, e.deliveredBytes, pending))
+	}
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"gangfm/internal/chaos"
 	"gangfm/internal/lanai"
 	"gangfm/internal/memmodel"
 	"gangfm/internal/myrinet"
@@ -226,10 +227,8 @@ func newJobRigCustom(nodes int, mutate func(*Config)) *jobRig {
 // TestCreditConservationBrokenByLoss: the same invariant fails under loss
 // — the paper's justification for requiring a reliable SAN.
 func TestCreditConservationBrokenByLoss(t *testing.T) {
-	r := newJobRig(t, 2, func(c *Config) { c.C0 = 6 }, func(nc *myrinet.Config) {
-		nc.LossProb = 0.3
-		nc.Seed = 21
-	})
+	plan := chaos.Loss(21, 0.3)
+	r := newJobRig(t, 2, func(c *Config) { c.C0 = 6 }, &plan)
 	r.eps[1].SetHandler(func(_, _ int, _ []byte) {})
 	sent := 0
 	var fill func()
@@ -243,5 +242,61 @@ func TestCreditConservationBrokenByLoss(t *testing.T) {
 	r.eng.Run()
 	if got := r.eps[0].Credits(1) + r.eps[1].Owed(0); got == 6 {
 		t.Fatal("credit conservation survived 30% loss — loss accounting is broken")
+	}
+}
+
+// TestAuditInvariantsCleanRun: after loss-free traffic, the endpoint-local
+// audit reports nothing.
+func TestAuditInvariantsCleanRun(t *testing.T) {
+	r := newJobRig(t, 2, nil, nil)
+	r.eps[1].SetHandler(func(_, _ int, _ []byte) {})
+	r.eps[0].Send(1, 5000, nil)
+	r.eng.Run()
+	for _, ep := range r.eps {
+		ep.AuditInvariants(func(inv, detail string) {
+			t.Errorf("unexpected violation %s: %s", inv, detail)
+		})
+	}
+}
+
+// TestAuditInvariantsByteAccounting: a vanished payload byte (manufactured
+// by tampering with the delivered counter, standing in for a reassembly bug)
+// is caught by the byte-accounting check.
+func TestAuditInvariantsByteAccounting(t *testing.T) {
+	r := newJobRig(t, 2, nil, nil)
+	r.eps[1].SetHandler(func(_, _ int, _ []byte) {})
+	r.eps[0].Send(1, 3000, nil)
+	r.eng.Run()
+	r.eps[1].deliveredBytes -= 1
+	var got []string
+	r.eps[1].AuditInvariants(func(inv, _ string) { got = append(got, inv) })
+	if len(got) != 1 || got[0] != "byte-accounting" {
+		t.Fatalf("violations = %v, want [byte-accounting]", got)
+	}
+}
+
+// TestStalledDetectsLossWedge: with heavy loss and no retransmission the
+// sender ends up head-of-line blocked with zero credits — the condition
+// Stalled exposes to the chaos auditor.
+func TestStalledDetectsLossWedge(t *testing.T) {
+	plan := chaos.Loss(12345, 0.2)
+	r := newJobRig(t, 2, func(c *Config) { c.C0 = 4 }, &plan)
+	r.eps[1].SetHandler(func(_, _ int, _ []byte) {})
+	sent := 0
+	var fill func()
+	fill = func() {
+		for sent < 100 && r.eps[0].Send(1, 512, nil) {
+			sent++
+		}
+	}
+	r.eps[0].SetOnCanSend(fill)
+	fill()
+	r.eng.Run()
+	dst, wedged := r.eps[0].Stalled()
+	if !wedged || dst != 1 {
+		t.Fatalf("Stalled() = (%d, %v), want (1, true) after lossy run", dst, wedged)
+	}
+	if _, ok := r.eps[1].Stalled(); ok {
+		t.Fatal("idle receiver reported a stall")
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"gangfm/internal/chaos"
 	"gangfm/internal/lanai"
 	"gangfm/internal/memmodel"
 	"gangfm/internal/myrinet"
@@ -104,14 +105,13 @@ type jobRig struct {
 	eps  []*Endpoint
 }
 
-func newJobRig(t *testing.T, nodes int, mutate func(*Config), netMutate func(*myrinet.Config)) *jobRig {
+func newJobRig(t *testing.T, nodes int, mutate func(*Config), plan *chaos.Plan) *jobRig {
 	t.Helper()
 	eng := sim.NewEngine()
-	ncfg := myrinet.DefaultConfig(nodes)
-	if netMutate != nil {
-		netMutate(&ncfg)
+	net := myrinet.New(eng, myrinet.DefaultConfig(nodes))
+	if plan != nil {
+		net.SetInjector(chaos.NewInjector(eng, *plan))
 	}
-	net := myrinet.New(eng, ncfg)
 	mem := memmodel.Default()
 	r := &jobRig{eng: eng, net: net}
 	alloc, err := Allocate(Switched, 252, 668, 1, nodes)
@@ -376,10 +376,8 @@ func TestPacketLossCorruptsFlowControl(t *testing.T) {
 	// and the entire flow control algorithm. FM does not have a
 	// retransmission mechanism." With loss injected, the transfer stalls
 	// and never completes.
-	r := newJobRig(t, 2, func(c *Config) { c.C0 = 4 }, func(nc *myrinet.Config) {
-		nc.LossProb = 0.2
-		nc.Seed = 12345
-	})
+	plan := chaos.Loss(12345, 0.2)
+	r := newJobRig(t, 2, func(c *Config) { c.C0 = 4 }, &plan)
 	delivered := 0
 	r.eps[1].SetHandler(func(_, _ int, _ []byte) { delivered++ })
 	const n = 100

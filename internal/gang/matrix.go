@@ -207,6 +207,43 @@ func (m *Matrix) rowEmpty(r int) bool {
 	return true
 }
 
+// Audit checks the matrix's structural invariants and returns one message
+// per breach (nil when consistent): every placement's cells hold exactly
+// its job, every occupied cell belongs to a recorded placement, and no job
+// appears in more than one row — the slot-exclusivity property gang
+// scheduling's communication guarantees rest on.
+func (m *Matrix) Audit() []string {
+	var bad []string
+	cells := make(map[myrinet.JobID]int)
+	for r, row := range m.rows {
+		for c, j := range row {
+			if j == myrinet.NoJob {
+				continue
+			}
+			cells[j]++
+			p, ok := m.jobs[j]
+			if !ok {
+				bad = append(bad, fmt.Sprintf("cell (%d,%d) holds unplaced job %d", r, c, j))
+				continue
+			}
+			if p.Row != r {
+				bad = append(bad, fmt.Sprintf("job %d occupies row %d but is placed in row %d", j, r, p.Row))
+			}
+		}
+	}
+	for j, p := range m.jobs {
+		if got := cells[j]; got != len(p.Cols) {
+			bad = append(bad, fmt.Sprintf("job %d occupies %d cells, placement says %d", j, got, len(p.Cols)))
+		}
+		for _, c := range p.Cols {
+			if m.JobAt(p.Row, c) != j {
+				bad = append(bad, fmt.Sprintf("placement cell (%d,%d) does not hold job %d", p.Row, c, j))
+			}
+		}
+	}
+	return bad
+}
+
 // Rotate advances to the next non-empty row in round-robin order and
 // returns its index, or -1 when the matrix holds no jobs. With a single
 // non-empty row, Rotate returns that row (the caller can detect the

@@ -244,3 +244,23 @@ func TestMatrixInvariantProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestAuditCleanAndCorrupted(t *testing.T) {
+	m := NewMatrix(4, 0)
+	if _, err := m.Place(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Place(2, 4); err != nil {
+		t.Fatal(err)
+	}
+	if bad := m.Audit(); len(bad) != 0 {
+		t.Fatalf("clean matrix audited dirty: %v", bad)
+	}
+	// Corrupt a cell behind the placement map's back: job 1 loses a cell to
+	// an unplaced job.
+	m.rows[0][0] = 99
+	bad := m.Audit()
+	if len(bad) == 0 {
+		t.Fatal("corrupted matrix audited clean")
+	}
+}

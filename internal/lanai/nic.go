@@ -141,6 +141,15 @@ type NIC struct {
 	OnControl func(p *myrinet.Packet)
 	// OnDrop, when set, observes every dropped packet.
 	OnDrop func(p *myrinet.Packet, reason DropReason)
+	// OnDeposit, when set, observes every data packet the instant it
+	// lands in a context's receive queue (after DMA, before OnArrive).
+	// The chaos auditors use it to catch deliveries to a context the
+	// gang schedule says is not running.
+	OnDeposit func(ctx *Context, p *myrinet.Packet)
+	// OnViolation, when set, receives protocol-invariant violation
+	// reports from the card's own state machines (the chaos auditor
+	// installs it; nil means violations surface only through behavior).
+	OnViolation func(invariant, detail string)
 
 	stats Stats
 }
@@ -381,6 +390,16 @@ func (n *NIC) HaltNetwork(epoch uint64, onFlushed func()) {
 // onReleased.
 func (n *NIC) ReleaseNetwork(epoch uint64, onReleased func()) {
 	complete := func() {
+		// The release stage must strictly follow flush completion for the
+		// same epoch: clearing the halt bit while data of the previous
+		// context could still be on the wire is exactly the overlap the
+		// three-stage protocol exists to prevent.
+		if !n.flush.Done(epoch) {
+			if n.OnViolation != nil {
+				n.OnViolation("flush-order",
+					fmt.Sprintf("node %d released epoch %d before its flush completed", n.cfg.Node, epoch))
+			}
+		}
 		n.haltBit = false
 		n.kickSender()
 		if onReleased != nil {
@@ -470,6 +489,9 @@ func (n *NIC) HandlePacket(p *myrinet.Packet) {
 				return
 			}
 			n.stats.Received++
+			if n.OnDeposit != nil {
+				n.OnDeposit(cur, p)
+			}
 			if cur.Hooks.OnArrive != nil {
 				cur.Hooks.OnArrive(cur)
 			}

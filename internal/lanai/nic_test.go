@@ -449,3 +449,53 @@ func TestUnregisterReindexesSlots(t *testing.T) {
 		t.Fatal("unregistered job still resolves")
 	}
 }
+
+// TestReleaseBeforeFlushReportsViolation: completing the release stage for
+// an epoch whose flush has not finished is a protocol-order breach the card
+// reports through OnViolation; the proper halt-then-release order is silent.
+func TestReleaseBeforeFlushReportsViolation(t *testing.T) {
+	// Out-of-order release: single node, so both trackers complete locally.
+	eng, _, nics := rig(t, 1)
+	var got []string
+	nics[0].OnViolation = func(inv, detail string) { got = append(got, inv) }
+	nics[0].ReleaseNetwork(7, nil)
+	eng.Run()
+	if len(got) != 1 || got[0] != "flush-order" {
+		t.Fatalf("violations = %v, want [flush-order]", got)
+	}
+
+	// Proper order for the same epoch: no violation.
+	eng2, _, nics2 := rig(t, 1)
+	var got2 []string
+	nics2[0].OnViolation = func(inv, detail string) { got2 = append(got2, inv) }
+	nics2[0].HaltNetwork(7, func() {
+		nics2[0].ReleaseNetwork(7, nil)
+	})
+	eng2.Run()
+	if len(got2) != 0 {
+		t.Fatalf("ordered switch reported violations: %v", got2)
+	}
+}
+
+// TestOnDepositObservesArrivals: the deposit hook fires once per data packet
+// landing in a receive queue, after the enqueue.
+func TestOnDepositObservesArrivals(t *testing.T) {
+	eng, net, nics := rig(t, 2)
+	if _, err := nics[1].Register(1, 0, 10, 10, Hooks{}); err != nil {
+		t.Fatal(err)
+	}
+	deposits := 0
+	nics[1].OnDeposit = func(ctx *Context, p *myrinet.Packet) {
+		deposits++
+		if ctx.RecvQ.Len() == 0 {
+			t.Error("OnDeposit fired before the enqueue")
+		}
+	}
+	for i := 0; i < 3; i++ {
+		net.Send(dataPkt(0, 1, 1, uint64(i)))
+	}
+	eng.Run()
+	if deposits != 3 {
+		t.Fatalf("deposits = %d, want 3", deposits)
+	}
+}

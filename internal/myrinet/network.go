@@ -31,17 +31,26 @@ type Config struct {
 	// PerPacketGap is the inter-packet gap at the injection port (route
 	// header processing, sampling delay), in cycles.
 	PerPacketGap sim.Time
-	// LossProb, if nonzero, drops each packet independently with this
-	// probability. FM assumes an insignificant SAN error rate; the
-	// failure-injection tests exercise what happens when that assumption
-	// breaks (paper §2.2: a single loss corrupts the credit accounting).
-	LossProb float64
-	// LoseControl extends loss injection to control packets too. By
-	// default only Data/Refill packets are subject to loss, because the
-	// interesting paper-level failure is credit desynchronization.
-	LoseControl bool
-	// Seed seeds the deterministic loss generator.
-	Seed uint64
+}
+
+// Verdict is the fault layer's decision for one packet at injection time.
+// The zero Verdict delivers the packet normally.
+type Verdict struct {
+	// Drop loses the packet: it never reaches the destination handler
+	// (FM assumes an insignificant SAN error rate; paper §2.2 describes
+	// how a single loss corrupts the credit accounting forever).
+	Drop bool
+	// Duplicate delivers an extra copy right behind the original on the
+	// same route.
+	Duplicate bool
+}
+
+// Injector decides the fate of each transmitted packet — the seam the
+// chaos layer plugs into (internal/chaos compiles fault plans into one).
+// Implementations must be deterministic functions of their own seeded
+// state and the packet sequence presented to them.
+type Injector interface {
+	Packet(now sim.Time, p *Packet) Verdict
 }
 
 // DefaultConfig returns the ParPar data-network parameters: 16 nodes on
@@ -52,23 +61,24 @@ func DefaultConfig(nodes int) Config {
 		LinkMBs:       160,
 		SwitchLatency: 200, // 1 µs at 200 MHz
 		PerPacketGap:  40,  // 200 ns
-		Seed:          1,
 	}
 }
 
 // Stats aggregates network-level counters.
 type Stats struct {
-	Sent      map[PacketType]uint64
-	Delivered map[PacketType]uint64
-	Dropped   map[PacketType]uint64
-	Bytes     uint64
+	Sent       map[PacketType]uint64
+	Delivered  map[PacketType]uint64
+	Dropped    map[PacketType]uint64
+	Duplicated map[PacketType]uint64
+	Bytes      uint64
 }
 
 func newStats() Stats {
 	return Stats{
-		Sent:      make(map[PacketType]uint64),
-		Delivered: make(map[PacketType]uint64),
-		Dropped:   make(map[PacketType]uint64),
+		Sent:       make(map[PacketType]uint64),
+		Delivered:  make(map[PacketType]uint64),
+		Dropped:    make(map[PacketType]uint64),
+		Duplicated: make(map[PacketType]uint64),
 	}
 }
 
@@ -84,11 +94,16 @@ type Network struct {
 	// latency parameterizations.
 	lastArrival [][]sim.Time
 	seq         [][]uint64
-	rng         *sim.Rand
+	injector    Injector
 	stats       Stats
 	// inFlight tracks per-job data packets currently on the wire — the
 	// quantity the flush protocol guarantees is zero when it completes.
 	inFlight map[JobID]int
+
+	// OnDrop, when set, observes every packet the fabric loses (injected
+	// faults and deliveries to unattached nodes). The chaos credit
+	// ledger hangs here.
+	OnDrop func(p *Packet)
 }
 
 // New constructs a network on the given engine.
@@ -102,7 +117,6 @@ func New(eng *sim.Engine, cfg Config) *Network {
 		clock:    sim.DefaultClock,
 		handlers: make([]Handler, cfg.Nodes),
 		ports:    make([]*sim.Resource, cfg.Nodes),
-		rng:      sim.NewRand(cfg.Seed),
 		stats:    newStats(),
 		inFlight: make(map[JobID]int),
 	}
@@ -124,6 +138,10 @@ func (n *Network) Config() Config { return n.cfg }
 
 // Stats returns a snapshot of the counters.
 func (n *Network) Stats() Stats { return n.stats }
+
+// SetInjector installs the fault layer consulted for every packet; nil
+// removes it (the default: a perfectly reliable fabric).
+func (n *Network) SetInjector(i Injector) { n.injector = i }
 
 // Attach registers the handler (NIC) for node id.
 func (n *Network) Attach(id NodeID, h Handler) {
@@ -155,8 +173,19 @@ func (n *Network) Send(p *Packet) sim.Time {
 	if p.Type == Data {
 		n.inFlight[p.Job]++
 	}
+	var v Verdict
+	if n.injector != nil {
+		v = n.injector.Packet(n.eng.Now(), p)
+	}
 	if p.Src == p.Dst {
+		if v.Drop {
+			n.dropInjected(p)
+			return n.eng.Now()
+		}
 		n.eng.Schedule(n.cfg.SwitchLatency, func() { n.deliver(p) })
+		if v.Duplicate {
+			n.duplicate(p, n.eng.Now()+n.cfg.SwitchLatency+1)
+		}
 		return n.eng.Now()
 	}
 
@@ -171,16 +200,41 @@ func (n *Network) Send(p *Packet) sim.Time {
 	}
 	n.lastArrival[p.Src][p.Dst] = arrival
 
-	drop := n.cfg.LossProb > 0 &&
-		(n.cfg.LoseControl || !p.Type.IsControl()) &&
-		n.rng.Bool(n.cfg.LossProb)
-	if drop {
-		n.stats.Dropped[p.Type]++
-		n.landed(p)
+	if v.Drop {
+		n.dropInjected(p)
 		return linkFree
 	}
 	n.eng.ScheduleAt(arrival, func() { n.deliver(p) })
+	if v.Duplicate {
+		n.duplicate(p, arrival+1)
+	}
 	return linkFree
+}
+
+// dropInjected accounts a fault-layer loss: the packet leaves the sender's
+// counters but never reaches a handler, taking its credits with it.
+func (n *Network) dropInjected(p *Packet) {
+	n.stats.Dropped[p.Type]++
+	if n.OnDrop != nil {
+		n.OnDrop(p)
+	}
+	n.landed(p)
+}
+
+// duplicate schedules an extra copy of p arriving right behind the
+// original on the same route (a shallow copy: the duplicate must be an
+// independent packet so receiver-side bookkeeping sees two arrivals).
+func (n *Network) duplicate(p *Packet, at sim.Time) {
+	n.stats.Duplicated[p.Type]++
+	if p.Type == Data {
+		n.inFlight[p.Job]++
+	}
+	if last := n.lastArrival[p.Src][p.Dst]; at <= last {
+		at = last + 1
+	}
+	n.lastArrival[p.Src][p.Dst] = at
+	dup := *p
+	n.eng.ScheduleAt(at, func() { n.deliver(&dup) })
 }
 
 func (n *Network) deliver(p *Packet) {
@@ -188,6 +242,9 @@ func (n *Network) deliver(p *Packet) {
 	h := n.handlers[p.Dst]
 	if h == nil {
 		n.stats.Dropped[p.Type]++
+		if n.OnDrop != nil {
+			n.OnDrop(p)
+		}
 		return
 	}
 	n.stats.Delivered[p.Type]++

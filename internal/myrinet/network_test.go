@@ -150,12 +150,37 @@ func TestSelfSend(t *testing.T) {
 	}
 }
 
+// lossInjector is a local stand-in for the chaos layer (which cannot be
+// imported here: it depends on this package). It drops matching packets
+// with a fixed probability and can duplicate the first data packet.
+type lossInjector struct {
+	rng     *sim.Rand
+	prob    float64
+	control bool // also drop control packets
+	dupOnce bool
+	dupped  bool
+}
+
+func (l *lossInjector) Packet(_ sim.Time, p *Packet) Verdict {
+	if l.dupOnce && !l.dupped && p.Type == Data {
+		l.dupped = true
+		return Verdict{Duplicate: true}
+	}
+	if !l.control && p.Type.IsControl() {
+		return Verdict{}
+	}
+	if l.prob > 0 && l.rng.Bool(l.prob) {
+		return Verdict{Drop: true}
+	}
+	return Verdict{}
+}
+
 func TestLossInjection(t *testing.T) {
 	eng := sim.NewEngine()
-	cfg := DefaultConfig(2)
-	cfg.LossProb = 0.5
-	cfg.Seed = 99
-	net := New(eng, cfg)
+	net := New(eng, DefaultConfig(2))
+	net.SetInjector(&lossInjector{rng: sim.NewRand(99), prob: 0.5})
+	var dropped []*Packet
+	net.OnDrop = func(p *Packet) { dropped = append(dropped, p) }
 	var got []*Packet
 	net.Attach(1, collector(&got))
 	const n = 1000
@@ -170,30 +195,58 @@ func TestLossInjection(t *testing.T) {
 	if int(s.Dropped[Data])+len(got) != n {
 		t.Fatalf("dropped %d + delivered %d != sent %d", s.Dropped[Data], len(got), n)
 	}
-	// Control packets are exempt unless LoseControl.
+	if len(dropped) != int(s.Dropped[Data]) {
+		t.Fatalf("OnDrop observed %d drops, stats say %d", len(dropped), s.Dropped[Data])
+	}
+	// This injector exempts control packets, as the default chaos plans do.
 	for i := 0; i < 100; i++ {
 		net.Send(&Packet{Type: Halt, Src: 0, Dst: 1})
 	}
 	eng.Run()
 	if net.Stats().Dropped[Halt] != 0 {
-		t.Fatal("control packets dropped without LoseControl")
+		t.Fatal("control packets dropped by a data-only injector")
 	}
 }
 
-func TestLoseControlFlag(t *testing.T) {
+func TestInjectorDropsControl(t *testing.T) {
 	eng := sim.NewEngine()
-	cfg := DefaultConfig(2)
-	cfg.LossProb = 0.9
-	cfg.LoseControl = true
-	cfg.Seed = 5
-	net := New(eng, cfg)
+	net := New(eng, DefaultConfig(2))
+	net.SetInjector(&lossInjector{rng: sim.NewRand(5), prob: 0.9, control: true})
 	net.Attach(1, HandlerFunc(func(*Packet) {}))
 	for i := 0; i < 200; i++ {
 		net.Send(&Packet{Type: Halt, Src: 0, Dst: 1})
 	}
 	eng.Run()
 	if net.Stats().Dropped[Halt] == 0 {
-		t.Fatal("LoseControl=true should drop control packets")
+		t.Fatal("a control-matching injector should drop control packets")
+	}
+}
+
+func TestDuplicateInjection(t *testing.T) {
+	eng := sim.NewEngine()
+	net := New(eng, DefaultConfig(2))
+	net.SetInjector(&lossInjector{rng: sim.NewRand(1), dupOnce: true})
+	var got []*Packet
+	net.Attach(1, collector(&got))
+	net.Send(&Packet{Type: Data, Src: 0, Dst: 1, Job: 4, PayloadLen: 10, MsgID: 9})
+	if net.InFlight(4) != 2 {
+		t.Fatalf("InFlight = %d with a duplicate on the wire, want 2", net.InFlight(4))
+	}
+	eng.Run()
+	if len(got) != 2 {
+		t.Fatalf("delivered %d copies, want 2", len(got))
+	}
+	if got[0] == got[1] {
+		t.Fatal("duplicate must be an independent packet, not the same pointer")
+	}
+	if got[1].MsgID != 9 {
+		t.Fatal("duplicate lost its header fields")
+	}
+	if net.Stats().Duplicated[Data] != 1 {
+		t.Fatalf("Duplicated[Data] = %d, want 1", net.Stats().Duplicated[Data])
+	}
+	if net.InFlight(4) != 0 {
+		t.Fatalf("InFlight = %d after delivery, want 0", net.InFlight(4))
 	}
 }
 
@@ -311,9 +364,8 @@ func TestInFlightTracking(t *testing.T) {
 
 func TestInFlightAccountsDrops(t *testing.T) {
 	eng := sim.NewEngine()
-	cfg := DefaultConfig(2)
-	cfg.LossProb = 1.0
-	net := New(eng, cfg)
+	net := New(eng, DefaultConfig(2))
+	net.SetInjector(&lossInjector{rng: sim.NewRand(3), prob: 1.0})
 	net.Attach(1, HandlerFunc(func(*Packet) {}))
 	net.Send(&Packet{Type: Data, Src: 0, Dst: 1, Job: 3, PayloadLen: 10})
 	eng.Run()

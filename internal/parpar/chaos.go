@@ -1,0 +1,280 @@
+package parpar
+
+// chaos.go wires the chaos harness into the assembled cluster: the fault
+// injector (when a plan is configured) and the always-on invariant auditor.
+// The auditor runs its registered checks once per quantum while jobs are
+// live, and the stack's hook points (NIC drops, manager digests, flush
+// ordering) report violations as they happen.
+
+import (
+	"fmt"
+	"sort"
+
+	"gangfm/internal/chaos"
+	"gangfm/internal/lanai"
+	"gangfm/internal/myrinet"
+	"gangfm/internal/sim"
+)
+
+// progressKey identifies one process's progress snapshot between audit
+// ticks.
+type progressKey struct {
+	node int
+	job  myrinet.JobID
+}
+
+// Auditor returns the cluster's invariant auditor (always present).
+func (c *Cluster) Auditor() *chaos.Auditor { return c.auditor }
+
+// Ledger returns the destroyed-credit ledger.
+func (c *Cluster) Ledger() *chaos.CreditLedger { return c.ledger }
+
+// ChaosTrace returns the injector's firing trace, or nil when no fault plan
+// is installed.
+func (c *Cluster) ChaosTrace() []string {
+	if c.injector == nil {
+		return nil
+	}
+	return c.injector.Trace()
+}
+
+// armChaos installs the fault injector (if a plan is configured) and the
+// invariant auditor's hook points. Called once from New.
+func (c *Cluster) armChaos() {
+	seed := c.cfg.Seed
+	if c.cfg.Chaos != nil {
+		seed = c.cfg.Chaos.Seed
+	}
+	c.auditor = chaos.NewAuditor(c.Eng, seed)
+	c.auditor.SetFailFast(c.cfg.FailFast)
+	c.ledger = chaos.NewCreditLedger()
+
+	if c.cfg.Chaos != nil && !c.cfg.Chaos.Empty() {
+		c.injector = chaos.NewInjector(c.Eng, *c.cfg.Chaos)
+		c.Net.SetInjector(c.injector)
+		c.ctrl.intercept = c.injector.CtrlMessage
+	}
+	c.Net.OnDrop = c.ledger.RecordDrop
+	for _, n := range c.nodes {
+		if c.injector != nil {
+			c.injector.ArmNode(int(n.ID), n.CPU)
+			n.Mgr.OnStore = c.injector.StoreHook(int(n.ID))
+		}
+		n.NIC.OnDrop = func(p *myrinet.Packet, _ lanai.DropReason) { c.ledger.RecordDrop(p) }
+		n.NIC.OnViolation = c.auditor.Report
+		n.Mgr.Audit = c.auditor.Report
+	}
+
+	c.auditor.Register(c.checkEndpoints)
+	c.auditor.Register(c.checkJobDelivery)
+	c.auditor.Register(c.checkGangMatrix)
+	c.auditor.Register(c.checkMasterProgress)
+}
+
+// armAuditTick starts the per-quantum audit loop. The loop keeps itself
+// alive only while jobs are live, so a quiescent cluster still lets
+// Engine.Run return.
+func (c *Cluster) armAuditTick() {
+	if c.auditTicking {
+		return
+	}
+	c.auditTicking = true
+	var tick func()
+	tick = func() {
+		c.auditor.RunChecks()
+		if c.master.Jobs() == 0 {
+			c.auditTicking = false
+			return
+		}
+		c.Eng.Schedule(c.cfg.Quantum, tick)
+	}
+	c.Eng.Schedule(c.cfg.Quantum, tick)
+}
+
+// sortedProcs returns a node's processes in job-ID order, so audit reports
+// are emitted deterministically.
+func (n *Node) sortedProcs() []*Proc {
+	out := make([]*Proc, 0, len(n.procs))
+	for _, p := range n.procs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].job.ID < out[j].job.ID })
+	return out
+}
+
+// checkEndpoints runs the FM-level invariants on every live endpoint:
+// endpoint-local credit and byte accounting, receive-queue occupancy
+// against the credit window, and the loss-induced permanent stall the
+// paper's §2.2 predicts for a protocol with no retransmission.
+func (c *Cluster) checkEndpoints(now sim.Time, report func(invariant, detail string)) {
+	for _, n := range c.nodes {
+		for _, p := range n.sortedProcs() {
+			ep := p.EP
+			jobID := p.job.ID
+			ep.AuditInvariants(report)
+
+			// Receive-queue occupancy: flow control promises no source
+			// ever has more than C0 packets parked at a destination.
+			if ctx := ep.Context(); ctx != nil && ctx.Job == jobID && ep.C0() > 0 {
+				perSrc := make(map[int]int)
+				for i := 0; i < ctx.RecvQ.Len(); i++ {
+					perSrc[ctx.RecvQ.At(i).SrcRank]++
+				}
+				srcs := make([]int, 0, len(perSrc))
+				for s := range perSrc {
+					srcs = append(srcs, s)
+				}
+				sort.Ints(srcs)
+				for _, s := range srcs {
+					if perSrc[s] > ep.C0() {
+						report("recv-occupancy", fmt.Sprintf(
+							"node %d job %d rank %d holds %d packets from rank %d (C0=%d)",
+							n.ID, jobID, p.rank, perSrc[s], s, ep.C0()))
+					}
+				}
+			}
+
+			// Credit-conservation stall: the sender is head-of-line blocked
+			// with zero credits, the network destroyed credits for this job,
+			// nothing of the job's is in flight, and no progress happened
+			// since the previous tick. A legitimately closed window always
+			// reopens (the credits exist somewhere); a loss-starved one
+			// cannot.
+			key := progressKey{node: int(n.ID), job: jobID}
+			st := ep.Stats()
+			progress := st.PacketsSent + st.PacketsRecvd + st.RefillsRecvd
+			prev, seen := c.prevProgress[key]
+			c.prevProgress[key] = progress
+			dst, wedged := ep.Stalled()
+			if wedged && seen && prev == progress &&
+				p.job.state == JobRunning && ep.Running() &&
+				c.ledger.Destroyed(jobID) > 0 && c.Net.InFlight(jobID) == 0 {
+				report("credit-conservation", fmt.Sprintf(
+					"node %d job %d rank %d wedged toward rank %d: %d credits destroyed by %d drops, no retransmission",
+					n.ID, jobID, p.rank, dst, c.ledger.Destroyed(jobID), c.ledger.Drops(jobID)))
+			}
+		}
+	}
+}
+
+// checkJobDelivery audits end-to-end liveness. FM has no retransmission,
+// so a lost packet can wedge a job even when no credit window is exhausted:
+// the receiver waits forever for data that no longer exists, with every
+// endpoint idle. The check reports a job that is scheduled and runnable,
+// has suffered drops, has nothing in flight, and made no communication
+// progress over a whole quantum. CPU-fault windows (and the quantum right
+// after one, while the backlog drains) are excused: a paused host explains
+// a frozen job without any protocol violation.
+func (c *Cluster) checkJobDelivery(now sim.Time, report func(invariant, detail string)) {
+	ids := make([]myrinet.JobID, 0, len(c.master.jobs))
+	for id := range c.master.jobs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		job := c.master.jobs[id]
+		if job.state != JobRunning {
+			continue
+		}
+		var progress uint64
+		runnable := true
+		for _, p := range job.procs {
+			if p == nil || p.EP == nil || !p.EP.Running() || c.cpuFaultNear(int(p.node.ID), now) {
+				runnable = false
+				break
+			}
+			st := p.EP.Stats()
+			progress += st.PacketsSent + st.PacketsRecvd + st.RefillsRecvd
+		}
+		key := progressKey{node: -1, job: id}
+		prev, seen := c.prevProgress[key]
+		c.prevProgress[key] = progress
+		if !runnable || !seen || prev != progress || progress == 0 {
+			continue
+		}
+		if c.ledger.Drops(id) == 0 || c.Net.InFlight(id) != 0 {
+			continue
+		}
+		report("delivery-stall", fmt.Sprintf(
+			"job %d wedged after %d drop(s): nothing in flight, no endpoint progress for a quantum, %d credits destroyed",
+			id, c.ledger.Drops(id), c.ledger.Destroyed(id)))
+	}
+}
+
+// cpuFaultNear reports whether a CPU fault window covers the node now or
+// did within the last quantum.
+func (c *Cluster) cpuFaultNear(node int, now sim.Time) bool {
+	if c.injector == nil {
+		return false
+	}
+	prev := now - c.cfg.Quantum
+	if prev < 0 {
+		prev = 0
+	}
+	return c.injector.CPUFaultActive(node, now) || c.injector.CPUFaultActive(node, prev)
+}
+
+// checkGangMatrix audits the scheduling matrix's structural invariants.
+func (c *Cluster) checkGangMatrix(now sim.Time, report func(invariant, detail string)) {
+	for _, msg := range c.master.matrix.Audit() {
+		report("gang-matrix", msg)
+	}
+}
+
+// stallRounds is how many quanta a switch round or job launch may take
+// before the auditor calls it stuck. Generous: a healthy round completes
+// well within one quantum.
+const stallRounds = 4
+
+// checkMasterProgress audits the masterd's protocols: a switch round that
+// never collects all acknowledgements (a lost or starved control message,
+// a node that cannot finish its flush) and a job stuck in the Figure 2
+// launch protocol.
+func (c *Cluster) checkMasterProgress(now sim.Time, report func(invariant, detail string)) {
+	m := c.master
+	if m.inFlight && now-m.roundStart > stallRounds*c.cfg.Quantum {
+		report("flush-stall", fmt.Sprintf(
+			"switch round %d stuck: %d/%d acks after %d cycles",
+			m.epoch, m.acks, len(c.nodes), now-m.roundStart))
+	}
+	ids := make([]myrinet.JobID, 0, len(m.jobs))
+	for id := range m.jobs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		job := m.jobs[id]
+		if job.state == JobLoading && now-job.SubmitTime > stallRounds*c.cfg.Quantum {
+			report("launch-stall", fmt.Sprintf(
+				"job %d stuck loading: %d/%d ranks ready after %d cycles",
+				id, job.readyRanks, job.Spec.Size, now-job.SubmitTime))
+		}
+		// Completion stall: every rank's program has locally finished
+		// (p.done is node-side ground truth) yet the job never reaches
+		// JobDone — its rankDone control messages are gone. The condition
+		// must persist across two audit ticks: a ctrl round trip is far
+		// shorter than a quantum, so one full quantum of "all done but not
+		// done" is already conclusive.
+		if job.state == JobRunning {
+			allDone := true
+			for _, p := range job.procs {
+				if p == nil || !p.done {
+					allDone = false
+					break
+				}
+			}
+			key := progressKey{node: -2, job: id}
+			prev, seen := c.prevProgress[key]
+			val := uint64(0)
+			if allDone {
+				val = 1
+			}
+			c.prevProgress[key] = val
+			if allDone && seen && prev == 1 {
+				report("completion-stall", fmt.Sprintf(
+					"job %d: all %d ranks finished locally but only %d/%d completions reached the masterd",
+					id, job.Spec.Size, job.doneRanks, job.Spec.Size))
+			}
+		}
+	}
+}

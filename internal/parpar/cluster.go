@@ -3,6 +3,7 @@ package parpar
 import (
 	"fmt"
 
+	"gangfm/internal/chaos"
 	"gangfm/internal/core"
 	"gangfm/internal/fm"
 	"gangfm/internal/lanai"
@@ -46,8 +47,16 @@ type Config struct {
 	// FMTweak optionally adjusts each endpoint's fm.Config after the
 	// allocation-derived defaults are set.
 	FMTweak func(*fm.Config)
-	// Seed drives control-network jitter (and NetConfig.Seed when unset).
+	// Seed drives control-network jitter.
 	Seed uint64
+
+	// Chaos, when non-nil, is the fault plan to inject: packet loss and
+	// duplication on the data network, control-message loss and delay,
+	// per-node CPU pauses and slowdowns, and backing-store corruption.
+	// The plan's seed also becomes the auditor's replay seed.
+	Chaos *chaos.Plan
+	// FailFast stops the simulation at the first invariant violation.
+	FailFast bool
 }
 
 // DefaultConfig returns the paper's setup: 16-ish nodes, 4 slots, the
@@ -92,6 +101,13 @@ type Cluster struct {
 	ctrl   *ctrlNet
 	nodes  []*Node
 	master *Masterd
+
+	auditor  *chaos.Auditor
+	injector *chaos.Injector
+	ledger   *chaos.CreditLedger
+
+	prevProgress map[progressKey]uint64
+	auditTicking bool
 }
 
 // New assembles a cluster.
@@ -111,15 +127,13 @@ func New(cfg Config) (*Cluster, error) {
 		ncfg = *cfg.NetConfig
 		ncfg.Nodes = cfg.Nodes
 	}
-	if ncfg.Seed == 0 {
-		ncfg.Seed = cfg.Seed
-	}
 	c := &Cluster{
-		Eng: eng,
-		Net: myrinet.New(eng, ncfg),
-		Mem: memmodel.Default(),
-		cfg: cfg,
-		rng: sim.NewRand(cfg.Seed ^ 0xABCD),
+		Eng:          eng,
+		Net:          myrinet.New(eng, ncfg),
+		Mem:          memmodel.Default(),
+		cfg:          cfg,
+		rng:          sim.NewRand(cfg.Seed ^ 0xABCD),
+		prevProgress: make(map[progressKey]uint64),
 	}
 	c.ctrl = newCtrlNet(eng, cfg.CtrlBase, cfg.CtrlJitter, c.rng)
 	for i := 0; i < cfg.Nodes; i++ {
@@ -143,6 +157,7 @@ func New(cfg Config) (*Cluster, error) {
 		})
 	}
 	c.master = newMasterd(c)
+	c.armChaos()
 	return c, nil
 }
 
@@ -158,7 +173,11 @@ func (c *Cluster) Master() *Masterd { return c.master }
 // Submit places a job in the gang matrix and starts the Figure 2 launch
 // protocol. The job runs when its time slot is scheduled.
 func (c *Cluster) Submit(spec JobSpec) (*Job, error) {
-	return c.master.submit(spec)
+	job, err := c.master.submit(spec)
+	if err == nil {
+		c.armAuditTick()
+	}
+	return job, err
 }
 
 // Run processes events until the cluster goes quiescent (all jobs done and

@@ -19,6 +19,12 @@ type ctrlNet struct {
 	base   sim.Time
 	jitter sim.Time
 	rng    *sim.Rand
+
+	// intercept, when set, is consulted once per message with the
+	// destination node (-1 for masterd-bound or unaddressed messages); it
+	// returns extra latency to add and whether to drop the message. The
+	// chaos injector's CtrlDelay/CtrlLoss faults plug in here.
+	intercept func(now sim.Time, dst int) (extra sim.Time, drop bool)
 }
 
 func newCtrlNet(eng *sim.Engine, base, jitter sim.Time, rng *sim.Rand) *ctrlNet {
@@ -34,9 +40,21 @@ func (c *ctrlNet) delay() sim.Time {
 	return d
 }
 
+// deliver schedules one message to dst after d, subject to the intercept.
+func (c *ctrlNet) deliver(dst int, d sim.Time, fn func()) {
+	if c.intercept != nil {
+		extra, drop := c.intercept(c.eng.Now(), dst)
+		if drop {
+			return
+		}
+		d += extra
+	}
+	c.eng.Schedule(d, fn)
+}
+
 // send delivers fn after one control-message latency.
 func (c *ctrlNet) send(fn func()) {
-	c.eng.Schedule(c.delay(), fn)
+	c.deliver(-1, c.delay(), fn)
 }
 
 // broadcast delivers fn(i) to each of n destinations, each with its own
@@ -46,7 +64,7 @@ func (c *ctrlNet) send(fn func()) {
 func (c *ctrlNet) broadcast(n int, fn func(i int)) {
 	for i := 0; i < n; i++ {
 		i := i
-		c.eng.Schedule(c.delay(), func() { fn(i) })
+		c.deliver(i, c.delay(), func() { fn(i) })
 	}
 }
 
@@ -61,6 +79,6 @@ func (c *ctrlNet) broadcast(n int, fn func(i int)) {
 func (c *ctrlNet) serialBroadcast(n int, gap sim.Time, fn func(i int)) {
 	for i := 0; i < n; i++ {
 		i := i
-		c.eng.Schedule(c.delay()+sim.Time(i+1)*gap, func() { fn(i) })
+		c.deliver(i, c.delay()+sim.Time(i+1)*gap, func() { fn(i) })
 	}
 }

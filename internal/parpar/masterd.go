@@ -24,9 +24,10 @@ type Masterd struct {
 	activated bool
 
 	// in-flight rotation bookkeeping
-	inFlight  bool
-	acks      int
-	quantumUp bool
+	inFlight   bool
+	acks       int
+	quantumUp  bool
+	roundStart sim.Time
 	// kickASAP requests the next rotation as soon as the in-flight round
 	// completes, without waiting for the quantum — set when a job
 	// finishes its Figure 2 synchronization so it starts promptly.
@@ -201,6 +202,7 @@ func (m *Masterd) tick() {
 	m.inFlight = true
 	m.acks = 0
 	m.quantumUp = false
+	m.roundStart = m.c.Eng.Now()
 	// Snapshot the row's per-node targets now, so every node of the
 	// round sees the same decision regardless of delivery jitter. A job
 	// becomes a switch target only once its Figure 2 synchronization
