@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race fuzz-smoke figures
+.PHONY: check vet build test race fuzz-smoke bench bench-smoke figures
 
 # The full CI gate: static checks, build, race-enabled tests, and a short
 # fixed-seed chaos-fuzz campaign (deterministic, so safe to gate on).
@@ -21,6 +21,16 @@ race:
 fuzz-smoke:
 	$(GO) run ./cmd/gangsim fuzz -seed 1 -runs 5
 	$(GO) run ./cmd/gangsim fuzz -compare -seed 77
+
+# Microbenchmarks with allocation reporting. BenchmarkEngineThroughput
+# must stay at 0 allocs/op (see DESIGN.md §6).
+bench:
+	$(GO) test -run XXX -bench . -benchmem .
+
+# Quick end-to-end performance report: every figure under event/alloc
+# tracking, written to BENCH_<date>.json.
+bench-smoke:
+	$(GO) run ./cmd/gangsim bench -quick
 
 figures:
 	$(GO) run ./cmd/gangsim all

@@ -126,6 +126,7 @@ func BenchmarkCreditsTable(b *testing.B) {
 // benchmark end to end (cluster build, Fig 2 launch, 500 x 16 KB, teardown)
 // and reports the virtual bandwidth it produced.
 func BenchmarkBandwidthPoint(b *testing.B) {
+	b.ReportAllocs()
 	var mbs float64
 	for i := 0; i < b.N; i++ {
 		cluster, err := NewCluster(DefaultClusterConfig(2))
@@ -155,6 +156,7 @@ func BenchmarkSwitchFullCopy(b *testing.B) { benchSwitch(b, core.FullCopy) }
 func BenchmarkSwitchValidOnly(b *testing.B) { benchSwitch(b, core.ValidOnly) }
 
 func benchSwitch(b *testing.B, mode core.CopyMode) {
+	b.ReportAllocs()
 	cfg := parpar.DefaultConfig(16)
 	cfg.Mode = mode
 	cfg.Slots = 2
@@ -190,8 +192,10 @@ func benchSwitch(b *testing.B, mode core.CopyMode) {
 	b.ReportMetric(float64(total), "virtual-cycles/switch")
 }
 
-// BenchmarkEngineThroughput measures raw simulator event throughput.
+// BenchmarkEngineThroughput measures raw simulator event throughput. The
+// hot path is allocation-free (see internal/sim): allocs/op must stay 0.
 func BenchmarkEngineThroughput(b *testing.B) {
+	b.ReportAllocs()
 	eng := sim.NewEngine()
 	n := 0
 	var step func()

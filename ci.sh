@@ -6,9 +6,15 @@ set -eux
 go vet ./...
 go build ./...
 go test -race ./...
+# The sweep harness is the one concurrent component; race it explicitly
+# even when the full -race matrix above is trimmed.
+go test -race ./internal/experiments/...
 
 # Chaos-fuzz smoke: a short fixed-seed campaign plus the paper-§2.2
 # differential (FM wedges under loss, go-back-N recovers). Both are
 # deterministic by construction, so they are safe to gate on.
 go run ./cmd/gangsim fuzz -seed 1 -runs 5
 go run ./cmd/gangsim fuzz -compare -seed 77
+
+# Benchmark pipeline smoke: the report must build and serialize.
+go run ./cmd/gangsim bench -quick -o /tmp/bench-ci.json

@@ -113,8 +113,10 @@ func run(args []string, out io.Writer) int {
 	cluster.RunUntil(sim.DefaultClock.FromDuration(*limit))
 	real := time.Since(start)
 	clock := gangfm.Clock()
-	fmt.Fprintf(out, "simulated %v of virtual time in %v real (%d events)\n\n",
-		clock.ToDuration(cluster.Eng.Now()).Round(time.Millisecond), real.Round(time.Millisecond), cluster.Eng.Fired())
+	eps := float64(cluster.Eng.Fired()) / real.Seconds()
+	fmt.Fprintf(out, "simulated %v of virtual time in %v real (%d events, %.2fM events/s)\n\n",
+		clock.ToDuration(cluster.Eng.Now()).Round(time.Millisecond), real.Round(time.Millisecond),
+		cluster.Eng.Fired(), eps/1e6)
 
 	for i, job := range submitted {
 		switch *bench {

@@ -1,0 +1,190 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"gangfm/internal/experiments"
+	"gangfm/internal/sim"
+)
+
+// BenchResult is one figure's performance measurement.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Events      uint64  `json:"events"`
+	EventsPerS  float64 `json:"events_per_second"`
+	Allocs      uint64  `json:"allocs"`
+	AllocsPerEv float64 `json:"allocs_per_event"`
+}
+
+// BenchBaseline pins the numbers measured on the pre-optimization tree
+// (container/heap event queue, per-packet allocation, channel-fed sweep
+// workers) so every BENCH_*.json carries its own point of comparison.
+// Measured single-threaded on an Intel Xeon @ 2.10 GHz.
+type BenchBaseline struct {
+	Note              string  `json:"note"`
+	EngineNsPerEvent  float64 `json:"engine_ns_per_event"`
+	EngineAllocsPerEv float64 `json:"engine_allocs_per_event"`
+	BandwidthPointNs  float64 `json:"bandwidth_point_ns"`
+	BandwidthAllocs   float64 `json:"bandwidth_point_allocs"`
+	AllFullSeconds    float64 `json:"all_full_seconds"`
+	AllQuickSeconds   float64 `json:"all_quick_seconds"`
+}
+
+var benchBaseline = BenchBaseline{
+	Note:              "pre-optimization tree: container/heap queue, per-packet allocation, fixed 4-worker sweeps; 1-core Xeon 2.10 GHz",
+	EngineNsPerEvent:  69.35,
+	EngineAllocsPerEv: 1,
+	BandwidthPointNs:  6_735_988,
+	BandwidthAllocs:   83_635,
+	AllFullSeconds:    24.9,
+	AllQuickSeconds:   1.6,
+}
+
+// BenchReport is the top-level BENCH_<date>.json document.
+type BenchReport struct {
+	Date       string `json:"date"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Quick      bool   `json:"quick"`
+	// EngineNsPerEvent is a dedicated microbenchmark of the DES hot loop
+	// (one self-rescheduling event), comparable to engine_ns_per_event in
+	// the baseline block.
+	EngineNsPerEvent float64       `json:"engine_ns_per_event"`
+	Figures          []BenchResult `json:"figures"`
+	Total            BenchResult   `json:"total"`
+	Baseline         BenchBaseline `json:"baseline"`
+}
+
+// runBench executes every figure under wall-clock, event-count and
+// allocation tracking and writes the report JSON.
+func runBench(args []string, out io.Writer) int {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	quick := fs.Bool("quick", false, "shrink sweeps for a fast smoke run")
+	par := fs.Int("par", 0, "max concurrently simulated points (0 = one per CPU)")
+	outPath := fs.String("o", "", "output path (default BENCH_<date>.json)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: gangsim bench [-quick] [-par N] [-o FILE] [-cpuprofile FILE] [-memprofile FILE]\n")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+
+	stop, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gangsim bench: %v\n", err)
+		return 1
+	}
+	defer stop()
+
+	p := experiments.Params{Quick: *quick, Parallel: *par}
+	rep := BenchReport{
+		Date:       time.Now().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Quick:      *quick,
+		Baseline:   benchBaseline,
+	}
+	rep.EngineNsPerEvent = engineNsPerEvent()
+	fmt.Fprintf(out, "engine hot loop: %.2f ns/event\n", rep.EngineNsPerEvent)
+
+	figures := []struct {
+		name string
+		run  func(experiments.Params)
+	}{
+		{"credits", func(p experiments.Params) { experiments.Credits() }},
+		{"fig5", func(p experiments.Params) { experiments.Fig5(p) }},
+		{"fig6", func(p experiments.Params) { experiments.Fig6(p) }},
+		{"fig7", func(p experiments.Params) { experiments.Fig7(p) }},
+		{"fig9", func(p experiments.Params) { experiments.Fig9(p) }},
+		{"overhead", func(p experiments.Params) { experiments.Overhead(p) }},
+		{"schemes", func(p experiments.Params) { experiments.Schemes(p) }},
+		{"dyncos", func(p experiments.Params) { experiments.Responsiveness(p) }},
+	}
+	experiments.TakeFiredCount() // drain any prior count
+	for _, f := range figures {
+		r := measure(f.name, func() { f.run(p) })
+		rep.Figures = append(rep.Figures, r)
+		rep.Total.WallSeconds += r.WallSeconds
+		rep.Total.Events += r.Events
+		rep.Total.Allocs += r.Allocs
+		fmt.Fprintf(out, "%-10s %8.2fs  %12d events  %10.0f events/s  %6.1f allocs/event\n",
+			r.Name, r.WallSeconds, r.Events, r.EventsPerS, r.AllocsPerEv)
+	}
+	rep.Total.Name = "total"
+	if rep.Total.WallSeconds > 0 {
+		rep.Total.EventsPerS = float64(rep.Total.Events) / rep.Total.WallSeconds
+	}
+	if rep.Total.Events > 0 {
+		rep.Total.AllocsPerEv = float64(rep.Total.Allocs) / float64(rep.Total.Events)
+	}
+	fmt.Fprintf(out, "%-10s %8.2fs  %12d events  %10.0f events/s  %6.1f allocs/event\n",
+		rep.Total.Name, rep.Total.WallSeconds, rep.Total.Events, rep.Total.EventsPerS, rep.Total.AllocsPerEv)
+
+	path := *outPath
+	if path == "" {
+		path = "BENCH_" + rep.Date + ".json"
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gangsim bench: %v\n", err)
+		return 1
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "gangsim bench: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(out, "wrote %s\n", path)
+	return 0
+}
+
+// measure runs fn, attributing its wall time, simulation event count and
+// heap allocations to one BenchResult.
+func measure(name string, fn func()) BenchResult {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	fn()
+	wall := time.Since(start).Seconds()
+	runtime.ReadMemStats(&after)
+	r := BenchResult{
+		Name:        name,
+		WallSeconds: wall,
+		Events:      experiments.TakeFiredCount(),
+		Allocs:      after.Mallocs - before.Mallocs,
+	}
+	if wall > 0 {
+		r.EventsPerS = float64(r.Events) / wall
+	}
+	if r.Events > 0 {
+		r.AllocsPerEv = float64(r.Allocs) / float64(r.Events)
+	}
+	return r
+}
+
+// engineNsPerEvent times the bare DES hot loop: a single self-rescheduling
+// event, the same shape as BenchmarkEngineThroughput.
+func engineNsPerEvent() float64 {
+	const events = 2_000_000
+	eng := sim.NewEngine()
+	n := 0
+	var step func()
+	step = func() {
+		n++
+		if n < events {
+			eng.Schedule(1, step)
+		}
+	}
+	eng.Schedule(1, step)
+	start := time.Now()
+	eng.Run()
+	return float64(time.Since(start).Nanoseconds()) / events
+}

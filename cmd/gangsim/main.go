@@ -7,6 +7,7 @@
 //
 //	gangsim [-quick] [-par N] <fig5|fig6|fig7|fig8|fig9|overhead|credits|all>
 //	gangsim fuzz [-seed S] [-runs N] [-shrink] [-trace] [-compare]
+//	gangsim bench [-quick] [-par N] [-o FILE]
 //
 // All runs are deterministic; -quick shrinks the sweeps for smoke runs,
 // and a fuzz failure replays exactly from its printed seed.
@@ -17,24 +18,37 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"gangfm/internal/experiments"
 )
 
 func main() {
-	// The fuzz subcommand owns its flags; dispatch before the global parse.
+	// The fuzz and bench subcommands own their flags; dispatch before the
+	// global parse.
 	if len(os.Args) > 1 && os.Args[1] == "fuzz" {
 		os.Exit(runFuzz(os.Args[2:], os.Stdout))
 	}
+	if len(os.Args) > 1 && os.Args[1] == "bench" {
+		os.Exit(runBench(os.Args[2:], os.Stdout))
+	}
 	quick := flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
-	par := flag.Int("par", runtime.NumCPU(), "max concurrently simulated points")
+	par := flag.Int("par", runtime.GOMAXPROCS(0), "max concurrently simulated points")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() != 1 {
 		usage()
 		os.Exit(2)
 	}
+	stop, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gangsim: %v\n", err)
+		os.Exit(1)
+	}
+	defer stop()
 	p := experiments.Params{Quick: *quick, Parallel: *par}
 
 	cmds := map[string]func(experiments.Params){
@@ -70,10 +84,44 @@ func main() {
 	fmt.Printf("\n[%s completed in %.1fs]\n", flag.Arg(0), time.Since(start).Seconds())
 }
 
+// startProfiles begins a CPU profile and/or arranges a heap profile, each
+// written at stop time; empty paths disable the corresponding profile.
+func startProfiles(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "gangsim: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "gangsim: %v\n", err)
+			}
+		}
+	}, nil
+}
+
 func usage() {
 	fmt.Fprintf(os.Stderr, `gangsim — regenerate the paper's evaluation
 
-usage: gangsim [-quick] [-par N] <experiment>
+usage: gangsim [-quick] [-par N] [-cpuprofile F] [-memprofile F] <experiment>
 
 experiments:
   credits   credit formulas C0 = Br/(n^2 p) vs Br/p (paper 2.2, 3.3)
@@ -90,6 +138,10 @@ experiments:
 chaos:
   fuzz      seeded fault-injection fuzzer over random clusters, jobs and
             fault plans; failing seeds replay exactly (see fuzz -h)
+
+performance:
+  bench     run every figure under wall-clock/event/allocation tracking
+            and write BENCH_<date>.json with baselines (see bench -h)
 `)
 }
 

@@ -6,6 +6,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"time"
 
 	"gangfm"
 )
@@ -22,7 +23,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	start := time.Now()
 	cluster.Run()
+	real := time.Since(start)
 
 	res, err := gangfm.ExtractBandwidth(job)
 	if err != nil {
@@ -31,6 +34,9 @@ func main() {
 	clock := gangfm.Clock()
 	fmt.Printf("transferred %d MB in %v (virtual): %.1f MB/s\n",
 		res.Bytes/1_000_000, clock.ToDuration(res.Elapsed()), res.MBs(clock))
+	fmt.Printf("simulator: %d events in %v real (%.2fM events/s)\n",
+		cluster.Eng.Fired(), real.Round(time.Millisecond),
+		float64(cluster.Eng.Fired())/real.Seconds()/1e6)
 
 	// And a short-message latency probe.
 	pp, err := cluster.Submit(gangfm.PingPong("latency", 1000, 64))

@@ -54,7 +54,7 @@ type DynCosNode struct {
 	EP *Endpoint
 
 	wakePending bool
-	idleTimer   *sim.Event
+	idleTimer   sim.Event
 
 	// CPU accounting for the local compute job: it runs whenever the
 	// communicating process does not.
@@ -129,15 +129,12 @@ func (n *DynCosNode) wake() {
 
 // armIdleTimer (re)schedules the deschedule check.
 func (n *DynCosNode) armIdleTimer() {
-	if n.idleTimer != nil {
-		n.idleTimer.Cancel()
-	}
+	n.idleTimer.Cancel()
 	n.idleTimer = n.eng.Schedule(n.cfg.IdleTimeout, n.idleCheck)
 }
 
 // idleCheck deschedules the communicator when it has gone quiet.
 func (n *DynCosNode) idleCheck() {
-	n.idleTimer = nil
 	if !n.EP.Running() {
 		return
 	}

@@ -174,6 +174,7 @@ func (e *Endpoint) drain() {
 				return
 			}
 			e.Channel(p.SrcRank).Deliver(p)
+			e.nic.FreePacket(p)
 		}
 		e.drain()
 	})

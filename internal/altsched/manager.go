@@ -108,12 +108,12 @@ func NewManager(eng *sim.Engine, nic *lanai.NIC, cpu *sim.Resource, mem *memmode
 			// quiescence accounting; SHARE silently discards and lets
 			// the sender's timers recover.
 			if m.scheme == PMQuiescence {
-				nic.SendRaw(&myrinet.Packet{
-					Type: myrinet.Nack,
-					Src:  nic.Node(), Dst: p.Src,
-					Job: p.Job, SrcRank: p.DstRank, DstRank: p.SrcRank,
-					MsgID: p.MsgID,
-				})
+				nack := nic.NewPacket()
+				nack.Type = myrinet.Nack
+				nack.Src, nack.Dst = nic.Node(), p.Src
+				nack.Job, nack.SrcRank, nack.DstRank = p.Job, p.DstRank, p.SrcRank
+				nack.MsgID = p.MsgID
+				nic.SendRaw(nack)
 			}
 			return false
 		}

@@ -83,12 +83,15 @@ type RChannel struct {
 	nextSeq  uint64
 	sendBase uint64
 	pending  int // messages requested but not yet transmitted
-	timer    *sim.Event
+	timer    sim.Event
 	pumping  bool
 	// nacked records that the peer rejected the in-flight window (its
 	// process was descheduled, PM-style): the window counts as resolved
 	// for quiescence purposes and is retransmitted on Resume.
 	nacked bool
+	// pumpDoneFn is the single cached send-overhead completion callback
+	// (one transmission is in flight at a time, guarded by pumping).
+	pumpDoneFn func()
 
 	// receiver state
 	recvNext uint64
@@ -109,11 +112,23 @@ func NewRChannel(eng *sim.Engine, nic *lanai.NIC, ctx *lanai.Context, cpu *sim.R
 	if payloadLen <= 0 || payloadLen > myrinet.MaxPayload {
 		return nil, fmt.Errorf("altsched: payload length %d out of range", payloadLen)
 	}
-	return &RChannel{
+	c := &RChannel{
 		eng: eng, nic: nic, ctx: ctx, cpu: cpu, cfg: cfg,
 		job: job, rank: rank, peerRank: peerRank, peerNode: peerNode,
 		payloadLen: payloadLen,
-	}, nil
+	}
+	c.pumpDoneFn = func() {
+		c.pumping = false
+		if c.pending == 0 {
+			return
+		}
+		c.pending--
+		c.transmit(c.nextSeq, false)
+		c.nextSeq++
+		c.armTimer()
+		c.pump()
+	}
+	return c, nil
 }
 
 // Stats returns a snapshot of the counters.
@@ -179,17 +194,7 @@ func (c *RChannel) pump() {
 		return
 	}
 	c.pumping = true
-	c.cpu.Use(c.cfg.SendOverhead, func() {
-		c.pumping = false
-		if c.pending == 0 {
-			return
-		}
-		c.pending--
-		c.transmit(c.nextSeq, false)
-		c.nextSeq++
-		c.armTimer()
-		c.pump()
-	})
+	c.cpu.Use(c.cfg.SendOverhead, c.pumpDoneFn)
 }
 
 func (c *RChannel) transmit(seq uint64, retrans bool) {
@@ -198,12 +203,12 @@ func (c *RChannel) transmit(seq uint64, retrans bool) {
 	} else {
 		c.stats.Sent++
 	}
-	c.nic.EnqueueSend(c.ctx, &myrinet.Packet{
-		Type: myrinet.Data,
-		Src:  c.nic.Node(), Dst: c.peerNode,
-		Job: c.job, SrcRank: c.rank, DstRank: c.peerRank,
-		MsgID: seq, NFrags: 1, PayloadLen: c.payloadLen,
-	})
+	p := c.nic.NewPacket()
+	p.Type = myrinet.Data
+	p.Src, p.Dst = c.nic.Node(), c.peerNode
+	p.Job, p.SrcRank, p.DstRank = c.job, c.rank, c.peerRank
+	p.MsgID, p.NFrags, p.PayloadLen = seq, 1, c.payloadLen
+	c.nic.EnqueueSend(c.ctx, p)
 }
 
 // Accept performs the receive context's NIC-level processing of an
@@ -238,12 +243,12 @@ func (c *RChannel) Deliver(p *myrinet.Packet) {
 // the PM-style flush depends on.
 func (c *RChannel) sendAck() {
 	c.stats.AcksSent++
-	c.nic.SendRaw(&myrinet.Packet{
-		Type: myrinet.Ack,
-		Src:  c.nic.Node(), Dst: c.peerNode,
-		Job: c.job, SrcRank: c.rank, DstRank: c.peerRank,
-		MsgID: c.recvNext,
-	})
+	p := c.nic.NewPacket()
+	p.Type = myrinet.Ack
+	p.Src, p.Dst = c.nic.Node(), c.peerNode
+	p.Job, p.SrcRank, p.DstRank = c.job, c.rank, c.peerRank
+	p.MsgID = c.recvNext
+	c.nic.SendRaw(p)
 }
 
 // HandleAck processes a cumulative ack for our outgoing stream.
@@ -273,7 +278,6 @@ func (c *RChannel) HandleNack(p *myrinet.Packet) {
 
 // timeout retransmits every unacknowledged packet (go-back-N).
 func (c *RChannel) timeout() {
-	c.timer = nil
 	if !c.running || c.Outstanding() == 0 {
 		return
 	}
@@ -293,8 +297,7 @@ func (c *RChannel) armTimer() {
 }
 
 func (c *RChannel) stopTimer() {
-	if c.timer != nil {
-		c.timer.Cancel()
-		c.timer = nil
-	}
+	// A handle to a fired event cancels as a no-op, so no liveness check
+	// is needed here.
+	c.timer.Cancel()
 }

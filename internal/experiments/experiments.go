@@ -11,7 +11,9 @@
 package experiments
 
 import (
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"gangfm/internal/sim"
 )
@@ -22,19 +24,32 @@ type Params struct {
 	// messages) for smoke tests and -short benchmarks.
 	Quick bool
 	// Parallel bounds the number of concurrently simulated points;
-	// 0 means 4. Each point owns an independent engine, so sweeps are
-	// embarrassingly parallel.
+	// 0 means one per available CPU (GOMAXPROCS). Each point owns an
+	// independent engine, so sweeps are embarrassingly parallel.
 	Parallel int
 }
 
 func (p Params) parallel() int {
 	if p.Parallel <= 0 {
-		return 4
+		return runtime.GOMAXPROCS(0)
 	}
 	return p.Parallel
 }
 
-// forEach runs fn(i) for i in [0,n) on up to `parallel` goroutines.
+// firedTotal accumulates engine event counts across sweep points, so the
+// bench pipeline can report events/second for whole figures.
+var firedTotal atomic.Uint64
+
+func addFired(n uint64) { firedTotal.Add(n) }
+
+// TakeFiredCount returns the number of simulation events fired by all
+// sweep points since the last call, and resets the counter.
+func TakeFiredCount() uint64 { return firedTotal.Swap(0) }
+
+// forEach runs fn(i) for i in [0,n) on up to `parallel` goroutines. Work
+// is claimed one index at a time off a shared atomic counter, so uneven
+// point costs (the large-node-count, large-message corners of a sweep
+// dominate) never leave a worker idle while another holds a backlog.
 func forEach(parallel, n int, fn func(i int)) {
 	if parallel > n {
 		parallel = n
@@ -45,21 +60,21 @@ func forEach(parallel, n int, fn func(i int)) {
 		}
 		return
 	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	next := make(chan int)
 	for w := 0; w < parallel; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range next {
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
 				fn(i)
 			}
 		}()
 	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
 	wg.Wait()
 }
 

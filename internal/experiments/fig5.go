@@ -93,6 +93,7 @@ func fig5Point(nContexts, size int, quick bool) Fig5Point {
 		panic(err)
 	}
 	cluster.RunUntil(fig5Deadline)
+	addFired(cluster.Eng.Fired())
 	pt := Fig5Point{Contexts: nContexts, MsgSize: size, C0: c0}
 	res, err := workload.ExtractBandwidth(job)
 	if err != nil {

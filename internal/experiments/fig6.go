@@ -111,6 +111,7 @@ func fig6Point(k, size int, quick bool) Fig6Point {
 		}
 	}
 	cluster.Run()
+	addFired(cluster.Eng.Fired())
 
 	var per []float64
 	for _, job := range jobs {

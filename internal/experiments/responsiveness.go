@@ -106,6 +106,7 @@ func gangResponsiveness(p Params) ResponsivenessRow {
 		panic(err)
 	}
 	cluster.RunUntil(sim.Time(requests+8) * respInterval * 2)
+	addFired(cluster.Eng.Fired())
 	return ResponsivenessRow{
 		Scheme:        "gang scheduling (20 ms quantum)",
 		Requests:      len(rtts),
@@ -148,6 +149,7 @@ func dyncosResponsiveness(p Params) ResponsivenessRow {
 	}
 	tick()
 	eng.RunUntil(sim.Time(requests+8) * respInterval * 2)
+	addFired(eng.Fired())
 	return ResponsivenessRow{
 		Scheme:        "dynamic coscheduling (100 us dispatch)",
 		Requests:      len(rtts),

@@ -72,6 +72,7 @@ func paperSchemeRow(p Params) SchemeRow {
 		}
 	}
 	cluster.Run()
+	addFired(cluster.Eng.Fired())
 
 	row := SchemeRow{Name: "gang + flush + switch (paper)", Efficiency: 1}
 	var coord, copies float64
@@ -113,6 +114,7 @@ func altSchemeRow(p Params, scheme altsched.Scheme) SchemeRow {
 		dur = 15 * cfg.Quantum
 	}
 	cluster.RunFor(dur)
+	addFired(cluster.Eng.Fired())
 	rep := cluster.Collect()
 	name := "discard + retransmit (SHARE)"
 	if scheme == altsched.PMQuiescence {

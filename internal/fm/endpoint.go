@@ -124,8 +124,17 @@ type Endpoint struct {
 	nextMsgID []uint64
 	pumping   bool
 	draining  bool
+	// pumpFrag carries the in-flight fragment length to pumpDoneFn — the
+	// one shared injection-complete callback (at most one injection is in
+	// progress per endpoint, guarded by pumping).
+	pumpFrag   int
+	pumpDoneFn func()
 
 	reasm map[int]*partial // src rank -> in-progress message
+	// partialPool recycles reassembly records. Payload arrays are NOT
+	// pooled: the delivered slice's ownership transfers to the handler,
+	// which may retain it.
+	partialPool []*partial
 
 	handler      func(src int, size int, payload []byte)
 	onCanSend    func()
@@ -160,6 +169,11 @@ func NewEndpoint(eng *sim.Engine, nic *lanai.NIC, cpu *sim.Resource, mem *memmod
 	}
 	for i := range e.sendCredits {
 		e.sendCredits[i] = cfg.C0
+	}
+	e.pumpDoneFn = func() {
+		e.pumping = false
+		e.completeSend(e.pumpFrag)
+		e.pump()
 	}
 	return e, nil
 }
@@ -306,11 +320,8 @@ func (e *Endpoint) pump() {
 		fragLen = myrinet.MaxPayload
 	}
 	e.pumping = true
-	e.cpu.Use(e.sendCost(fragLen+myrinet.HeaderSize), func() {
-		e.pumping = false
-		e.completeSend(fragLen)
-		e.pump()
-	})
+	e.pumpFrag = fragLen
+	e.cpu.Use(e.sendCost(fragLen+myrinet.HeaderSize), e.pumpDoneFn)
 }
 
 // completeSend finishes the injection whose host cost was just paid. It
@@ -326,16 +337,15 @@ func (e *Endpoint) completeSend(fragLen int) {
 		start := m.frag * myrinet.MaxPayload
 		chunk = m.payload[start : start+fragLen]
 	}
-	pkt := &myrinet.Packet{
-		Type: myrinet.Data,
-		Src:  e.nodeOf[e.rank], Dst: e.nodeOf[m.dst],
-		Job: e.job, SrcRank: e.rank, DstRank: m.dst,
-		MsgID: m.msgID, Frag: m.frag, NFrags: m.nfrags,
-		PayloadLen: fragLen, Payload: chunk,
-		// Piggyback a refill for everything of theirs we consumed
-		// since the last refill (paper §2.2).
-		Credits: e.consumed[m.dst],
-	}
+	pkt := e.nic.NewPacket()
+	pkt.Type = myrinet.Data
+	pkt.Src, pkt.Dst = e.nodeOf[e.rank], e.nodeOf[m.dst]
+	pkt.Job, pkt.SrcRank, pkt.DstRank = e.job, e.rank, m.dst
+	pkt.MsgID, pkt.Frag, pkt.NFrags = m.msgID, m.frag, m.nfrags
+	pkt.PayloadLen, pkt.Payload = fragLen, chunk
+	// Piggyback a refill for everything of theirs we consumed since the
+	// last refill (paper §2.2).
+	pkt.Credits = e.consumed[m.dst]
 	e.consumed[m.dst] = 0
 	e.sendCredits[m.dst]--
 	e.stats.PacketsSent++
@@ -420,10 +430,12 @@ func (e *Endpoint) consumePacket(p *myrinet.Packet) {
 	if p.Credits > 0 {
 		e.addCredits(p.SrcRank, p.Credits)
 	}
-	e.consumed[p.SrcRank]++
+	src := p.SrcRank
+	e.consumed[src]++
 	e.reassemble(p)
-	if e.consumed[p.SrcRank] >= e.cfg.refillThreshold() {
-		e.sendRefill(p.SrcRank)
+	e.nic.FreePacket(p)
+	if e.consumed[src] >= e.cfg.refillThreshold() {
+		e.sendRefill(src)
 	}
 }
 
@@ -435,7 +447,7 @@ func (e *Endpoint) reassemble(p *myrinet.Packet) {
 			panic(fmt.Sprintf("fm: interleaved fragments from rank %d (msg %d arrived during msg %d)",
 				src, p.MsgID, pa.msgID))
 		}
-		pa = &partial{msgID: p.MsgID, nfrags: p.NFrags}
+		pa = e.newPartial(p.MsgID, p.NFrags)
 		e.reasm[src] = pa
 	}
 	if p.Frag != pa.got {
@@ -450,10 +462,27 @@ func (e *Endpoint) reassemble(p *myrinet.Packet) {
 		delete(e.reasm, src)
 		e.stats.MessagesRecvd++
 		e.deliveredBytes += uint64(pa.size)
+		payload := pa.payload
+		size := pa.size
+		// The payload array's ownership passes to the handler (which may
+		// retain the slice); only the record itself is recycled.
+		pa.payload = nil
+		e.partialPool = append(e.partialPool, pa)
 		if e.handler != nil {
-			e.handler(src, pa.size, pa.payload)
+			e.handler(src, size, payload)
 		}
 	}
+}
+
+// newPartial takes a reassembly record from the pool (or allocates one).
+func (e *Endpoint) newPartial(msgID uint64, nfrags int) *partial {
+	if n := len(e.partialPool); n > 0 {
+		pa := e.partialPool[n-1]
+		e.partialPool = e.partialPool[:n-1]
+		*pa = partial{msgID: msgID, nfrags: nfrags}
+		return pa
+	}
+	return &partial{msgID: msgID, nfrags: nfrags}
 }
 
 func (e *Endpoint) addCredits(peer, n int) {

@@ -151,6 +151,14 @@ type NIC struct {
 	// installs it; nil means violations surface only through behavior).
 	OnViolation func(invariant, detail string)
 
+	// scanFn/kickFn/depositFn/refillFn are the per-card callback values
+	// the firmware schedules with, created once so the per-packet paths
+	// allocate no closures.
+	scanFn    func()
+	kickFn    func()
+	depositFn func(any)
+	refillFn  func(any)
+
 	stats Stats
 }
 
@@ -167,9 +175,22 @@ func New(eng *sim.Engine, net *myrinet.Network, mem *memmodel.Model, cfg Config)
 		recvEngine: sim.NewResource(eng, fmt.Sprintf("nic%d-recv", cfg.Node)),
 		stats:      Stats{Drops: make(map[DropReason]uint64)},
 	}
+	n.scanFn = n.scan
+	n.kickFn = n.kickSender
+	n.depositFn = n.deposit
+	n.refillFn = n.refillArrived
 	net.Attach(cfg.Node, n)
 	return n
 }
+
+// NewPacket returns a zeroed packet from the network's free list; packets
+// built through it are recycled at their death point (see FreePacket).
+func (n *NIC) NewPacket() *myrinet.Packet { return n.net.NewPacket() }
+
+// FreePacket returns a pool-allocated packet to the network's free list
+// (no-op for externally constructed packets). Host libraries call it when
+// they finish consuming a delivered packet.
+func (n *NIC) FreePacket(p *myrinet.Packet) { n.net.FreePacket(p) }
 
 // Node returns the card's network address.
 func (n *NIC) Node() myrinet.NodeID { return n.cfg.Node }
@@ -289,26 +310,30 @@ func (n *NIC) kickSender() {
 		return
 	}
 	n.scanPending = true
-	n.eng.Schedule(n.cfg.SendOverhead, func() {
-		n.scanPending = false
-		// The firmware checks the halt bit before sending each packet
-		// (paper §3.2); if it was set while we were preparing, the
-		// packet stays queued.
-		if n.haltBit {
-			return
-		}
-		ctx := n.nextReady()
-		if ctx == nil {
-			return
-		}
-		p := ctx.SendQ.Dequeue()
-		n.stats.Injected++
-		linkFree := n.net.Send(p)
-		if ctx.Hooks.OnSendSpace != nil {
-			ctx.Hooks.OnSendSpace(ctx)
-		}
-		n.eng.ScheduleAt(linkFree, func() { n.kickSender() })
-	})
+	n.eng.Schedule(n.cfg.SendOverhead, n.scanFn)
+}
+
+// scan is the armed send scanner's firing: inject one packet and re-arm
+// when the link frees.
+func (n *NIC) scan() {
+	n.scanPending = false
+	// The firmware checks the halt bit before sending each packet
+	// (paper §3.2); if it was set while we were preparing, the
+	// packet stays queued.
+	if n.haltBit {
+		return
+	}
+	ctx := n.nextReady()
+	if ctx == nil {
+		return
+	}
+	p := ctx.SendQ.Dequeue()
+	n.stats.Injected++
+	linkFree := n.net.Send(p)
+	if ctx.Hooks.OnSendSpace != nil {
+		ctx.Hooks.OnSendSpace(ctx)
+	}
+	n.eng.ScheduleAt(linkFree, n.kickFn)
 }
 
 // anyReady reports whether any context has a packet queued to send.
@@ -340,10 +365,10 @@ func (n *NIC) nextReady() *Context {
 // credit check and the data send queue (they are small control-like
 // packets the firmware emits directly).
 func (n *NIC) SendRefill(job myrinet.JobID, srcRank, dstRank int, dst myrinet.NodeID, credits int) {
-	n.net.Send(&myrinet.Packet{
-		Type: myrinet.Refill, Src: n.cfg.Node, Dst: dst,
-		Job: job, SrcRank: srcRank, DstRank: dstRank, Credits: credits,
-	})
+	p := n.net.NewPacket()
+	p.Type, p.Src, p.Dst = myrinet.Refill, n.cfg.Node, dst
+	p.Job, p.SrcRank, p.DstRank, p.Credits = job, srcRank, dstRank, credits
+	n.net.Send(p)
 }
 
 // SendRaw injects a firmware-generated packet directly, bypassing the data
@@ -376,7 +401,9 @@ func (n *NIC) HaltNetwork(epoch uint64, onFlushed func()) {
 		delay += n.cfg.CtlOverhead
 		n.eng.Schedule(delay, func() {
 			n.stats.HaltsSent++
-			n.net.Send(&myrinet.Packet{Type: myrinet.Halt, Src: n.cfg.Node, Dst: dst, Job: myrinet.NoJob, Epoch: epoch})
+			p := n.net.NewPacket()
+			p.Type, p.Src, p.Dst, p.Job, p.Epoch = myrinet.Halt, n.cfg.Node, dst, myrinet.NoJob, epoch
+			n.net.Send(p)
 		})
 	}
 	n.eng.Schedule(delay, func() {
@@ -420,7 +447,9 @@ func (n *NIC) ReleaseNetwork(epoch uint64, onReleased func()) {
 		delay += n.cfg.CtlOverhead
 		n.eng.Schedule(delay, func() {
 			n.stats.ReadysSent++
-			n.net.Send(&myrinet.Packet{Type: myrinet.Ready, Src: n.cfg.Node, Dst: dst, Job: myrinet.NoJob, Epoch: epoch})
+			p := n.net.NewPacket()
+			p.Type, p.Src, p.Dst, p.Job, p.Epoch = myrinet.Ready, n.cfg.Node, dst, myrinet.NoJob, epoch
+			n.net.Send(p)
 		})
 	}
 	n.eng.Schedule(delay, func() {
@@ -445,24 +474,25 @@ func (n *NIC) HandlePacket(p *myrinet.Packet) {
 		// packet that preceded it on the wire has been fully deposited
 		// in its receive queue. The buffer switch that follows flush
 		// completion therefore sees complete queues.
-		n.recvEngine.Use(n.cfg.CtlOverhead, func() { n.flush.Arrive(p.Epoch) })
+		epoch := p.Epoch
+		n.net.FreePacket(p)
+		n.recvEngine.Use(n.cfg.CtlOverhead, func() { n.flush.Arrive(epoch) })
 	case myrinet.Ready:
-		n.recvEngine.Use(n.cfg.CtlOverhead, func() { n.release.Arrive(p.Epoch) })
+		epoch := p.Epoch
+		n.net.FreePacket(p)
+		n.recvEngine.Use(n.cfg.CtlOverhead, func() { n.release.Arrive(epoch) })
 	case myrinet.Ack, myrinet.Nack:
 		if n.OnControl != nil {
 			n.OnControl(p)
 		}
+		n.net.FreePacket(p)
 	case myrinet.Refill:
 		ctx := n.byJob[p.Job]
 		if ctx == nil {
 			n.drop(p, DropNoContext)
 			return
 		}
-		n.recvEngine.Use(n.cfg.RecvOverhead, func() {
-			if cur := n.byJob[p.Job]; cur != nil && cur.Hooks.OnRefill != nil {
-				cur.Hooks.OnRefill(cur, p)
-			}
-		})
+		n.recvEngine.UseArg(n.cfg.RecvOverhead, n.refillFn, p)
 	case myrinet.Data:
 		if n.DataFilter != nil && !n.DataFilter(p) {
 			n.drop(p, DropFiltered)
@@ -474,28 +504,42 @@ func (n *NIC) HandlePacket(p *myrinet.Packet) {
 			return
 		}
 		cost := n.cfg.RecvOverhead + n.mem.DMACycles(p.WireSize())
-		n.recvEngine.Use(cost, func() {
-			// Re-resolve: a buffer switch may have rebound contexts
-			// while the DMA was in progress. Data for a job is only in
-			// flight while that job is scheduled (the gang-scheduling
-			// invariant), so the context is normally still there.
-			cur := n.byJob[p.Job]
-			if cur == nil {
-				n.drop(p, DropNoContext)
-				return
-			}
-			if !cur.RecvQ.Enqueue(p) {
-				n.drop(p, DropRecvFull)
-				return
-			}
-			n.stats.Received++
-			if n.OnDeposit != nil {
-				n.OnDeposit(cur, p)
-			}
-			if cur.Hooks.OnArrive != nil {
-				cur.Hooks.OnArrive(cur)
-			}
-		})
+		n.recvEngine.UseArg(cost, n.depositFn, p)
+	}
+}
+
+// refillArrived is the receive context's handling of a refill after its
+// processing cost has been paid.
+func (n *NIC) refillArrived(a any) {
+	p := a.(*myrinet.Packet)
+	if cur := n.byJob[p.Job]; cur != nil && cur.Hooks.OnRefill != nil {
+		cur.Hooks.OnRefill(cur, p)
+	}
+	n.net.FreePacket(p)
+}
+
+// deposit completes a data packet's DMA into its context's receive queue.
+func (n *NIC) deposit(a any) {
+	p := a.(*myrinet.Packet)
+	// Re-resolve: a buffer switch may have rebound contexts while the
+	// DMA was in progress. Data for a job is only in flight while that
+	// job is scheduled (the gang-scheduling invariant), so the context
+	// is normally still there.
+	cur := n.byJob[p.Job]
+	if cur == nil {
+		n.drop(p, DropNoContext)
+		return
+	}
+	if !cur.RecvQ.Enqueue(p) {
+		n.drop(p, DropRecvFull)
+		return
+	}
+	n.stats.Received++
+	if n.OnDeposit != nil {
+		n.OnDeposit(cur, p)
+	}
+	if cur.Hooks.OnArrive != nil {
+		cur.Hooks.OnArrive(cur)
 	}
 }
 
@@ -507,5 +551,6 @@ func (n *NIC) drop(p *myrinet.Packet, reason DropReason) {
 	// A data packet also consumes its piggybacked credits when dropped;
 	// the loss of both is exactly how FM's accounting gets corrupted
 	// (paper §2.2). Nothing to do here — the damage is the *absence* of
-	// bookkeeping.
+	// bookkeeping. The packet object itself, though, is dead: recycle it.
+	n.net.FreePacket(p)
 }

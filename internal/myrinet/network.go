@@ -104,6 +104,15 @@ type Network struct {
 	// faults and deliveries to unattached nodes). The chaos credit
 	// ledger hangs here.
 	OnDrop func(p *Packet)
+
+	// pool recycles packet objects between their death points (delivery
+	// consumption, drops) and the next send: the classic create-at-send,
+	// drop-at-delivery free-list workload.
+	pool []*Packet
+	// deliverFn is the one delivery callback shared by every scheduled
+	// arrival, so the per-packet closure allocation disappears from the
+	// hot path.
+	deliverFn func(any)
 }
 
 // New constructs a network on the given engine.
@@ -127,7 +136,34 @@ func New(eng *sim.Engine, cfg Config) *Network {
 		n.lastArrival[i] = make([]sim.Time, cfg.Nodes)
 		n.seq[i] = make([]uint64, cfg.Nodes)
 	}
+	n.deliverFn = func(a any) { n.deliver(a.(*Packet)) }
 	return n
+}
+
+// NewPacket returns a zeroed packet from the network's free list (growing
+// it when empty). Senders that build packets through NewPacket get them
+// recycled at their death point — consumption, drop, or undeliverable —
+// via FreePacket, keeping the steady-state send path allocation-free.
+func (n *Network) NewPacket() *Packet {
+	if ln := len(n.pool); ln > 0 {
+		p := n.pool[ln-1]
+		n.pool = n.pool[:ln-1]
+		*p = Packet{pooled: true}
+		return p
+	}
+	return &Packet{pooled: true}
+}
+
+// FreePacket returns a pool-allocated packet to the free list. Packets not
+// from NewPacket (tests build them with struct literals) are left to the
+// garbage collector, and freeing twice is a no-op, so every death point in
+// the stack can call this unconditionally.
+func (n *Network) FreePacket(p *Packet) {
+	if p == nil || !p.pooled {
+		return
+	}
+	p.pooled = false
+	n.pool = append(n.pool, p)
 }
 
 // Nodes returns the number of attached nodes.
@@ -182,7 +218,7 @@ func (n *Network) Send(p *Packet) sim.Time {
 			n.dropInjected(p)
 			return n.eng.Now()
 		}
-		n.eng.Schedule(n.cfg.SwitchLatency, func() { n.deliver(p) })
+		n.eng.ScheduleArg(n.cfg.SwitchLatency, n.deliverFn, p)
 		if v.Duplicate {
 			n.duplicate(p, n.eng.Now()+n.cfg.SwitchLatency+1)
 		}
@@ -204,7 +240,7 @@ func (n *Network) Send(p *Packet) sim.Time {
 		n.dropInjected(p)
 		return linkFree
 	}
-	n.eng.ScheduleAt(arrival, func() { n.deliver(p) })
+	n.eng.ScheduleArgAt(arrival, n.deliverFn, p)
 	if v.Duplicate {
 		n.duplicate(p, arrival+1)
 	}
@@ -219,6 +255,7 @@ func (n *Network) dropInjected(p *Packet) {
 		n.OnDrop(p)
 	}
 	n.landed(p)
+	n.FreePacket(p)
 }
 
 // duplicate schedules an extra copy of p arriving right behind the
@@ -233,8 +270,10 @@ func (n *Network) duplicate(p *Packet, at sim.Time) {
 		at = last + 1
 	}
 	n.lastArrival[p.Src][p.Dst] = at
-	dup := *p
-	n.eng.ScheduleAt(at, func() { n.deliver(&dup) })
+	dup := n.NewPacket()
+	*dup = *p
+	dup.pooled = true
+	n.eng.ScheduleArgAt(at, n.deliverFn, dup)
 }
 
 func (n *Network) deliver(p *Packet) {
@@ -245,6 +284,7 @@ func (n *Network) deliver(p *Packet) {
 		if n.OnDrop != nil {
 			n.OnDrop(p)
 		}
+		n.FreePacket(p)
 		return
 	}
 	n.stats.Delivered[p.Type]++

@@ -134,6 +134,13 @@ type Packet struct {
 	// used by tests to verify FIFO delivery and by the alternative
 	// schemes for go-back-N retransmission.
 	Seq uint64
+
+	// pooled marks a packet as allocated from (and currently owned by)
+	// its network's free list. FreePacket recycles only pooled packets,
+	// so externally constructed packets — tests build them with struct
+	// literals and may hold them past delivery — are never reused, and a
+	// double free is a no-op instead of a corruption.
+	pooled bool
 }
 
 // WireSize returns the packet's size on the wire in bytes.

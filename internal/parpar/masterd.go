@@ -34,7 +34,7 @@ type Masterd struct {
 	kickASAP bool
 	// skipEv is the pending no-switch-needed re-check, cancelable when a
 	// job-ready event wants an immediate rotation.
-	skipEv *sim.Event
+	skipEv sim.Event
 }
 
 func newMasterd(c *Cluster) *Masterd {
@@ -177,10 +177,7 @@ func (m *Masterd) tick() {
 		return
 	}
 	m.kickASAP = false
-	if m.skipEv != nil {
-		m.skipEv.Cancel()
-		m.skipEv = nil
-	}
+	m.skipEv.Cancel()
 	row := m.matrix.Rotate()
 	if row == -1 {
 		m.ticking = false

@@ -1,0 +1,221 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// TestPendingExcludesCanceled is the regression test for the Pending
+// accounting bug: canceled events used to stay counted until the queue
+// drained past them, so idle-detection loops saw phantom work.
+func TestPendingExcludesCanceled(t *testing.T) {
+	e := NewEngine()
+	evs := make([]Event, 5)
+	for i := range evs {
+		evs[i] = e.Schedule(Time(10+i), func() {})
+	}
+	if e.Pending() != 5 {
+		t.Fatalf("Pending() = %d, want 5", e.Pending())
+	}
+	evs[1].Cancel()
+	evs[3].Cancel()
+	if e.Pending() != 3 {
+		t.Fatalf("Pending() = %d after two cancels, want 3", e.Pending())
+	}
+	evs[3].Cancel() // double cancel must not double-count
+	if e.Pending() != 3 {
+		t.Fatalf("Pending() = %d after double cancel, want 3", e.Pending())
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d after run, want 0", e.Pending())
+	}
+}
+
+// TestCancelThenReschedule exercises slot reuse: a canceled event's arena
+// slot is recycled for a new event, and the stale handle must not be able
+// to cancel (or observe) the new occupant.
+func TestCancelThenReschedule(t *testing.T) {
+	e := NewEngine()
+	stale := e.Schedule(10, func() { t.Fatal("canceled event fired") })
+	stale.Cancel()
+	// Drain the queue so the canceled slot returns to the free list.
+	e.Run()
+	fired := false
+	fresh := e.Schedule(5, func() { fired = true })
+	if stale.Cancel() {
+		t.Fatal("stale handle canceled a recycled slot")
+	}
+	e.Run()
+	if !fired {
+		t.Fatal("rescheduled event did not fire (stale cancel hit it?)")
+	}
+	if fresh.Cancel() {
+		t.Fatal("Cancel on a fired event returned true")
+	}
+}
+
+// TestCancelWithinCallback cancels a same-timestamp successor from inside
+// a running callback: the engine must skip it without firing.
+func TestCancelWithinCallback(t *testing.T) {
+	e := NewEngine()
+	var victim Event
+	canceledFired := false
+	e.Schedule(10, func() { victim.Cancel() })
+	victim = e.Schedule(10, func() { canceledFired = true })
+	survived := false
+	e.Schedule(10, func() { survived = true })
+	e.Run()
+	if canceledFired {
+		t.Fatal("event canceled mid-timestamp still fired")
+	}
+	if !survived {
+		t.Fatal("later same-timestamp event lost")
+	}
+}
+
+// TestRunUntilAllCanceledPrefix verifies RunUntil advances the clock to
+// its deadline even when every queued event ahead of it was canceled —
+// the canceled prefix must be discarded, not treated as pending work.
+func TestRunUntilAllCanceledPrefix(t *testing.T) {
+	e := NewEngine()
+	var evs []Event
+	for _, d := range []Time{10, 20, 30} {
+		evs = append(evs, e.Schedule(d, func() { t.Fatal("canceled event fired") }))
+	}
+	for _, ev := range evs {
+		ev.Cancel()
+	}
+	fired := false
+	e.Schedule(50, func() { fired = true })
+	e.RunUntil(40)
+	if e.Now() != 40 {
+		t.Fatalf("Now() = %d after RunUntil(40), want 40", e.Now())
+	}
+	if fired {
+		t.Fatal("event beyond the deadline fired")
+	}
+	e.RunUntil(60)
+	if !fired {
+		t.Fatal("surviving event did not fire")
+	}
+}
+
+// TestEngineOrderVsReferenceSort is the 4-ary heap's property test: for
+// random batches of delays (with duplicates), the firing order must match
+// a stable sort of the schedule by (time, submission order).
+func TestEngineOrderVsReferenceSort(t *testing.T) {
+	prop := func(delays []uint16) bool {
+		if len(delays) > 512 {
+			delays = delays[:512]
+		}
+		e := NewEngine()
+		type rec struct {
+			when Time
+			id   int
+		}
+		var fired []rec
+		want := make([]rec, len(delays))
+		for i, d := range delays {
+			i, at := i, Time(d%97) // force many equal timestamps
+			want[i] = rec{at, i}
+			e.ScheduleAt(at, func() { fired = append(fired, rec{e.Now(), i}) })
+		}
+		sort.SliceStable(want, func(a, b int) bool { return want[a].when < want[b].when })
+		e.Run()
+		if len(fired) != len(want) {
+			return false
+		}
+		for i := range want {
+			if fired[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEngineRandomCancelProperty mixes random scheduling and cancellation
+// and checks that exactly the surviving events fire, in order, and that
+// Pending tracks the survivors at every step.
+func TestEngineRandomCancelProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		e := NewEngine()
+		var fired []int
+		var want []int
+		n := 1 + rng.Intn(200)
+		evs := make([]Event, n)
+		for i := 0; i < n; i++ {
+			i := i
+			evs[i] = e.Schedule(Time(1+rng.Intn(50)), func() { fired = append(fired, i) })
+		}
+		live := n
+		for i := 0; i < n; i++ {
+			if rng.Intn(3) == 0 {
+				if !evs[i].Cancel() {
+					t.Fatal("Cancel on live event returned false")
+				}
+				live--
+				evs[i] = Event{}
+			}
+		}
+		if e.Pending() != live {
+			t.Fatalf("Pending() = %d, want %d", e.Pending(), live)
+		}
+		type key struct {
+			when Time
+			id   int
+		}
+		var keys []key
+		for i := 0; i < n; i++ {
+			if evs[i] != (Event{}) {
+				keys = append(keys, key{evs[i].When(), i})
+			}
+		}
+		sort.SliceStable(keys, func(a, b int) bool {
+			if keys[a].when != keys[b].when {
+				return keys[a].when < keys[b].when
+			}
+			return keys[a].id < keys[b].id
+		})
+		for _, k := range keys {
+			want = append(want, k.id)
+		}
+		e.Run()
+		if len(fired) != len(want) {
+			t.Fatalf("trial %d: fired %d events, want %d", trial, len(fired), len(want))
+		}
+		for i := range want {
+			if fired[i] != want[i] {
+				t.Fatalf("trial %d: order diverged at %d: got %v want %v", trial, i, fired, want)
+			}
+		}
+	}
+}
+
+// TestScheduleArgNoAlloc pins the zero-allocation contract of the hot
+// path: steady-state Schedule/ScheduleArg + Step must not allocate.
+func TestScheduleArgNoAlloc(t *testing.T) {
+	e := NewEngine()
+	var sink int
+	fn := func(a any) { sink += a.(int) }
+	// Warm the arena and the free list.
+	for i := 0; i < 100; i++ {
+		e.ScheduleArg(1, fn, 1)
+	}
+	e.Run()
+	arg := any(3) // boxed once, outside the measured loop
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.ScheduleArg(1, fn, arg)
+		e.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state ScheduleArg+Run allocates %.1f per op, want 0", allocs)
+	}
+}

@@ -51,6 +51,23 @@ func (r *Resource) Use(dur Time, done func()) Time {
 	return end
 }
 
+// UseArg is Use with an argument-taking completion callback: hot paths pass
+// one long-lived fn and a per-grant arg instead of allocating a closure per
+// grant (see Engine.ScheduleArg).
+func (r *Resource) UseArg(dur Time, done func(any), arg any) Time {
+	start := r.freeAt
+	if now := r.eng.Now(); start < now {
+		start = now
+	}
+	end := start + dur
+	r.freeAt = end
+	r.busy += dur
+	if done != nil {
+		r.eng.ScheduleArgAt(end, done, arg)
+	}
+	return end
+}
+
 // Block extends the resource's occupancy through at least time t, without a
 // completion callback. It is used to model an external agent (e.g. the
 // noded copying buffers) holding the CPU.

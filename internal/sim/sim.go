@@ -10,10 +10,16 @@
 // the protocol tests meaningful. Parallelism belongs one level up, where
 // independent engine instances (one per parameter-sweep point) run on
 // separate goroutines.
+//
+// The event queue is the hot path of every experiment, so it is built to
+// run allocation-free in steady state: event records live in a per-engine
+// arena recycled through a free list, ordered by a hand-rolled 4-ary
+// min-heap of (time, seq) keys held in a flat slice. Scheduling, firing,
+// and canceling events never allocate once the arena has grown to the
+// engine's high-water mark of concurrently pending events.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"time"
@@ -71,66 +77,76 @@ func (c Clock) CopyCycles(n int, mbPerSec float64) Time {
 	return Time(math.Ceil(cy))
 }
 
-// Event is a scheduled callback. Events are created through Engine.Schedule
-// and friends and may be canceled until they fire.
+// Event is a handle to a scheduled callback, returned by Engine.Schedule
+// and friends. It is a small value (not a pointer into the engine): the
+// underlying event record is recycled after the event fires or its
+// cancellation is collected, and the generation check in Cancel makes a
+// stale handle harmless. The zero Event is valid and never pending.
 type Event struct {
-	when     Time
-	seq      uint64 // tie-breaker: FIFO among same-time events
-	fn       func()
-	index    int // heap index; -1 when not queued
-	canceled bool
+	eng  *Engine
+	slot int32
+	gen  uint64
+	when Time
 }
 
-// When returns the virtual time at which the event will fire.
-func (ev *Event) When() Time { return ev.when }
+// When returns the virtual time at which the event will fire (or fired).
+func (ev Event) When() Time { return ev.when }
 
-// Cancel prevents the event from firing. Canceling an already-fired or
-// already-canceled event is a no-op. Cancel reports whether the event was
-// still pending.
-func (ev *Event) Cancel() bool {
-	if ev == nil || ev.canceled || ev.index < 0 {
+// Cancel prevents the event from firing. Canceling an already-fired,
+// already-canceled, or zero Event is a no-op. Cancel reports whether the
+// event was still pending.
+func (ev Event) Cancel() bool {
+	e := ev.eng
+	if e == nil {
 		return false
 	}
-	ev.canceled = true
+	r := &e.recs[ev.slot]
+	if r.gen != ev.gen || r.canceled {
+		return false
+	}
+	r.canceled = true
+	r.fn, r.afn, r.arg = nil, nil, nil
+	e.pending--
 	return true
 }
 
-type eventHeap []*Event
+// eventRec is the arena-resident part of an event: the callback and the
+// liveness bookkeeping. The ordering key lives in the heap entry instead,
+// so comparisons never chase a pointer into the arena.
+type eventRec struct {
+	fn       func()
+	afn      func(any)
+	arg      any
+	gen      uint64 // bumped on every recycle; stale handles mismatch
+	canceled bool
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
+// heapEnt is one entry of the 4-ary min-heap: the ordering key plus the
+// arena slot it refers to. Keeping the key inline makes the sift loops
+// pure value comparisons over a contiguous slice.
+type heapEnt struct {
+	when Time
+	seq  uint64 // tie-breaker: FIFO among same-time events
+	slot int32
+}
+
+func entLess(a, b heapEnt) bool {
+	if a.when != b.when {
+		return a.when < b.when
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+	return a.seq < b.seq
 }
 
 // Engine is the discrete-event simulation core. The zero value is not
 // usable; construct with NewEngine.
 type Engine struct {
 	now     Time
-	queue   eventHeap
+	recs    []eventRec // arena of event records
+	free    []int32    // recycled arena slots
+	heap    []heapEnt  // 4-ary min-heap over (when, seq)
 	seq     uint64
 	fired   uint64
+	pending int // scheduled and not canceled
 	stopped bool
 }
 
@@ -145,38 +161,87 @@ func (e *Engine) Now() Time { return e.now }
 // Fired returns the number of events executed so far (diagnostics).
 func (e *Engine) Fired() uint64 { return e.fired }
 
-// Pending returns the number of events still queued.
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending returns the number of events scheduled and not canceled.
+// Canceled events awaiting lazy removal from the queue are not counted.
+func (e *Engine) Pending() int { return e.pending }
 
 // Schedule queues fn to run delay cycles from now and returns the event.
-func (e *Engine) Schedule(delay Time, fn func()) *Event {
-	return e.ScheduleAt(e.now+delay, fn)
+func (e *Engine) Schedule(delay Time, fn func()) Event {
+	return e.schedule(e.now+delay, fn, nil, nil)
 }
 
 // ScheduleAt queues fn to run at absolute time t. Scheduling in the past
 // panics: it always indicates a cost-accounting bug, and silently clamping
 // would corrupt causality.
-func (e *Engine) ScheduleAt(t Time, fn func()) *Event {
+func (e *Engine) ScheduleAt(t Time, fn func()) Event {
+	return e.schedule(t, fn, nil, nil)
+}
+
+// ScheduleArg queues fn(arg) to run delay cycles from now. It exists so
+// hot paths can use one long-lived callback value instead of allocating a
+// fresh closure per event; passing a pointer-typed arg does not allocate.
+func (e *Engine) ScheduleArg(delay Time, fn func(any), arg any) Event {
+	return e.schedule(e.now+delay, nil, fn, arg)
+}
+
+// ScheduleArgAt queues fn(arg) to run at absolute time t (see ScheduleArg).
+func (e *Engine) ScheduleArgAt(t Time, fn func(any), arg any) Event {
+	return e.schedule(t, nil, fn, arg)
+}
+
+func (e *Engine) schedule(t Time, fn func(), afn func(any), arg any) Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: event scheduled at %d, before now=%d", t, e.now))
 	}
 	e.seq++
-	ev := &Event{when: t, seq: e.seq, fn: fn, index: -1}
-	heap.Push(&e.queue, ev)
-	return ev
+	var slot int32
+	if n := len(e.free); n > 0 {
+		slot = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		e.recs = append(e.recs, eventRec{})
+		slot = int32(len(e.recs) - 1)
+	}
+	r := &e.recs[slot]
+	r.fn, r.afn, r.arg = fn, afn, arg
+	r.canceled = false
+	e.push(heapEnt{when: t, seq: e.seq, slot: slot})
+	e.pending++
+	return Event{eng: e, slot: slot, gen: r.gen, when: t}
+}
+
+// freeSlot recycles an arena slot whose heap entry has been popped. The
+// generation bump invalidates every outstanding handle to the old event.
+func (e *Engine) freeSlot(slot int32) {
+	r := &e.recs[slot]
+	r.gen++
+	r.fn, r.afn, r.arg = nil, nil, nil
+	r.canceled = false
+	e.free = append(e.free, slot)
 }
 
 // Step executes the single earliest pending event. It reports whether an
 // event was executed (false means the queue is empty).
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
-		if ev.canceled {
+	for len(e.heap) > 0 {
+		ent := e.popMin()
+		r := &e.recs[ent.slot]
+		if r.canceled {
+			e.freeSlot(ent.slot)
 			continue
 		}
-		e.now = ev.when
+		fn, afn, arg := r.fn, r.afn, r.arg
+		// Recycle before invoking: the callback may schedule into the
+		// same slot, and holding dead callbacks alive would leak.
+		e.freeSlot(ent.slot)
+		e.pending--
+		e.now = ent.when
 		e.fired++
-		ev.fn()
+		if afn != nil {
+			afn(arg)
+		} else {
+			fn()
+		}
 		return true
 	}
 	return false
@@ -194,8 +259,8 @@ func (e *Engine) Run() {
 func (e *Engine) RunUntil(limit Time) {
 	e.stopped = false
 	for !e.stopped {
-		ev := e.peek()
-		if ev == nil || ev.when > limit {
+		when, ok := e.peekWhen()
+		if !ok || when > limit {
 			break
 		}
 		e.Step()
@@ -208,13 +273,71 @@ func (e *Engine) RunUntil(limit Time) {
 // Stop makes the innermost Run/RunUntil return after the current event.
 func (e *Engine) Stop() { e.stopped = true }
 
-func (e *Engine) peek() *Event {
-	for len(e.queue) > 0 {
-		ev := e.queue[0]
-		if !ev.canceled {
-			return ev
+// peekWhen returns the fire time of the earliest live event, collecting
+// any canceled events sitting at the front of the queue.
+func (e *Engine) peekWhen() (Time, bool) {
+	for len(e.heap) > 0 {
+		ent := e.heap[0]
+		if !e.recs[ent.slot].canceled {
+			return ent.when, true
 		}
-		heap.Pop(&e.queue)
+		e.popMin()
+		e.freeSlot(ent.slot)
 	}
-	return nil
+	return 0, false
+}
+
+// push adds an entry to the 4-ary heap (sift-up).
+func (e *Engine) push(ent heapEnt) {
+	h := append(e.heap, ent)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !entLess(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	e.heap = h
+}
+
+// popMin removes and returns the heap minimum (sift-down).
+func (e *Engine) popMin() heapEnt {
+	h := e.heap
+	min := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	e.heap = h[:n]
+	if n > 1 {
+		e.siftDown()
+	}
+	return min
+}
+
+func (e *Engine) siftDown() {
+	h := e.heap
+	n := len(h)
+	i := 0
+	for {
+		first := i<<2 + 1
+		if first >= n {
+			return
+		}
+		best := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if entLess(h[c], h[best]) {
+				best = c
+			}
+		}
+		if !entLess(h[best], h[i]) {
+			return
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
 }
