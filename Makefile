@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check vet build test race fuzz-smoke bench bench-smoke figures
+.PHONY: check vet build test race fuzz-smoke sched-smoke bench bench-smoke figures
 
-# The full CI gate: static checks, build, race-enabled tests, and a short
-# fixed-seed chaos-fuzz campaign (deterministic, so safe to gate on).
-check: vet build race fuzz-smoke
+# The full CI gate: static checks, build, race-enabled tests, a short
+# fixed-seed chaos-fuzz campaign, and a scheduler-evaluation smoke run
+# (all deterministic, so safe to gate on).
+check: vet build race fuzz-smoke sched-smoke
 
 vet:
 	$(GO) vet ./...
@@ -21,6 +22,11 @@ race:
 fuzz-smoke:
 	$(GO) run ./cmd/gangsim fuzz -seed 1 -runs 5
 	$(GO) run ./cmd/gangsim fuzz -compare -seed 77
+
+# Scheduler-evaluation smoke: a quick trace replay across every packing
+# policy and both credit schemes.
+sched-smoke:
+	$(GO) run ./cmd/gangsim sched -quick
 
 # Microbenchmarks with allocation reporting. BenchmarkEngineThroughput
 # must stay at 0 allocs/op (see DESIGN.md §6).

@@ -16,5 +16,11 @@ go test -race ./internal/experiments/...
 go run ./cmd/gangsim fuzz -seed 1 -runs 5
 go run ./cmd/gangsim fuzz -compare -seed 77
 
+# Scheduler-evaluation smoke: the sched tables are a pure function of the
+# seed, so run the quick grid twice and demand byte-identical output.
+go run ./cmd/gangsim sched -quick > /tmp/sched-ci-a.txt
+go run ./cmd/gangsim sched -quick > /tmp/sched-ci-b.txt
+cmp /tmp/sched-ci-a.txt /tmp/sched-ci-b.txt
+
 # Benchmark pipeline smoke: the report must build and serialize.
 go run ./cmd/gangsim bench -quick -o /tmp/bench-ci.json

@@ -107,6 +107,7 @@ func runBench(args []string, out io.Writer) int {
 		{"overhead", func(p experiments.Params) { experiments.Overhead(p) }},
 		{"schemes", func(p experiments.Params) { experiments.Schemes(p) }},
 		{"dyncos", func(p experiments.Params) { experiments.Responsiveness(p) }},
+		{"sched", func(p experiments.Params) { experiments.Sched(p) }},
 	}
 	experiments.TakeFiredCount() // drain any prior count
 	for _, f := range figures {

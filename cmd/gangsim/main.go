@@ -8,6 +8,7 @@
 //	gangsim [-quick] [-par N] <fig5|fig6|fig7|fig8|fig9|overhead|credits|all>
 //	gangsim fuzz [-seed S] [-runs N] [-shrink] [-trace] [-compare]
 //	gangsim bench [-quick] [-par N] [-o FILE]
+//	gangsim sched [-seed S] [-policy P] [-scheme S] [-trace FILE]
 //
 // All runs are deterministic; -quick shrinks the sweeps for smoke runs,
 // and a fuzz failure replays exactly from its printed seed.
@@ -16,13 +17,51 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"time"
 
 	"gangfm/internal/experiments"
 )
+
+// subcommands is the single source of truth for the unknown-subcommand
+// listing: every dispatchable name with a one-line description.
+var subcommands = []struct{ name, desc string }{
+	{"all", "every paper experiment in sequence"},
+	{"bench", "run every figure under wall/event/alloc tracking (bench -h)"},
+	{"credits", "credit formulas C0 = Br/(n^2 p) vs Br/p (paper 2.2, 3.3)"},
+	{"dyncos", "ablation: gang vs dynamic coscheduling responsiveness (5)"},
+	{"fig5", "bandwidth vs msg size x #contexts, partitioned buffers"},
+	{"fig6", "total bandwidth vs msg size x #jobs, buffer switching"},
+	{"fig7", "switch stage times, full buffer copy, 2..16 nodes"},
+	{"fig8", "valid packets in the buffers at switch time, 2..16 nodes"},
+	{"fig9", "switch stage times, improved (valid-only) copy, 2..16 nodes"},
+	{"fuzz", "seeded fault-injection fuzzer with exact seed replay (fuzz -h)"},
+	{"overhead", "single-switch cost vs the paper's 85 ms / 12.5 ms bounds"},
+	{"sched", "trace-driven scheduler evaluation: job streams, packing policies, per-job slowdown (sched -h)"},
+	{"schemes", "ablation: paper scheme vs SHARE discard vs PM quiescence (5)"},
+}
+
+// printSubcommands writes the sorted subcommand listing to w.
+func printSubcommands(w io.Writer) {
+	sorted := append([]struct{ name, desc string }(nil), subcommands...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a].name < sorted[b].name })
+	fmt.Fprintln(w, "subcommands:")
+	for _, s := range sorted {
+		fmt.Fprintf(w, "  %-9s %s\n", s.name, s.desc)
+	}
+}
+
+// unknownSubcommand reports an unrecognized name plus the full listing
+// and returns the exit code for usage errors.
+func unknownSubcommand(w io.Writer, name string) int {
+	fmt.Fprintf(w, "gangsim: unknown subcommand %q\n\n", name)
+	printSubcommands(w)
+	return 2
+}
 
 func main() {
 	// The fuzz and bench subcommands own their flags; dispatch before the
@@ -32,6 +71,9 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "bench" {
 		os.Exit(runBench(os.Args[2:], os.Stdout))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "sched" {
+		os.Exit(runSched(os.Args[2:], os.Stdout))
 	}
 	quick := flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
 	par := flag.Int("par", runtime.GOMAXPROCS(0), "max concurrently simulated points")
@@ -75,9 +117,7 @@ func main() {
 	}
 	cmd, ok := cmds[flag.Arg(0)]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "gangsim: unknown experiment %q\n", flag.Arg(0))
-		usage()
-		os.Exit(2)
+		os.Exit(unknownSubcommand(os.Stderr, flag.Arg(0)))
 	}
 	start := time.Now()
 	cmd(p)
@@ -142,6 +182,10 @@ chaos:
 performance:
   bench     run every figure under wall-clock/event/allocation tracking
             and write BENCH_<date>.json with baselines (see bench -h)
+
+scheduling:
+  sched     trace-driven scheduler evaluation: generated or file-based job
+            streams under every packing policy x credit scheme (see sched -h)
 `)
 }
 

@@ -68,3 +68,78 @@ func TestExperimentSmoke(t *testing.T) {
 		t.Fatalf("credits table did not render:\n%s", table)
 	}
 }
+
+// TestUnknownSubcommand: an unrecognized name exits 2 and prints the
+// sorted listing with every dispatchable subcommand and a description.
+func TestUnknownSubcommand(t *testing.T) {
+	var out strings.Builder
+	if code := unknownSubcommand(&out, "figg5"); code != 2 {
+		t.Fatalf("exit %d for unknown subcommand, want 2", code)
+	}
+	s := out.String()
+	if !strings.Contains(s, `unknown subcommand "figg5"`) {
+		t.Fatalf("missing error line:\n%s", s)
+	}
+	for _, sc := range subcommands {
+		if !strings.Contains(s, sc.name) || !strings.Contains(s, sc.desc) {
+			t.Fatalf("listing missing %q:\n%s", sc.name, s)
+		}
+	}
+	// Sorted: each registered name appears after its predecessor.
+	last := -1
+	for _, sc := range subcommands {
+		i := strings.Index(s, "\n  "+sc.name)
+		if i < 0 {
+			t.Fatalf("listing entry for %q not at line start:\n%s", sc.name, s)
+		}
+		if i < last {
+			t.Fatalf("listing not sorted at %q:\n%s", sc.name, s)
+		}
+		last = i
+	}
+}
+
+// TestSchedSubcommandSmoke: the scheduler evaluation runs end to end in
+// quick mode and prints one summary row per (packing, scheme) pair.
+func TestSchedSubcommandSmoke(t *testing.T) {
+	var out strings.Builder
+	if code := runSched([]string{"-quick"}, &out); code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{"first-fit", "buddy", "best-fit", "partitioned", "switched", "mean_bsld"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestSchedSubcommandDeterministic: the acceptance contract — the same
+// seed produces byte-identical tables.
+func TestSchedSubcommandDeterministic(t *testing.T) {
+	run := func() string {
+		var out strings.Builder
+		if code := runSched([]string{"-quick", "-seed", "7", "-per-job"}, &out); code != 0 {
+			t.Fatalf("exit %d:\n%s", code, out.String())
+		}
+		return out.String()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed produced different output:\n--- a ---\n%s\n--- b ---\n%s", a, b)
+	}
+}
+
+// TestSchedBadFlags: unknown policies, schemes and flags exit with a
+// usage error, not a panic.
+func TestSchedBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-nope"},
+		{"-policy", "warp"},
+		{"-scheme", "quantum"},
+	} {
+		var out strings.Builder
+		if code := runSched(args, &out); code != 2 {
+			t.Fatalf("exit %d for %v, want 2", code, args)
+		}
+	}
+}

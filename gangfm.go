@@ -19,9 +19,10 @@
 //	internal/core        glueFM (Table 1 API) and the buffer-switching context switch
 //	internal/gang        the gang matrix with DHC buddy placement
 //	internal/parpar      masterd/noded daemons, control network, job lifecycle (Fig 2)
-//	internal/workload    the paper's benchmarks (bandwidth, all-to-all, ping-pong)
+//	internal/workload    the paper's benchmarks plus application kernels (BSP, stencil, master-worker)
 //	internal/altsched    related-work alternatives (SHARE-style discard, PM-style flush)
 //	internal/chaos       fault injection + invariant auditing (and chaos/fuzzer)
+//	internal/schedeval   trace-driven scheduler evaluation (job streams, per-job slowdown)
 //	internal/experiments the figure/table regenerators
 //
 // # Quick start
@@ -43,7 +44,10 @@ import (
 	"gangfm/internal/chaos"
 	"gangfm/internal/core"
 	"gangfm/internal/fm"
+	"gangfm/internal/gang"
+	"gangfm/internal/metrics"
 	"gangfm/internal/parpar"
+	"gangfm/internal/schedeval"
 	"gangfm/internal/sim"
 	"gangfm/internal/workload"
 )
@@ -198,3 +202,83 @@ func ExtractBandwidth(job *Job) (BandwidthResult, error) { return workload.Extra
 
 // ExtractAllToAll pulls the per-rank results out of a finished job.
 func ExtractAllToAll(job *Job) ([]AllToAllResult, error) { return workload.ExtractAllToAll(job) }
+
+// BSP returns a bulk-synchronous kernel: phases of compute followed by an
+// exchange with every peer and a barrier (workload kernels, §scheduling).
+func BSP(name string, ranks, phases, perPeer, size int, compute Time) JobSpec {
+	return workload.BSP(name, ranks, phases, perPeer, size, compute)
+}
+
+// Stencil returns an iterative halo-exchange kernel on a ring.
+func Stencil(name string, ranks, iters, halo int, compute Time) JobSpec {
+	return workload.Stencil(name, ranks, iters, halo, compute)
+}
+
+// MasterWorker returns a task-bag kernel: rank 0 deals tasks, workers
+// compute and return completions until the bag drains.
+func MasterWorker(name string, ranks, tasks, taskBytes int, compute Time) JobSpec {
+	return workload.MasterWorker(name, ranks, tasks, taskBytes, compute)
+}
+
+// PackingPolicy decides where the gang matrix places a job: which node
+// columns and which time slot.
+type PackingPolicy = gang.Policy
+
+// Packing policies for ClusterConfig.Packing and SchedConfig.Packing.
+var (
+	// PackBuddy is the DHC buddy scheme (the matrix default).
+	PackBuddy PackingPolicy = gang.Buddy{}
+	// PackFirstFit takes the leftmost free run in the lowest row.
+	PackFirstFit PackingPolicy = gang.FirstFit{}
+	// PackBestFit takes the tightest free run and unifies slots on exit.
+	PackBestFit PackingPolicy = gang.BestFit{}
+)
+
+// PackingPolicies returns every built-in packing policy.
+func PackingPolicies() []PackingPolicy { return gang.Policies() }
+
+// Table is the aligned text table the experiment and evaluation renderers
+// produce.
+type Table = metrics.Table
+
+// SchedTraceJob is one arrival of a scheduler-evaluation trace.
+type SchedTraceJob = schedeval.TraceJob
+
+// SchedGenConfig parameterizes the seeded job-stream generator.
+type SchedGenConfig = schedeval.GenConfig
+
+// SchedConfig parameterizes one scheduler-evaluation run.
+type SchedConfig = schedeval.Config
+
+// SchedResult aggregates one run's per-job and whole-stream metrics.
+type SchedResult = schedeval.Result
+
+// SchedJobMetrics is one trace job's fate under a run.
+type SchedJobMetrics = schedeval.JobMetrics
+
+// DefaultSchedGenConfig returns the generator defaults for a machine size.
+func DefaultSchedGenConfig(nodes int) SchedGenConfig { return schedeval.DefaultGenConfig(nodes) }
+
+// GenerateSchedTrace produces a seeded, deterministic arrival stream.
+func GenerateSchedTrace(cfg SchedGenConfig) ([]SchedTraceJob, error) { return schedeval.Generate(cfg) }
+
+// DefaultSchedConfig returns the evaluation setup for a machine size (deep
+// slot table, switched credits, improved copy).
+func DefaultSchedConfig(nodes int) SchedConfig { return schedeval.DefaultConfig(nodes) }
+
+// RunSched replays a trace under one (credit scheme, packing policy)
+// combination and reports per-job response, bounded slowdown, utilization
+// and switch counts.
+func RunSched(cfg SchedConfig) (*SchedResult, error) { return schedeval.Run(cfg) }
+
+// CompareSched replays the same trace across a grid of credit schemes and
+// packing policies.
+func CompareSched(base SchedConfig, schemes []Policy, packings []PackingPolicy) ([]*SchedResult, error) {
+	return schedeval.Compare(base, schemes, packings)
+}
+
+// SchedSummaryTable renders one summary row per evaluation run.
+func SchedSummaryTable(rs []*SchedResult) *Table { return schedeval.SummaryTable(rs) }
+
+// SchedJobTable renders a run's per-job metrics.
+func SchedJobTable(r *SchedResult) *Table { return schedeval.JobTable(r) }

@@ -1,11 +1,13 @@
 // Package gang implements the ParPar gang-scheduling matrix: columns are
 // the machine's nodes, rows are time slots, and each cell holds (at most)
 // one process of a parallel job. The masterd rotates among rows in
-// round-robin order; the mapping of jobs into the matrix follows the DHC
-// (Distributed Hierarchical Control) buddy scheme of Feitelson & Rudolph:
-// a job of size s is assigned to the least-loaded aligned block of
-// 2^ceil(log2 s) columns, and occupies the leftmost s cells of that block
-// in the first row where they are all free (paper §2.1).
+// round-robin order; the mapping of jobs into the matrix is delegated to a
+// pluggable packing Policy. The default is the DHC (Distributed
+// Hierarchical Control) buddy scheme of Feitelson & Rudolph — a job of
+// size s is assigned to the least-loaded aligned block of 2^ceil(log2 s)
+// columns, occupying the leftmost s cells of that block in the first row
+// where they are all free (paper §2.1) — with first-fit and best-fit (plus
+// slot unification on exit) available for the scheduler-evaluation runs.
 package gang
 
 import (
@@ -25,25 +27,40 @@ type Placement struct {
 type Matrix struct {
 	cols    int
 	maxRows int // 0 = unbounded
+	policy  Policy
 	rows    [][]myrinet.JobID
 	jobs    map[myrinet.JobID]Placement
 	current int
 }
 
-// NewMatrix returns a matrix with the given number of node columns.
-// maxRows bounds the number of time slots (the fixed context count the
-// buffers must be divided by in partitioned mode); 0 means unbounded.
+// NewMatrix returns a matrix with the given number of node columns and the
+// default DHC buddy packing policy. maxRows bounds the number of time
+// slots (the fixed context count the buffers must be divided by in
+// partitioned mode); 0 means unbounded.
 func NewMatrix(cols, maxRows int) *Matrix {
+	return NewMatrixPolicy(cols, maxRows, nil)
+}
+
+// NewMatrixPolicy returns a matrix using the given packing policy (nil
+// selects the default Buddy policy).
+func NewMatrixPolicy(cols, maxRows int, policy Policy) *Matrix {
 	if cols <= 0 {
 		panic("gang: need at least one column")
+	}
+	if policy == nil {
+		policy = Buddy{}
 	}
 	return &Matrix{
 		cols:    cols,
 		maxRows: maxRows,
+		policy:  policy,
 		jobs:    make(map[myrinet.JobID]Placement),
 		current: -1,
 	}
 }
+
+// Policy returns the matrix's packing policy.
+func (m *Matrix) Policy() Policy { return m.policy }
 
 // Cols returns the number of node columns.
 func (m *Matrix) Cols() int { return m.cols }
@@ -111,9 +128,9 @@ func (m *Matrix) blockLoad(start, width int) int {
 	return load
 }
 
-// Place assigns a job of the given size. It returns the placement or an
-// error when the job cannot fit (too large for the machine, or the slot
-// table is full).
+// Place assigns a job of the given size using the packing policy. It
+// returns the placement or an error when the job cannot fit (too large for
+// the machine, or the slot table is full).
 func (m *Matrix) Place(job myrinet.JobID, size int) (Placement, error) {
 	if size <= 0 {
 		return Placement{}, fmt.Errorf("gang: job %d has non-positive size %d", job, size)
@@ -125,33 +142,11 @@ func (m *Matrix) Place(job myrinet.JobID, size int) (Placement, error) {
 		return Placement{}, fmt.Errorf("gang: job %d already placed", job)
 	}
 
-	// DHC step 1: pick the least-loaded aligned block of the buddy size.
-	width := nextPow2(size)
-	if width > m.cols {
-		width = m.cols
+	row, cols := m.policy.Propose(m, size)
+	if len(cols) != size || row < 0 || row > len(m.rows) {
+		panic(fmt.Sprintf("gang: policy %s proposed row %d cols %v for size %d", m.policy.Name(), row, cols, size))
 	}
-	bestStart, bestLoad := -1, -1
-	for start := 0; start+width <= m.cols; start += width {
-		load := m.blockLoad(start, width)
-		if bestStart < 0 || load < bestLoad {
-			bestStart, bestLoad = start, load
-		}
-	}
-
-	// DHC step 2: the leftmost `size` columns of the chosen block, in the
-	// first row where they are all free.
-	cols := make([]int, size)
-	for i := range cols {
-		cols[i] = bestStart + i
-	}
-	row := -1
-	for r := range m.rows {
-		if m.freeIn(r, cols) {
-			row = r
-			break
-		}
-	}
-	if row < 0 {
+	if row == len(m.rows) {
 		if m.maxRows > 0 && len(m.rows) >= m.maxRows {
 			return Placement{}, fmt.Errorf("gang: slot table full (%d rows) placing job %d", m.maxRows, job)
 		}
@@ -159,7 +154,9 @@ func (m *Matrix) Place(job myrinet.JobID, size int) (Placement, error) {
 		for c := range m.rows[len(m.rows)-1] {
 			m.rows[len(m.rows)-1][c] = myrinet.NoJob
 		}
-		row = len(m.rows) - 1
+	}
+	if !m.freeIn(row, cols) {
+		panic(fmt.Sprintf("gang: policy %s proposed occupied cells row %d cols %v", m.policy.Name(), row, cols))
 	}
 	for _, c := range cols {
 		m.rows[row][c] = job
@@ -179,7 +176,8 @@ func (m *Matrix) freeIn(row int, cols []int) bool {
 }
 
 // Remove deletes a job from the matrix. Trailing all-empty rows are
-// trimmed so the rotation does not visit dead slots.
+// trimmed so the rotation does not visit dead slots, and policies that
+// request it get a slot-unification pass.
 func (m *Matrix) Remove(job myrinet.JobID) error {
 	p, ok := m.jobs[job]
 	if !ok {
@@ -189,13 +187,60 @@ func (m *Matrix) Remove(job myrinet.JobID) error {
 		m.rows[p.Row][c] = myrinet.NoJob
 	}
 	delete(m.jobs, job)
+	if m.policy.UnifyOnExit() {
+		m.Unify()
+	}
+	m.trim()
+	return nil
+}
+
+// trim drops trailing all-empty rows and clamps the rotation cursor.
+func (m *Matrix) trim() {
 	for len(m.rows) > 0 && m.rowEmpty(len(m.rows)-1) {
 		m.rows = m.rows[:len(m.rows)-1]
 	}
 	if m.current >= len(m.rows) {
 		m.current = len(m.rows) - 1
 	}
-	return nil
+}
+
+// Unify migrates jobs into earlier time slots: a job moves to the lowest
+// row where its exact column set is free. Only the row changes — the
+// columns are the job's nodes, and processes never migrate — so the move
+// is pure bookkeeping: the next rotation simply finds the job in a fuller
+// slot. Returns the number of jobs moved. Rows are scanned bottom-up and
+// candidates left-to-right, so the result is deterministic.
+func (m *Matrix) Unify() int {
+	moved := 0
+	for r := 1; r < len(m.rows); r++ {
+		for c := 0; c < m.cols; c++ {
+			j := m.rows[r][c]
+			if j == myrinet.NoJob {
+				continue
+			}
+			p := m.jobs[j]
+			if p.Cols[0] != c {
+				continue // visit each job once, at its leftmost cell
+			}
+			for lower := 0; lower < r; lower++ {
+				if !m.freeIn(lower, p.Cols) {
+					continue
+				}
+				for _, pc := range p.Cols {
+					m.rows[r][pc] = myrinet.NoJob
+					m.rows[lower][pc] = j
+				}
+				p.Row = lower
+				m.jobs[j] = p
+				moved++
+				break
+			}
+		}
+	}
+	if moved > 0 {
+		m.trim()
+	}
+	return moved
 }
 
 func (m *Matrix) rowEmpty(r int) bool {

@@ -65,6 +65,54 @@ func Median(xs []float64) float64 {
 	return (s[n/2-1] + s[n/2]) / 2
 }
 
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Percentile returns the p-th percentile of xs (nearest-rank definition,
+// p in [0, 100]; 0 for empty input).
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(s))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(s) {
+		rank = len(s)
+	}
+	return s[rank-1]
+}
+
+// BoundedSlowdown returns Feitelson's bounded slowdown of a job:
+// max(1, response / max(service, bound)). The bound keeps very short jobs
+// from dominating the average with enormous raw slowdowns.
+func BoundedSlowdown(response, service, bound float64) float64 {
+	den := service
+	if den < bound {
+		den = bound
+	}
+	if den <= 0 {
+		return 1
+	}
+	s := response / den
+	if s < 1 {
+		return 1
+	}
+	return s
+}
+
 // Stddev returns the population standard deviation of xs.
 func Stddev(xs []float64) float64 {
 	if len(xs) < 2 {

@@ -66,3 +66,44 @@ func TestOrderingProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSumAndPercentile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2, 5}
+	if got := Sum(xs); got != 15 {
+		t.Fatalf("Sum = %v", got)
+	}
+	if got := Sum(nil); got != 0 {
+		t.Fatalf("Sum(nil) = %v", got)
+	}
+	if got := Percentile(xs, 50); got != 3 {
+		t.Fatalf("P50 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 5 {
+		t.Fatalf("P100 = %v", got)
+	}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Fatalf("P0 = %v", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Fatalf("Percentile(nil) = %v", got)
+	}
+}
+
+func TestBoundedSlowdown(t *testing.T) {
+	// Long job: plain response/service ratio.
+	if got := BoundedSlowdown(200, 100, 10); got != 2 {
+		t.Fatalf("long job: %v", got)
+	}
+	// Short job: the bound replaces the tiny service time.
+	if got := BoundedSlowdown(50, 1, 10); got != 5 {
+		t.Fatalf("short job: %v", got)
+	}
+	// Never below 1.
+	if got := BoundedSlowdown(5, 100, 10); got != 1 {
+		t.Fatalf("floor: %v", got)
+	}
+	// Degenerate inputs clamp to 1.
+	if got := BoundedSlowdown(5, 0, 0); got != 1 {
+		t.Fatalf("degenerate: %v", got)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"gangfm/internal/chaos"
 	"gangfm/internal/core"
 	"gangfm/internal/fm"
+	"gangfm/internal/gang"
 	"gangfm/internal/lanai"
 	"gangfm/internal/memmodel"
 	"gangfm/internal/myrinet"
@@ -26,6 +27,9 @@ type Config struct {
 	Mode core.CopyMode
 	// Quantum is the gang-scheduling time slice.
 	Quantum sim.Time
+	// Packing selects the gang-matrix packing policy; nil means the
+	// default DHC buddy scheme.
+	Packing gang.Policy
 
 	// CtrlBase and CtrlJitter shape control-network message latency:
 	// base Ethernet+daemon cost plus uniform [0, jitter) per message.

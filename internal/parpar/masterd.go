@@ -40,7 +40,7 @@ type Masterd struct {
 func newMasterd(c *Cluster) *Masterd {
 	return &Masterd{
 		c:       c,
-		matrix:  gang.NewMatrix(c.cfg.Nodes, c.cfg.Slots),
+		matrix:  gang.NewMatrixPolicy(c.cfg.Nodes, c.cfg.Slots, c.cfg.Packing),
 		jobs:    make(map[myrinet.JobID]*Job),
 		nextID:  1,
 		lastRow: -1,
@@ -137,6 +137,14 @@ func (m *Masterd) rankDone(job *Job, rank int, result any) {
 	if err := m.matrix.Remove(job.ID); err != nil {
 		panic(fmt.Sprintf("parpar: removing done job: %v", err))
 	}
+	if m.matrix.Policy().UnifyOnExit() {
+		// Slot unification may have migrated a suspended job into the
+		// active row, so the row is no longer fully bound and the
+		// same-row skip in tick must not elide the next switch. Force a
+		// real switch, promptly, exactly as rankReady does.
+		m.activated = false
+		m.kickASAP = true
+	}
 	delete(m.jobs, job.ID)
 	for _, col := range job.Placement.Cols {
 		col := col
@@ -145,6 +153,7 @@ func (m *Masterd) rankDone(job *Job, rank int, result any) {
 	for _, fn := range job.onDone {
 		fn(job)
 	}
+	m.advance()
 }
 
 // maybeTick starts the rotation loop if it is not running.

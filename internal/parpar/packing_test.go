@@ -1,0 +1,60 @@
+package parpar
+
+import (
+	"testing"
+
+	"gangfm/internal/gang"
+)
+
+// idleSpec is a job whose processes finish immediately (workload.Idle
+// would import-cycle back into parpar).
+func idleSpec(name string, ranks int) JobSpec {
+	return JobSpec{
+		Name: name,
+		Size: ranks,
+		NewProgram: func(rank int) Program {
+			return ProgramFunc(func(p *Proc) { p.Done(nil) })
+		},
+	}
+}
+
+// TestConfigPacking checks that Config.Packing reaches the gang matrix and
+// changes where jobs land: with four nodes, a size-1 job followed by a
+// size-2 job goes to the free buddy block {2,3} under DHC but packs
+// greedily to {1,2} under first-fit.
+func TestConfigPacking(t *testing.T) {
+	cases := []struct {
+		policy   gang.Policy
+		wantCols []int
+	}{
+		{nil, []int{2, 3}},             // default buddy
+		{gang.Buddy{}, []int{2, 3}},    // explicit buddy
+		{gang.FirstFit{}, []int{1, 2}}, // greedy packing
+	}
+	for _, tc := range cases {
+		cfg := DefaultConfig(4)
+		cfg.Packing = tc.policy
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Submit(idleSpec("one", 1)); err != nil {
+			t.Fatal(err)
+		}
+		j2, err := c.Submit(idleSpec("two", 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, ok := c.Master().Matrix().Placement(j2.ID)
+		if !ok {
+			t.Fatal("job 2 not placed")
+		}
+		name := "nil"
+		if tc.policy != nil {
+			name = tc.policy.Name()
+		}
+		if len(p.Cols) != 2 || p.Cols[0] != tc.wantCols[0] || p.Cols[1] != tc.wantCols[1] {
+			t.Errorf("%s: job 2 at cols %v, want %v", name, p.Cols, tc.wantCols)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package schedeval
+
+import (
+	"fmt"
+
+	"gangfm/internal/fm"
+	"gangfm/internal/gang"
+	"gangfm/internal/metrics"
+	"gangfm/internal/sim"
+)
+
+// Compare replays the base config's trace under every (packing, scheme)
+// combination, packing-major, and returns the runs in grid order. The
+// runs share the trace but nothing else, so each is independently
+// deterministic.
+func Compare(base Config, schemes []fm.Policy, packings []gang.Policy) ([]*Result, error) {
+	var out []*Result
+	for _, p := range packings {
+		for _, s := range schemes {
+			cfg := base
+			cfg.Scheme = s
+			cfg.Packing = p
+			r, err := Run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("schedeval: %s/%s: %w", p.Name(), s, err)
+			}
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// ms renders cycles as milliseconds on the default clock.
+func ms(t float64) float64 {
+	return sim.DefaultClock.ToDuration(sim.Time(t)).Seconds() * 1e3
+}
+
+// SummaryTable renders one row per run: the comparison the paper's n²
+// credit argument predicts (partitioned slowdowns blow up with competing
+// jobs; switched ones do not).
+func SummaryTable(rs []*Result) *metrics.Table {
+	t := metrics.NewTable(
+		"Trace-driven schedule evaluation",
+		"packing", "credits", "jobs", "done", "peak", "makespan_ms",
+		"mean_resp_ms", "mean_bsld", "max_bsld", "util", "comm_frac", "switches",
+	)
+	for _, r := range rs {
+		t.AddRow(
+			r.Packing, r.Scheme.String(), len(r.Jobs), r.Finished, r.PeakConcurrent,
+			ms(float64(r.Makespan)), ms(r.MeanResponse),
+			r.MeanSlowdown, r.MaxSlowdown, r.Utilization, r.MeanCommFraction,
+			r.Switches,
+		)
+	}
+	return t
+}
+
+// JobTable renders a run's per-job metrics.
+func JobTable(r *Result) *metrics.Table {
+	t := metrics.NewTable(
+		fmt.Sprintf("Per-job metrics (%s packing, %s credits)", r.Packing, r.Scheme),
+		"job", "kernel", "size", "done", "arrive_ms", "wait_ms", "resp_ms",
+		"bsld", "comm_frac", "switches",
+	)
+	for _, m := range r.Jobs {
+		done := "yes"
+		if !m.Finished {
+			done = "no"
+		}
+		t.AddRow(
+			m.Index, m.Kernel.String(), m.Size, done,
+			ms(float64(m.Arrive)), ms(float64(m.Wait)), ms(float64(m.Response)),
+			m.Slowdown, m.CommFraction, m.Switches,
+		)
+	}
+	return t
+}

@@ -1,0 +1,221 @@
+// Package schedeval is the trace-driven scheduler-evaluation subsystem:
+// it replays a stream of parallel-job arrivals against a parpar cluster,
+// with a chosen credit scheme (Partitioned vs Switched buffers) and
+// gang-matrix packing policy, and reports per-job response time, bounded
+// slowdown, communication fraction, and aggregate utilization. It is the
+// end-to-end demonstration of the paper's claim: partitioning the NIC
+// buffers by the context count costs every job dearly once several jobs
+// compete for slots, while switched whole-buffer credits do not.
+package schedeval
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"gangfm/internal/parpar"
+	"gangfm/internal/sim"
+	"gangfm/internal/workload"
+)
+
+// Kernel identifies the application model a trace job runs.
+type Kernel int
+
+const (
+	// KernelBSP is the bulk-synchronous compute/exchange kernel.
+	KernelBSP Kernel = iota
+	// KernelStencil is the ring halo-exchange kernel.
+	KernelStencil
+	// KernelMasterWorker is the task-bag kernel.
+	KernelMasterWorker
+	// KernelAllToAll is the paper's §4.2 all-to-all stress benchmark.
+	KernelAllToAll
+)
+
+var kernelNames = [...]string{"bsp", "stencil", "masterworker", "alltoall"}
+
+// String returns the kernel's trace-format name.
+func (k Kernel) String() string {
+	if k < 0 || int(k) >= len(kernelNames) {
+		return fmt.Sprintf("kernel(%d)", int(k))
+	}
+	return kernelNames[k]
+}
+
+// KernelByName resolves a trace-format kernel name.
+func KernelByName(name string) (Kernel, bool) {
+	for i, n := range kernelNames {
+		if n == name {
+			return Kernel(i), true
+		}
+	}
+	return 0, false
+}
+
+// TraceJob is one arrival in a job trace.
+type TraceJob struct {
+	// Arrive is the submission time in cycles.
+	Arrive sim.Time
+	// Size is the number of nodes (= ranks) the job gangs across.
+	Size int
+	// Kernel selects the application model.
+	Kernel Kernel
+	// Units is the kernel's outer iteration count: BSP phases, stencil
+	// iterations, master-worker tasks, or all-to-all rounds.
+	Units int
+	// Msgs is the per-unit message multiplier (per peer for BSP, per
+	// round for all-to-all; ignored by stencil and master-worker, which
+	// fix their per-unit message counts).
+	Msgs int
+	// MsgBytes is the payload size: exchange/halo message bytes, or the
+	// master-worker task descriptor size.
+	MsgBytes int
+	// Compute is the per-unit compute time in cycles (per phase,
+	// iteration, or task).
+	Compute sim.Time
+}
+
+// Spec builds the job's parpar spec.
+func (j TraceJob) Spec(name string) parpar.JobSpec {
+	switch j.Kernel {
+	case KernelBSP:
+		if j.Size == 1 {
+			return workload.BSP(name, 1, j.Units, 1, j.MsgBytes, j.Compute)
+		}
+		return workload.BSP(name, j.Size, j.Units, j.Msgs, j.MsgBytes, j.Compute)
+	case KernelStencil:
+		return workload.Stencil(name, j.Size, j.Units, j.MsgBytes, j.Compute)
+	case KernelMasterWorker:
+		return workload.MasterWorker(name, j.Size, j.Units, j.MsgBytes, j.Compute)
+	case KernelAllToAll:
+		return workload.AllToAll(name, j.Size, j.Units*j.Msgs, j.MsgBytes)
+	}
+	panic(fmt.Sprintf("schedeval: unknown kernel %v", j.Kernel))
+}
+
+// Nominal estimates the job's dedicated-machine service time in cycles.
+// It is a deliberate scheme-independent work anchor — compute wall time
+// plus a crude copy/latency charge per byte and message — used as the
+// bounded-slowdown denominator and the utilization numerator, so the
+// comparison between credit schemes on the same trace is apples to
+// apples. The constants only scale the absolute numbers, never the
+// direction of a comparison.
+func (j TraceJob) Nominal() sim.Time {
+	var msgs, bytes int
+	switch j.Kernel {
+	case KernelBSP:
+		msgs = j.Units * j.Msgs * (j.Size - 1)
+	case KernelStencil:
+		if j.Size > 1 {
+			msgs = j.Units * 2
+		}
+	case KernelMasterWorker:
+		// Per-rank traffic is dominated by the master: tasks out,
+		// completions in.
+		msgs = 2 * j.Units
+	case KernelAllToAll:
+		msgs = j.Units * j.Msgs * (j.Size - 1)
+	}
+	bytes = msgs * j.MsgBytes
+	wall := sim.Time(j.Units) * j.Compute
+	if j.Kernel == KernelMasterWorker && j.Size > 1 {
+		// Tasks run on the workers, ceil-divided among them.
+		perWorker := (j.Units + j.Size - 2) / (j.Size - 1)
+		wall = sim.Time(perWorker) * j.Compute
+	}
+	return wall + sim.Time(bytes)*3 + sim.Time(msgs)*2000 + 100_000
+}
+
+// Validate checks the job against the machine size.
+func (j TraceJob) Validate(nodes int) error {
+	if j.Size < 1 || j.Size > nodes {
+		return fmt.Errorf("schedeval: job size %d outside 1..%d", j.Size, nodes)
+	}
+	if j.Units < 1 || j.Msgs < 1 || j.MsgBytes < 1 {
+		return fmt.Errorf("schedeval: job needs positive units/msgs/bytes, got %d/%d/%d",
+			j.Units, j.Msgs, j.MsgBytes)
+	}
+	switch j.Kernel {
+	case KernelMasterWorker:
+		if j.Size < 2 {
+			return fmt.Errorf("schedeval: master-worker job needs size >= 2")
+		}
+		if j.MsgBytes < 16 {
+			return fmt.Errorf("schedeval: master-worker task bytes %d < 16", j.MsgBytes)
+		}
+	case KernelAllToAll:
+		if j.Size < 2 {
+			return fmt.Errorf("schedeval: all-to-all job needs size >= 2")
+		}
+	case KernelBSP, KernelStencil:
+	default:
+		return fmt.Errorf("schedeval: unknown kernel %d", int(j.Kernel))
+	}
+	return nil
+}
+
+// ParseTrace reads the trace text format: one job per line as
+//
+//	arrive size kernel units msgs bytes compute
+//
+// with '#' comments and blank lines ignored. Times are in cycles.
+func ParseTrace(r io.Reader) ([]TraceJob, error) {
+	var jobs []TraceJob
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		f := strings.Fields(text)
+		if len(f) != 7 {
+			return nil, fmt.Errorf("schedeval: trace line %d: want 7 fields, got %d", line, len(f))
+		}
+		kernel, ok := KernelByName(f[2])
+		if !ok {
+			return nil, fmt.Errorf("schedeval: trace line %d: unknown kernel %q", line, f[2])
+		}
+		nums := make([]uint64, 7)
+		for i, s := range f {
+			if i == 2 {
+				continue
+			}
+			v, err := strconv.ParseUint(s, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("schedeval: trace line %d field %d: %v", line, i+1, err)
+			}
+			nums[i] = v
+		}
+		jobs = append(jobs, TraceJob{
+			Arrive:   sim.Time(nums[0]),
+			Size:     int(nums[1]),
+			Kernel:   kernel,
+			Units:    int(nums[3]),
+			Msgs:     int(nums[4]),
+			MsgBytes: int(nums[5]),
+			Compute:  sim.Time(nums[6]),
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return jobs, nil
+}
+
+// FormatTrace writes jobs in the ParseTrace format.
+func FormatTrace(w io.Writer, jobs []TraceJob) error {
+	if _, err := fmt.Fprintln(w, "# arrive size kernel units msgs bytes compute"); err != nil {
+		return err
+	}
+	for _, j := range jobs {
+		if _, err := fmt.Fprintf(w, "%d %d %s %d %d %d %d\n",
+			uint64(j.Arrive), j.Size, j.Kernel, j.Units, j.Msgs, j.MsgBytes, uint64(j.Compute)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,352 @@
+package workload
+
+import (
+	"gangfm/internal/parpar"
+	"gangfm/internal/sim"
+)
+
+// The kernels in this file are the parallel application models of the
+// scheduler-evaluation runs (internal/schedeval): bulk-synchronous
+// compute/communicate phases, stencil halo exchange on a ring, and a
+// master-worker task bag. Each is parameterized by communication
+// intensity (message counts and sizes versus compute cycles) and reports
+// per-rank results that implement ComputeReporter, so the evaluator can
+// separate compute from communication time.
+
+// A ComputeReporter exposes how many cycles a rank spent in pure compute
+// sections; the scheduler evaluator uses it to derive the communication
+// fraction of a job's runtime.
+type ComputeReporter interface {
+	ComputeTime() sim.Time
+}
+
+// BSPResult is reported by every rank of a bulk-synchronous job.
+type BSPResult struct {
+	Rank     int
+	Phases   int
+	Sent     int
+	Received int
+	Compute  sim.Time
+	Start    sim.Time
+	End      sim.Time
+}
+
+// ComputeTime returns the cycles spent in compute sections.
+func (r BSPResult) ComputeTime() sim.Time { return r.Compute }
+
+// StencilResult is reported by every rank of a stencil job.
+type StencilResult struct {
+	Rank     int
+	Iters    int
+	Sent     int
+	Received int
+	Compute  sim.Time
+	Start    sim.Time
+	End      sim.Time
+}
+
+// ComputeTime returns the cycles spent in compute sections.
+func (r StencilResult) ComputeTime() sim.Time { return r.Compute }
+
+// MasterWorkerResult is reported by every rank of a master-worker job.
+type MasterWorkerResult struct {
+	Rank     int
+	Tasks    int // tasks completed by this rank (all tasks, for the master)
+	Sent     int
+	Received int
+	Compute  sim.Time
+	Start    sim.Time
+	End      sim.Time
+}
+
+// ComputeTime returns the cycles spent in compute sections.
+func (r MasterWorkerResult) ComputeTime() sim.Time { return r.Compute }
+
+// TotalCompute sums the compute cycles reported by a finished job's ranks;
+// results that do not implement ComputeReporter contribute zero.
+func TotalCompute(job *parpar.Job) sim.Time {
+	var total sim.Time
+	for _, r := range job.Results {
+		if cr, ok := r.(ComputeReporter); ok {
+			total += cr.ComputeTime()
+		}
+	}
+	return total
+}
+
+// exchangeProgram is the shared skeleton of the phase-structured kernels:
+// every phase computes for `compute` cycles, sends `perDest` messages of
+// `size` bytes to each destination (round-robin across dests), and waits
+// for the phase's symmetric inbound traffic before advancing. The barrier
+// is per-source cumulative — rank r expects perDest messages per phase
+// from each rank that lists r as a destination, and FM delivers in order
+// per source — so a neighbor running ahead can never stall or confuse it.
+// Every rank has received everything addressed to it when it finishes, so
+// suspending the endpoint at Done cannot wedge a peer.
+func exchangeProgram(rank, ranks, phases int, dests []int, perDest, size int,
+	compute sim.Time, report func(sent, received int, computeT, start, end sim.Time) any) parpar.Program {
+	return parpar.ProgramFunc(func(p *parpar.Proc) {
+		m := startMeter(p)
+		if phases <= 0 || (len(dests) == 0 && compute == 0) {
+			m.finish(func(start, end sim.Time) any {
+				return report(0, 0, 0, start, end)
+			})
+			return
+		}
+		// Inbound expectation per source and phase. The communication
+		// graphs here (all-pairs, symmetric ring) are undirected, so the
+		// traffic rank r expects from s mirrors what r sends to s.
+		expFrom := make([]int, ranks)
+		for _, d := range dests {
+			expFrom[d] += perDest
+		}
+		perPhase := perDest * len(dests)
+		var (
+			phase     int
+			sentPhase int
+			sent      int
+			received  int
+			computeT  sim.Time
+			computing bool
+			recvFrom  = make([]int, ranks)
+		)
+		var startPhase func()
+		var kick func()
+		maybeAdvance := func() {
+			for {
+				if computing || sentPhase < perPhase {
+					return
+				}
+				for src, exp := range expFrom {
+					if exp > 0 && recvFrom[src] < (phase+1)*exp {
+						return
+					}
+				}
+				phase++
+				sentPhase = 0
+				if phase == phases {
+					m.finish(func(start, end sim.Time) any {
+						return report(sent, received, computeT, start, end)
+					})
+					return
+				}
+				startPhase()
+				if computing || perPhase > 0 {
+					return
+				}
+				// Compute-free, communication-free phases (possible only
+				// with no dests) fall through and advance again.
+			}
+		}
+		startPhase = func() {
+			if compute == 0 {
+				kick()
+				return
+			}
+			computing = true
+			p.Schedule(compute, func() {
+				computing = false
+				computeT += compute
+				kick()
+				maybeAdvance()
+			})
+		}
+		p.EP.SetHandler(func(src, _ int, _ []byte) {
+			received++
+			recvFrom[src]++
+			maybeAdvance()
+		})
+		kick = pump(p, func() (int, int) {
+			if computing || phase >= phases || sentPhase >= perPhase {
+				return -1, 0
+			}
+			return dests[sentPhase%len(dests)], size
+		}, func() {
+			sentPhase++
+			sent++
+			maybeAdvance()
+		})
+		startPhase()
+	})
+}
+
+// BSP returns a bulk-synchronous job: `phases` rounds in which every rank
+// computes for `compute` cycles and then exchanges `perPeer` messages of
+// `size` bytes with every other rank before the (implicit, traffic-based)
+// barrier releases the next round. With ranks == 1 it degenerates to a
+// compute-only chain. Every rank's Done value is a BSPResult.
+func BSP(name string, ranks, phases, perPeer, size int, compute sim.Time) parpar.JobSpec {
+	if ranks < 1 || phases < 0 || perPeer <= 0 || size <= 0 || compute < 0 {
+		panic("workload: BSP needs ranks >= 1 and positive traffic parameters")
+	}
+	return parpar.JobSpec{
+		Name: name,
+		Size: ranks,
+		NewProgram: func(rank int) parpar.Program {
+			var dests []int
+			for i := 1; i < ranks; i++ {
+				dests = append(dests, (rank+i)%ranks)
+			}
+			return exchangeProgram(rank, ranks, phases, dests, perPeer, size, compute,
+				func(sent, received int, computeT, start, end sim.Time) any {
+					return BSPResult{Rank: rank, Phases: phases, Sent: sent,
+						Received: received, Compute: computeT, Start: start, End: end}
+				})
+		},
+	}
+}
+
+// Stencil returns an iterative halo-exchange job on a ring: each of the
+// `iters` iterations computes for `compute` cycles and then trades one
+// `halo`-byte boundary message with each ring neighbor. With two ranks
+// both neighbors are the same rank (two messages per iteration); with one
+// rank it degenerates to a compute-only chain. Every rank's Done value is
+// a StencilResult.
+func Stencil(name string, ranks, iters, halo int, compute sim.Time) parpar.JobSpec {
+	if ranks < 1 || iters < 0 || halo <= 0 || compute < 0 {
+		panic("workload: stencil needs ranks >= 1 and a positive halo size")
+	}
+	return parpar.JobSpec{
+		Name: name,
+		Size: ranks,
+		NewProgram: func(rank int) parpar.Program {
+			var dests []int
+			if ranks > 1 {
+				dests = []int{(rank + 1) % ranks, (rank - 1 + ranks) % ranks}
+			}
+			return exchangeProgram(rank, ranks, iters, dests, 1, halo, compute,
+				func(sent, received int, computeT, start, end sim.Time) any {
+					return StencilResult{Rank: rank, Iters: iters, Sent: sent,
+						Received: received, Compute: computeT, Start: start, End: end}
+				})
+		},
+	}
+}
+
+// mwCtrlSize is the wire size of master-worker control messages (task
+// completions and finish markers); task payloads must be larger so the
+// two are distinguishable by size alone.
+const mwCtrlSize = 8
+
+// MasterWorker returns a task-bag job: rank 0 deals `tasks` tasks of
+// `taskBytes` bytes to ranks 1..n-1, one outstanding task per worker; a
+// worker computes for `compute` cycles per task and returns an 8-byte
+// completion, upon which the master deals it the next task, or an 8-byte
+// finish marker once the bag is empty. The pattern is self-throttling
+// (at most one task in flight per worker) and asymmetric — the natural
+// stress case for per-context credit partitioning on the master's node.
+// Every rank's Done value is a MasterWorkerResult.
+func MasterWorker(name string, ranks, tasks, taskBytes int, compute sim.Time) parpar.JobSpec {
+	if ranks < 2 {
+		panic("workload: master-worker needs at least one worker")
+	}
+	if tasks < 1 || taskBytes < 16 || compute < 0 {
+		panic("workload: master-worker needs tasks >= 1 and taskBytes >= 16")
+	}
+	return parpar.JobSpec{
+		Name: name,
+		Size: ranks,
+		NewProgram: func(rank int) parpar.Program {
+			if rank == 0 {
+				return parpar.ProgramFunc(func(p *parpar.Proc) {
+					m := startMeter(p)
+					type send struct{ dst, size int }
+					var (
+						q           []send
+						qi          int
+						assigned    int
+						completions int
+						finishSent  int
+						sent        int
+					)
+					var kick func()
+					pushWork := func(w int) {
+						if assigned < tasks {
+							assigned++
+							q = append(q, send{w, taskBytes})
+						} else {
+							q = append(q, send{w, mwCtrlSize})
+						}
+					}
+					maybeDone := func() {
+						if completions == tasks && finishSent == ranks-1 {
+							m.finish(func(start, end sim.Time) any {
+								return MasterWorkerResult{Rank: 0, Tasks: tasks,
+									Sent: sent, Received: completions,
+									Start: start, End: end}
+							})
+						}
+					}
+					p.EP.SetHandler(func(src, size int, _ []byte) {
+						if size != mwCtrlSize {
+							return
+						}
+						completions++
+						pushWork(src)
+						kick()
+						maybeDone()
+					})
+					kick = pump(p, func() (int, int) {
+						if qi >= len(q) {
+							return -1, 0
+						}
+						return q[qi].dst, q[qi].size
+					}, func() {
+						if q[qi].size == mwCtrlSize {
+							finishSent++
+						}
+						qi++
+						sent++
+						maybeDone()
+					})
+					for w := 1; w < ranks; w++ {
+						pushWork(w)
+					}
+					kick()
+				})
+			}
+			return parpar.ProgramFunc(func(p *parpar.Proc) {
+				m := startMeter(p)
+				var (
+					done     int
+					pending  int
+					sent     int
+					received int
+					computeT sim.Time
+				)
+				var kick func()
+				p.EP.SetHandler(func(_, size int, _ []byte) {
+					received++
+					if size == mwCtrlSize {
+						m.finish(func(start, end sim.Time) any {
+							return MasterWorkerResult{Rank: rank, Tasks: done,
+								Sent: sent, Received: received, Compute: computeT,
+								Start: start, End: end}
+						})
+						return
+					}
+					finishTask := func() {
+						computeT += compute
+						done++
+						pending++
+						kick()
+					}
+					if compute == 0 {
+						finishTask()
+					} else {
+						p.Schedule(compute, finishTask)
+					}
+				})
+				kick = pump(p, func() (int, int) {
+					if pending == 0 {
+						return -1, 0
+					}
+					return 0, mwCtrlSize
+				}, func() {
+					pending--
+					sent++
+				})
+			})
+		},
+	}
+}

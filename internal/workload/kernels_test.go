@@ -1,0 +1,201 @@
+package workload
+
+import (
+	"testing"
+
+	"gangfm/internal/parpar"
+	"gangfm/internal/sim"
+)
+
+func TestBSPKernel(t *testing.T) {
+	c := testCluster(t, 4)
+	job, err := c.Submit(BSP("bsp", 4, 3, 2, 1024, 100_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+	if job.State() != parpar.JobDone {
+		t.Fatalf("state %v", job.State())
+	}
+	// 3 phases x 2 messages x 3 peers in each direction.
+	for rank, r := range job.Results {
+		res, ok := r.(BSPResult)
+		if !ok {
+			t.Fatalf("rank %d result %T", rank, r)
+		}
+		if res.Sent != 18 || res.Received != 18 {
+			t.Fatalf("rank %d: sent %d received %d, want 18/18", rank, res.Sent, res.Received)
+		}
+		if res.Compute != 3*100_000 {
+			t.Fatalf("rank %d: compute %d", rank, res.Compute)
+		}
+		if res.End <= res.Start {
+			t.Fatalf("rank %d: empty interval", rank)
+		}
+	}
+	if total := TotalCompute(job); total != 4*3*100_000 {
+		t.Fatalf("TotalCompute = %d", total)
+	}
+}
+
+func TestBSPSingleRankIsComputeOnly(t *testing.T) {
+	c := testCluster(t, 2)
+	job, err := c.Submit(BSP("solo", 1, 5, 1, 64, 50_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+	res := job.Results[0].(BSPResult)
+	if res.Sent != 0 || res.Received != 0 {
+		t.Fatalf("solo rank communicated: %d/%d", res.Sent, res.Received)
+	}
+	if res.Compute != 5*50_000 {
+		t.Fatalf("compute %d", res.Compute)
+	}
+}
+
+func TestStencilKernel(t *testing.T) {
+	c := testCluster(t, 4)
+	job, err := c.Submit(Stencil("st", 4, 6, 512, 80_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+	for rank, r := range job.Results {
+		res, ok := r.(StencilResult)
+		if !ok {
+			t.Fatalf("rank %d result %T", rank, r)
+		}
+		// One halo per neighbor per iteration on the ring.
+		if res.Sent != 12 || res.Received != 12 {
+			t.Fatalf("rank %d: sent %d received %d, want 12/12", rank, res.Sent, res.Received)
+		}
+		if res.Compute != 6*80_000 {
+			t.Fatalf("rank %d: compute %d", rank, res.Compute)
+		}
+	}
+}
+
+func TestStencilTwoRanks(t *testing.T) {
+	// With two ranks both ring neighbors are the same rank: two halos per
+	// iteration each way, and the run must still terminate cleanly.
+	c := testCluster(t, 2)
+	job, err := c.Submit(Stencil("st2", 2, 4, 256, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+	for rank, r := range job.Results {
+		res := r.(StencilResult)
+		if res.Sent != 8 || res.Received != 8 {
+			t.Fatalf("rank %d: sent %d received %d, want 8/8", rank, res.Sent, res.Received)
+		}
+	}
+}
+
+func TestMasterWorkerKernel(t *testing.T) {
+	c := testCluster(t, 4)
+	job, err := c.Submit(MasterWorker("mw", 4, 10, 2048, 120_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+	if job.State() != parpar.JobDone {
+		t.Fatalf("state %v", job.State())
+	}
+	master := job.Results[0].(MasterWorkerResult)
+	if master.Tasks != 10 || master.Received != 10 {
+		t.Fatalf("master: tasks %d received %d", master.Tasks, master.Received)
+	}
+	// 10 tasks + 3 finish markers.
+	if master.Sent != 13 {
+		t.Fatalf("master sent %d, want 13", master.Sent)
+	}
+	workerTasks := 0
+	var workerCompute sim.Time
+	for rank := 1; rank < 4; rank++ {
+		res := job.Results[rank].(MasterWorkerResult)
+		workerTasks += res.Tasks
+		workerCompute += res.Compute
+		// Each worker got its tasks plus one finish marker, and sent one
+		// completion per task.
+		if res.Received != res.Tasks+1 || res.Sent != res.Tasks {
+			t.Fatalf("worker %d: tasks %d sent %d received %d", rank, res.Tasks, res.Sent, res.Received)
+		}
+	}
+	if workerTasks != 10 {
+		t.Fatalf("workers completed %d tasks, want 10", workerTasks)
+	}
+	if workerCompute != 10*120_000 {
+		t.Fatalf("worker compute %d", workerCompute)
+	}
+}
+
+func TestMasterWorkerFewerTasksThanWorkers(t *testing.T) {
+	// Some workers receive only a finish marker.
+	c := testCluster(t, 4)
+	job, err := c.Submit(MasterWorker("mw-small", 4, 2, 1024, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+	if job.State() != parpar.JobDone {
+		t.Fatalf("state %v", job.State())
+	}
+	total := 0
+	for rank := 1; rank < 4; rank++ {
+		total += job.Results[rank].(MasterWorkerResult).Tasks
+	}
+	if total != 2 {
+		t.Fatalf("workers completed %d tasks, want 2", total)
+	}
+}
+
+func TestPingPongReplierResult(t *testing.T) {
+	// The replier's Done value is its reply count — both sides must agree
+	// on the number of rounds.
+	c := testCluster(t, 2)
+	job, err := c.Submit(PingPong("pp", 50, 128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+	res, ok := job.Results[0].(PingPongResult)
+	if !ok {
+		t.Fatalf("rank 0 result %T", job.Results[0])
+	}
+	if res.Rounds != 50 || res.Size != 128 {
+		t.Fatalf("rank 0 result %+v", res)
+	}
+	replies, ok := job.Results[1].(int)
+	if !ok {
+		t.Fatalf("rank 1 result %T", job.Results[1])
+	}
+	if replies != 50 {
+		t.Fatalf("replier counted %d rounds, want 50", replies)
+	}
+	if res.End < job.SyncTime || res.Start < job.SyncTime {
+		t.Fatal("measurement interval precedes job sync")
+	}
+}
+
+func TestKernelValidationPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { BSP("x", 0, 1, 1, 1, 0) },
+		func() { BSP("x", 2, 1, 0, 64, 0) },
+		func() { Stencil("x", 0, 1, 64, 0) },
+		func() { Stencil("x", 2, 1, 0, 0) },
+		func() { MasterWorker("x", 1, 1, 64, 0) },
+		func() { MasterWorker("x", 4, 0, 64, 0) },
+		func() { MasterWorker("x", 4, 1, 8, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

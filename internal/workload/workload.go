@@ -11,6 +11,50 @@ import (
 	"gangfm/internal/sim"
 )
 
+// pump drives an endpoint's send loop against back-pressure. next reports
+// the destination and size of the next message, or dst < 0 when nothing is
+// (currently) ready to send; onSent records a successful hand-off to FM.
+// The loop is installed as the OnCanSend callback so it resumes whenever
+// credits return, and the returned kick primes it (callers also re-kick
+// after making new messages ready).
+func pump(p *parpar.Proc, next func() (dst, size int), onSent func()) func() {
+	var kick func()
+	kick = func() {
+		for {
+			dst, size := next()
+			if dst < 0 {
+				return
+			}
+			if !p.EP.Send(dst, size, nil) {
+				return
+			}
+			onSent()
+		}
+	}
+	p.EP.SetOnCanSend(kick)
+	return kick
+}
+
+// meter times a rank's measurement interval: Start is stamped when the
+// program enters, and finish reports the result built from (start, end)
+// through Done exactly once — the rank-0 timing pattern every benchmark
+// shares.
+type meter struct {
+	p     *parpar.Proc
+	start sim.Time
+	fired bool
+}
+
+func startMeter(p *parpar.Proc) *meter { return &meter{p: p, start: p.Now()} }
+
+func (m *meter) finish(result func(start, end sim.Time) any) {
+	if m.fired {
+		return
+	}
+	m.fired = true
+	m.p.Done(result(m.start, m.p.Now()))
+}
+
 // BandwidthResult is reported by rank 0 of a bandwidth job.
 type BandwidthResult struct {
 	Messages int
@@ -51,21 +95,24 @@ func Bandwidth(name string, msgs, size int) parpar.JobSpec {
 		NewProgram: func(rank int) parpar.Program {
 			if rank == 0 {
 				return parpar.ProgramFunc(func(p *parpar.Proc) {
-					res := BandwidthResult{Messages: msgs, MsgSize: size, Start: p.Now()}
+					m := startMeter(p)
+					res := BandwidthResult{Messages: msgs, MsgSize: size}
 					p.EP.SetHandler(func(_, _ int, _ []byte) {
-						res.End = p.Now()
-						p.Done(res)
+						m.finish(func(start, end sim.Time) any {
+							res.Start, res.End = start, end
+							return res
+						})
 					})
 					sent := 0
-					var fill func()
-					fill = func() {
-						for sent < msgs && p.EP.Send(1, size, nil) {
-							sent++
-							res.Bytes += uint64(size)
+					pump(p, func() (int, int) {
+						if sent >= msgs {
+							return -1, 0
 						}
-					}
-					p.EP.SetOnCanSend(fill)
-					fill()
+						return 1, size
+					}, func() {
+						sent++
+						res.Bytes += uint64(size)
+					})()
 				})
 			}
 			return parpar.ProgramFunc(func(p *parpar.Proc) {
@@ -108,15 +155,15 @@ func AllToAll(name string, ranks, perPeer, size int) parpar.JobSpec {
 		Size: ranks,
 		NewProgram: func(rank int) parpar.Program {
 			return parpar.ProgramFunc(func(p *parpar.Proc) {
-				res := AllToAllResult{Rank: rank, Start: p.Now()}
+				m := startMeter(p)
+				res := AllToAllResult{Rank: rank}
 				total := perPeer * (ranks - 1)
-				expect := total
-				finished := false
 				maybeDone := func() {
-					if !finished && res.Sent == total && res.Received == expect {
-						finished = true
-						res.End = p.Now()
-						p.Done(res)
+					if res.Sent == total && res.Received == total {
+						m.finish(func(start, end sim.Time) any {
+							res.Start, res.End = start, end
+							return res
+						})
 					}
 				}
 				p.EP.SetHandler(func(_, _ int, _ []byte) {
@@ -125,19 +172,15 @@ func AllToAll(name string, ranks, perPeer, size int) parpar.JobSpec {
 				})
 				// Destinations rotate starting after our own rank so
 				// the cluster's traffic pattern is balanced.
-				var fill func()
-				fill = func() {
-					for res.Sent < total {
-						dst := (rank + 1 + res.Sent%(ranks-1)) % ranks
-						if !p.EP.Send(dst, size, nil) {
-							return
-						}
-						res.Sent++
+				pump(p, func() (int, int) {
+					if res.Sent >= total {
+						return -1, 0
 					}
+					return (rank + 1 + res.Sent%(ranks-1)) % ranks, size
+				}, func() {
+					res.Sent++
 					maybeDone()
-				}
-				p.EP.SetOnCanSend(fill)
-				fill()
+				})()
 			})
 		},
 	}
@@ -172,13 +215,14 @@ func PingPong(name string, rounds, size int) parpar.JobSpec {
 		NewProgram: func(rank int) parpar.Program {
 			if rank == 0 {
 				return parpar.ProgramFunc(func(p *parpar.Proc) {
-					res := PingPongResult{Rounds: rounds, Size: size, Start: p.Now()}
+					m := startMeter(p)
 					count := 0
 					p.EP.SetHandler(func(_, _ int, _ []byte) {
 						count++
 						if count == rounds {
-							res.End = p.Now()
-							p.Done(res)
+							m.finish(func(start, end sim.Time) any {
+								return PingPongResult{Rounds: rounds, Size: size, Start: start, End: end}
+							})
 							return
 						}
 						p.EP.Send(1, size, nil)
