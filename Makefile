@@ -22,6 +22,7 @@ race:
 fuzz-smoke:
 	$(GO) run ./cmd/gangsim fuzz -seed 1 -runs 5
 	$(GO) run ./cmd/gangsim fuzz -compare -seed 77
+	$(GO) run ./cmd/gangsim fuzz -recovery -seed 1 -runs 25
 
 # Scheduler-evaluation smoke: a quick trace replay across every packing
 # policy and both credit schemes.

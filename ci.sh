@@ -16,6 +16,10 @@ go test -race ./internal/experiments/...
 go run ./cmd/gangsim fuzz -seed 1 -runs 5
 go run ./cmd/gangsim fuzz -compare -seed 77
 
+# Recovery differential: each sampled plan runs bare and with the
+# self-healing switch layer; any recovery-enabled failure exits non-zero.
+go run ./cmd/gangsim fuzz -recovery -seed 1 -runs 25
+
 # Scheduler-evaluation smoke: the sched tables are a pure function of the
 # seed, so run the quick grid twice and demand byte-identical output.
 go run ./cmd/gangsim sched -quick > /tmp/sched-ci-a.txt

@@ -10,7 +10,9 @@ import (
 	"time"
 
 	"gangfm/internal/experiments"
+	"gangfm/internal/parpar"
 	"gangfm/internal/sim"
+	"gangfm/internal/workload"
 )
 
 // BenchResult is one figure's performance measurement.
@@ -56,10 +58,19 @@ type BenchReport struct {
 	// EngineNsPerEvent is a dedicated microbenchmark of the DES hot loop
 	// (one self-rescheduling event), comparable to engine_ns_per_event in
 	// the baseline block.
-	EngineNsPerEvent float64       `json:"engine_ns_per_event"`
-	Figures          []BenchResult `json:"figures"`
-	Total            BenchResult   `json:"total"`
-	Baseline         BenchBaseline `json:"baseline"`
+	EngineNsPerEvent float64 `json:"engine_ns_per_event"`
+	// SwitchCycles is the mean steady-state three-stage switch cost of a
+	// fixed 16-node workload, in virtual cycles — deterministic, so any
+	// change between reports is a protocol change, not measurement noise.
+	// SwitchCyclesRecoveryClean is the same probe with the self-healing
+	// layer enabled and no faults; the two must be cycle-identical (the
+	// recovery timers all cancel on the clean path) and bench exits
+	// non-zero when they are not.
+	SwitchCycles              float64       `json:"switch_cycles"`
+	SwitchCyclesRecoveryClean float64       `json:"switch_cycles_recovery_clean"`
+	Figures                   []BenchResult `json:"figures"`
+	Total                     BenchResult   `json:"total"`
+	Baseline                  BenchBaseline `json:"baseline"`
 }
 
 // runBench executes every figure under wall-clock, event-count and
@@ -94,6 +105,15 @@ func runBench(args []string, out io.Writer) int {
 	}
 	rep.EngineNsPerEvent = engineNsPerEvent()
 	fmt.Fprintf(out, "engine hot loop: %.2f ns/event\n", rep.EngineNsPerEvent)
+
+	rep.SwitchCycles = switchCostCycles(false)
+	rep.SwitchCyclesRecoveryClean = switchCostCycles(true)
+	fmt.Fprintf(out, "switch cost: %.0f virtual cycles (recovery off), %.0f (recovery on, clean)\n",
+		rep.SwitchCycles, rep.SwitchCyclesRecoveryClean)
+	if rep.SwitchCycles != rep.SwitchCyclesRecoveryClean {
+		fmt.Fprintf(out, "REGRESSION: recovery layer changed the clean-path switch cost\n")
+		return 1
+	}
 
 	figures := []struct {
 		name string
@@ -169,6 +189,45 @@ func measure(name string, fn func()) BenchResult {
 		r.AllocsPerEv = float64(r.Allocs) / float64(r.Events)
 	}
 	return r
+}
+
+// switchCostCycles measures the mean steady-state switch cost (virtual
+// cycles) of a fixed 16-node two-job all-to-all workload, optionally with
+// the self-healing layer enabled. The simulation is deterministic, so the
+// recovery-on-but-clean number must equal the recovery-off number exactly.
+func switchCostCycles(recovery bool) float64 {
+	cfg := parpar.DefaultConfig(16)
+	cfg.Slots = 2
+	cfg.Quantum = 4_000_000
+	if recovery {
+		r := parpar.DefaultRecovery(cfg.Quantum)
+		cfg.Recovery = &r
+	}
+	c, err := parpar.New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	if _, err := c.Submit(workload.AllToAll("a", 16, 40, 1536)); err != nil {
+		panic(err)
+	}
+	if _, err := c.Submit(workload.AllToAll("b", 16, 40, 1536)); err != nil {
+		panic(err)
+	}
+	c.Run()
+	var sum sim.Time
+	n := 0
+	for _, hist := range c.SwitchHistory() {
+		for _, s := range hist {
+			if s.From >= 0 && s.To >= 0 { // steady-state switches only
+				sum += s.Total()
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(sum) / float64(n)
 }
 
 // engineNsPerEvent times the bare DES hot loop: a single self-rescheduling

@@ -23,11 +23,24 @@ func runFuzz(args []string, out io.Writer) int {
 		runs    = fs.Int("runs", 25, "scenarios to sample and execute")
 		shrink  = fs.Bool("shrink", true, "minimize failing fault plans")
 		trace   = fs.Bool("trace", false, "print the injection trace of failing runs")
-		compare = fs.Bool("compare", false, "run the FM-vs-go-back-N loss comparison instead")
-		prob    = fs.Float64("prob", 0.2, "loss probability for -compare")
+		compare  = fs.Bool("compare", false, "run the FM-vs-go-back-N loss comparison instead")
+		prob     = fs.Float64("prob", 0.2, "loss probability for -compare")
+		recovery = fs.Bool("recovery", false, "differential recovery campaign: each plan runs bare and with the self-healing switch layer; any recovery-enabled failure is a regression (exit 1)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *recovery {
+		rep := fuzzer.FuzzRecovery(fuzzer.Config{Seed: *seed, Runs: *runs},
+			func(format string, a ...any) { fmt.Fprintf(out, format+"\n", a...) })
+		fmt.Fprintf(out, "\nrecovery campaign: %d runs, %d wedged bare, %d recovered, %d UNRECOVERED\n",
+			len(rep.Runs), rep.Wedged, rep.Recovered, rep.Unrecovered)
+		if rep.Unrecovered > 0 {
+			fmt.Fprintf(out, "recovery regression; replay with: gangsim fuzz -recovery -seed <S> -runs 1\n")
+			return 1
+		}
+		return 0
 	}
 
 	if *compare {

@@ -86,6 +86,9 @@ const (
 	JobRunning = parpar.JobRunning
 	// JobDone: every rank reported completion.
 	JobDone = parpar.JobDone
+	// JobKilled: the job spanned an evicted node and was terminated by
+	// the recovery layer (see Recovery).
+	JobKilled = parpar.JobKilled
 )
 
 // Policy selects how NIC buffer space is shared among time-sliced
@@ -161,6 +164,10 @@ const (
 	NodePause = chaos.NodePause
 	// NodeSlow steals a fraction of one node's host CPU for a window.
 	NodeSlow = chaos.NodeSlow
+	// NodeCrash permanently halts one node's host CPU from its From time
+	// (fail-stop). With Recovery enabled the node is detected, evicted,
+	// and the jobs spanning it are killed; without, the machine wedges.
+	NodeCrash = chaos.NodeCrash
 )
 
 // Violation is one invariant breach recorded by the auditor.
@@ -173,6 +180,16 @@ type Auditor = chaos.Auditor
 // Loss returns the classic fault plan of paper §2.2: open-ended uniform
 // data-packet loss on every link, driven by seed.
 func Loss(seed uint64, prob float64) FaultPlan { return chaos.Loss(seed, prob) }
+
+// Recovery parameterizes the opt-in self-healing switch layer: halt/ready
+// retransmission on the NIC, reliable daemon messaging, and the masterd
+// watchdog that evicts failed nodes. Set ClusterConfig.Recovery to enable;
+// nil (the default) leaves the cluster byte-identical to the base
+// protocol the paper describes.
+type Recovery = parpar.Recovery
+
+// DefaultRecovery returns recovery budgets scaled to a scheduling quantum.
+func DefaultRecovery(quantum Time) Recovery { return parpar.DefaultRecovery(quantum) }
 
 // NewCluster assembles a cluster.
 func NewCluster(cfg ClusterConfig) (*Cluster, error) { return parpar.New(cfg) }

@@ -99,3 +99,31 @@ func TestClockFacade(t *testing.T) {
 		t.Fatalf("clock = %d Hz, want the paper's 200 MHz", Clock().Hz)
 	}
 }
+
+// TestRecoveryFacade drives the self-healing layer end to end through the
+// public API: a node crash under Recovery ends with the spanning job
+// killed, a clean auditor, and the run still completing.
+func TestRecoveryFacade(t *testing.T) {
+	cfg := DefaultClusterConfig(2)
+	cfg.Quantum = 400_000
+	r := DefaultRecovery(cfg.Quantum)
+	cfg.Recovery = &r
+	cfg.Chaos = &FaultPlan{Seed: 7, Faults: []Fault{
+		{Kind: NodeCrash, Node: 1, From: 10_000},
+	}}
+	cluster, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := cluster.Submit(PingPong("doomed", 5, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.RunUntil(50 * cfg.Quantum)
+	if job.State() != JobKilled {
+		t.Fatalf("job spanning the crashed node is %v, want killed", job.State())
+	}
+	if !cluster.Auditor().Ok() {
+		t.Fatalf("recovery run reported violations: %s", cluster.Auditor().Summary())
+	}
+}

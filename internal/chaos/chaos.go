@@ -65,6 +65,13 @@ const (
 	// NodeSlow steals Factor (0..1) of node Node's host CPU over the
 	// [From, Until) window, in slices — background daemon interference.
 	NodeSlow
+	// NodeCrash permanently halts node Node's host CPU from time From: a
+	// fail-stop node failure. Unlike NodePause there is no Until — the
+	// node never comes back. Without the recovery layer a crash that hits
+	// mid-protocol wedges the machine; with recovery enabled the masterd
+	// watchdog detects the silent node, evicts it, and kills the jobs
+	// spanning it so survivors keep rotating.
+	NodeCrash
 )
 
 // String names the fault kind.
@@ -90,6 +97,8 @@ func (k FaultKind) String() string {
 		return "node-pause"
 	case NodeSlow:
 		return "node-slow"
+	case NodeCrash:
+		return "node-crash"
 	default:
 		return fmt.Sprintf("FaultKind(%d)", int(k))
 	}
@@ -134,7 +143,7 @@ func (f Fault) String() string {
 		fmt.Fprintf(&b, "%d)", f.Until)
 	}
 	switch f.Kind {
-	case NodePause:
+	case NodePause, NodeCrash:
 		fmt.Fprintf(&b, " node=%d", f.Node)
 	case NodeSlow:
 		fmt.Fprintf(&b, " node=%d factor=%.2f", f.Node, f.Factor)
@@ -181,6 +190,13 @@ func (p Plan) Validate() error {
 			}
 			if f.Kind == NodeSlow && (f.Factor <= 0 || f.Factor >= 1) {
 				return fmt.Errorf("chaos: fault %d (%s): factor %v outside (0,1)", i, f.Kind, f.Factor)
+			}
+		case NodeCrash:
+			if f.Node < 0 {
+				return fmt.Errorf("chaos: fault %d (%s): crash needs a specific node", i, f.Kind)
+			}
+			if f.Until != 0 {
+				return fmt.Errorf("chaos: fault %d (%s): crashes are permanent; Until must be unset", i, f.Kind)
 			}
 		case DataLoss, DataDup, RefillLoss, HaltLoss, ReadyLoss, StoreCorrupt, CtrlLoss, CtrlDelay:
 			if f.Prob < 0 || f.Prob > 1 {

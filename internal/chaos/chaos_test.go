@@ -25,6 +25,9 @@ func TestPlanValidate(t *testing.T) {
 		{"pause needs node", Plan{Faults: []Fault{{Kind: NodePause, Node: -1, From: 0, Until: 100}}}, false},
 		{"slow factor out of range", Plan{Faults: []Fault{{Kind: NodeSlow, Node: 0, From: 0, Until: 100, Factor: 1.0}}}, false},
 		{"delay must be positive", Plan{Faults: []Fault{{Kind: CtrlDelay, Prob: 0.1}}}, false},
+		{"crash ok", Plan{Faults: []Fault{{Kind: NodeCrash, Node: 2, From: 100}}}, true},
+		{"crash needs node", Plan{Faults: []Fault{{Kind: NodeCrash, Node: -1, From: 100}}}, false},
+		{"crash is permanent", Plan{Faults: []Fault{{Kind: NodeCrash, Node: 2, From: 100, Until: 500}}}, false},
 		{"unknown kind", Plan{Faults: []Fault{{Kind: FaultKind(99)}}}, false},
 	}
 	for _, tc := range cases {
@@ -99,6 +102,46 @@ func TestInjectorWindows(t *testing.T) {
 	}
 	if v := in.Packet(2000, p()); v.Drop {
 		t.Fatal("fired at Until (window is half-open)")
+	}
+}
+
+// TestNodeCrash: a crash is a permanent CPU fault — it blocks the host CPU
+// from From onward, records a trace line, prints as an open-ended window,
+// and CPUFaultActive reports it forever after.
+func TestNodeCrash(t *testing.T) {
+	f := Fault{Kind: NodeCrash, Node: 1, From: 1000}
+	if s := f.String(); !strings.Contains(s, "node-crash[1000,∞)") || !strings.Contains(s, "node=1") {
+		t.Fatalf("crash fault formats as %q", s)
+	}
+	eng := sim.NewEngine()
+	in := NewInjector(eng, Plan{Seed: 3, Faults: []Fault{f}})
+	cpu := sim.NewResource(eng, "cpu")
+	in.ArmNode(1, cpu)
+	in.ArmNode(0, cpu) // wrong node: must not arm anything
+	ran := false
+	eng.ScheduleAt(500, func() {
+		cpu.Use(1, func() { ran = true }) // before the crash the CPU works
+	})
+	eng.RunUntil(5000)
+	if !ran {
+		t.Fatal("CPU unusable before the crash point")
+	}
+	if got := in.Counts()[NodeCrash]; got != 1 {
+		t.Fatalf("crash fired %d times, want 1", got)
+	}
+	if !strings.Contains(in.TraceString(), "node 1 crashed") {
+		t.Fatalf("trace lacks the crash line:\n%s", in.TraceString())
+	}
+	if in.CPUFaultActive(1, 999) {
+		t.Fatal("crash active before From")
+	}
+	for _, at := range []sim.Time{1000, 5000, 1 << 40} {
+		if !in.CPUFaultActive(1, at) {
+			t.Fatalf("crash not active at %d", at)
+		}
+	}
+	if in.CPUFaultActive(0, 2000) {
+		t.Fatal("crash active on the wrong node")
 	}
 }
 

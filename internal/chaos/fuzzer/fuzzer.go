@@ -54,6 +54,9 @@ type Scenario struct {
 	Policy fm.Policy
 	Jobs   []parpar.JobSpec
 	Plan   chaos.Plan
+	// Recovery runs the cluster with the self-healing switch layer enabled
+	// (parpar.DefaultRecovery of the fuzz quantum).
+	Recovery bool
 }
 
 // String summarizes the scenario on one line.
@@ -62,8 +65,12 @@ func (s Scenario) String() string {
 	for i, j := range s.Jobs {
 		names[i] = fmt.Sprintf("%s/%d", j.Name, j.Size)
 	}
-	return fmt.Sprintf("seed %d: %d nodes, %d slots, %v, jobs [%s], %d fault(s)",
-		s.Seed, s.Nodes, s.Slots, s.Policy, strings.Join(names, " "), len(s.Plan.Faults))
+	mode := ""
+	if s.Recovery {
+		mode = ", recovery"
+	}
+	return fmt.Sprintf("seed %d: %d nodes, %d slots, %v, jobs [%s], %d fault(s)%s",
+		s.Seed, s.Nodes, s.Slots, s.Policy, strings.Join(names, " "), len(s.Plan.Faults), mode)
 }
 
 // RunResult is the outcome of executing one scenario.
@@ -184,6 +191,68 @@ func samplePlan(rng *sim.Rand, seed uint64, nodes int) chaos.Plan {
 	return plan
 }
 
+// SampleRecovery derives a scenario for the differential recovery campaign:
+// the same cluster/job generator as Sample, but a fault plan drawn only from
+// the classes the recovery layer promises to absorb — control-path loss
+// (halt, ready, ctrl Ethernet) over *bounded* windows, delay/pause/slow
+// interference, and at most one fail-stop node crash. Open-ended control
+// loss is deliberately excluded: a link that drops 100% of control traffic
+// forever is unrecoverable by design (retransmission needs some delivery),
+// and pause/loss windows are kept shorter than the watchdog's eviction
+// deadline so a merely-slow node is never evicted as dead.
+func SampleRecovery(seed uint64) Scenario {
+	s := Sample(seed)
+	rng := sim.NewRand(seed ^ 0x5EC0E4)
+	s.Plan = sampleRecoveryPlan(rng, seed, s.Nodes)
+	return s
+}
+
+// sampleRecoveryPlan draws 1..3 recoverable faults. Loss and pause windows
+// are bounded to at most 8 quanta: the masterd watchdog evicts a silent
+// node after ~14 quanta, so any fault shorter than that must be survived
+// by retransmission alone.
+func sampleRecoveryPlan(rng *sim.Rand, seed uint64, nodes int) chaos.Plan {
+	kinds := []chaos.FaultKind{
+		chaos.HaltLoss, chaos.HaltLoss, chaos.ReadyLoss, chaos.CtrlLoss,
+		chaos.CtrlDelay, chaos.NodePause, chaos.NodeSlow, chaos.NodeCrash,
+	}
+	plan := chaos.Plan{Seed: seed}
+	nf := 1 + rng.Intn(3)
+	crashed := false
+	for i := 0; i < nf; i++ {
+		f := chaos.Fault{Kind: kinds[rng.Intn(len(kinds))], Node: -1}
+		if f.Kind == chaos.NodeCrash && crashed {
+			f.Kind = chaos.HaltLoss // one fail-stop per campaign run
+		}
+		if rng.Bool(0.3) {
+			f.Node = rng.Intn(nodes)
+		}
+		f.From = sim.Time(rng.Intn(int(DefaultHorizon / 4)))
+		switch f.Kind {
+		case chaos.NodeCrash:
+			crashed = true
+			f.Node = rng.Intn(nodes)
+			f.Until = 0 // permanent, by definition
+		case chaos.NodePause:
+			f.Node = rng.Intn(nodes)
+			f.Until = f.From + quantum*sim.Time(2+rng.Intn(6))
+		case chaos.NodeSlow:
+			f.Node = rng.Intn(nodes)
+			f.Factor = 0.25 + 0.5*rng.Float64()
+			f.Until = f.From + quantum*sim.Time(2+rng.Intn(6))
+		case chaos.CtrlDelay:
+			f.Prob = 0.1 + 0.4*rng.Float64()
+			f.Delay = sim.Time(50_000 * (1 + rng.Intn(6)))
+			f.Until = f.From + quantum*sim.Time(2+rng.Intn(6))
+		default: // HaltLoss, ReadyLoss, CtrlLoss — harsh but bounded
+			f.Prob = 0.5 + 0.5*rng.Float64()
+			f.Until = f.From + quantum*sim.Time(2+rng.Intn(6))
+		}
+		plan.Faults = append(plan.Faults, f)
+	}
+	return plan
+}
+
 // Execute runs one scenario to the horizon and collects the verdict. A
 // panic inside the protocol stack is recovered and reported as a crash
 // finding — for a fuzzer, a stack that dies on a fault is as interesting as
@@ -243,6 +312,10 @@ func fuzzClusterConfig(s Scenario) parpar.Config {
 	cfg.Seed = s.Seed
 	plan := s.Plan
 	cfg.Chaos = &plan
+	if s.Recovery {
+		r := parpar.DefaultRecovery(quantum)
+		cfg.Recovery = &r
+	}
 	return cfg
 }
 
@@ -275,6 +348,91 @@ func Fuzz(cfg Config, logf func(format string, args ...any)) Report {
 			if cfg.Shrink {
 				res.Minimal = Shrink(res.Scenario, cfg.Horizon)
 			}
+		}
+		rep.Runs = append(rep.Runs, res)
+		if logf != nil {
+			logf("%s", res)
+		}
+	}
+	return rep
+}
+
+// RecoveryResult pairs the two runs of one differential recovery scenario:
+// the same sampled cluster, jobs and fault plan executed without and then
+// with the self-healing switch layer.
+type RecoveryResult struct {
+	Base RunResult // recovery off: expected to wedge under harsh plans
+	Rec  RunResult // recovery on: must always come back clean
+}
+
+// Wedged reports whether the bare protocol failed on this plan.
+func (r RecoveryResult) Wedged() bool { return r.Base.Failed() }
+
+// Unrecovered reports the campaign's real finding: the recovery layer
+// itself produced a violation or crash.
+func (r RecoveryResult) Unrecovered() bool { return r.Rec.Failed() }
+
+// String formats the differential verdict for campaign logs.
+func (r RecoveryResult) String() string {
+	verdict := "clean either way"
+	switch {
+	case r.Unrecovered() && r.Wedged():
+		verdict = "UNRECOVERED"
+	case r.Unrecovered():
+		verdict = "UNRECOVERED (recovery-only failure)"
+	case r.Wedged():
+		verdict = "wedged bare, recovered"
+	}
+	s := fmt.Sprintf("%s\n  %s (%d/%d jobs bare, %d/%d with recovery)",
+		r.Base.Scenario, verdict, r.Base.DoneJobs, r.Base.TotalJobs, r.Rec.DoneJobs, r.Rec.TotalJobs)
+	if r.Unrecovered() {
+		if r.Rec.Crash != "" {
+			s += "\n  CRASH: " + r.Rec.Crash
+		}
+		for _, v := range r.Rec.Violations {
+			s += "\n    " + v.String()
+		}
+	}
+	return s
+}
+
+// RecoveryReport is a differential recovery campaign's outcome.
+type RecoveryReport struct {
+	Runs []RecoveryResult
+	// Wedged counts scenarios the bare protocol failed — the campaign's
+	// workload coverage (a campaign that never wedges proves nothing).
+	Wedged int
+	// Recovered counts wedged scenarios the recovery layer absorbed.
+	Recovered int
+	// Unrecovered counts scenarios that failed *with* recovery enabled —
+	// the regression signal: it must be zero.
+	Unrecovered int
+}
+
+// FuzzRecovery executes cfg.Runs differential scenarios: each seed is
+// sampled with SampleRecovery and run twice, recovery off then on. Every
+// recovery-enabled run must finish with a clean auditor — the plans are
+// restricted to the fault classes the layer guarantees against.
+func FuzzRecovery(cfg Config, logf func(format string, args ...any)) RecoveryReport {
+	if cfg.Runs <= 0 {
+		cfg.Runs = 1
+	}
+	var rep RecoveryReport
+	for i := 0; i < cfg.Runs; i++ {
+		s := SampleRecovery(cfg.Seed + uint64(i))
+		var res RecoveryResult
+		res.Base = Execute(s, cfg.Horizon)
+		rs := s
+		rs.Recovery = true
+		res.Rec = Execute(rs, cfg.Horizon)
+		if res.Wedged() {
+			rep.Wedged++
+			if !res.Unrecovered() {
+				rep.Recovered++
+			}
+		}
+		if res.Unrecovered() {
+			rep.Unrecovered++
 		}
 		rep.Runs = append(rep.Runs, res)
 		if logf != nil {

@@ -60,6 +60,67 @@ func TestCampaignFindsViolations(t *testing.T) {
 	}
 }
 
+// TestRecoveryCampaign: the differential recovery mode over a fixed seed
+// range must find scenarios that wedge the bare protocol (coverage), must
+// recover every one of them (the layer's guarantee over its restricted
+// fault classes), and must be deterministic run to run.
+func TestRecoveryCampaign(t *testing.T) {
+	campaign := func() RecoveryReport { return FuzzRecovery(Config{Seed: 1, Runs: 15}, nil) }
+	rep := campaign()
+	if len(rep.Runs) != 15 {
+		t.Fatalf("campaign ran %d/15", len(rep.Runs))
+	}
+	if rep.Wedged == 0 {
+		t.Fatal("no sampled plan wedged the bare protocol: the campaign proves nothing")
+	}
+	if rep.Unrecovered != 0 {
+		for _, r := range rep.Runs {
+			if r.Unrecovered() {
+				t.Errorf("unrecovered: %s", r)
+			}
+		}
+		t.Fatalf("%d scenario(s) failed with recovery enabled", rep.Unrecovered)
+	}
+	if rep.Recovered != rep.Wedged {
+		t.Fatalf("recovered %d of %d wedged scenarios", rep.Recovered, rep.Wedged)
+	}
+	rep2 := campaign()
+	for i := range rep.Runs {
+		if rep.Runs[i].String() != rep2.Runs[i].String() {
+			t.Fatalf("run %d verdict differs between identical campaigns:\n%s\n---\n%s",
+				i, rep.Runs[i], rep2.Runs[i])
+		}
+	}
+}
+
+// TestSampleRecoveryRestricted: the recovery sampler never draws the fault
+// classes the layer does not guarantee against (data-plane loss and
+// corruption), keeps loss windows bounded, and crashes at most one node.
+func TestSampleRecoveryRestricted(t *testing.T) {
+	for seed := uint64(1); seed <= 40; seed++ {
+		s := SampleRecovery(seed)
+		if err := s.Plan.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid recovery plan: %v", seed, err)
+		}
+		crashes := 0
+		for _, f := range s.Plan.Faults {
+			switch f.Kind {
+			case chaos.DataLoss, chaos.DataDup, chaos.RefillLoss, chaos.StoreCorrupt:
+				t.Fatalf("seed %d: recovery sampler drew unguaranteed fault %s", seed, f.Kind)
+			case chaos.NodeCrash:
+				crashes++
+			default:
+				if f.Until == 0 {
+					t.Fatalf("seed %d: open-ended %s in a recovery plan", seed, f.Kind)
+				}
+			}
+		}
+		if crashes > 1 {
+			t.Fatalf("seed %d: %d node crashes in one plan", seed, crashes)
+		}
+	}
+}
+
 // TestShrinkIsolatesCausalFault: a plan mixing the causal data-loss fault
 // with two irrelevant ones shrinks to the data-loss fault alone, and the
 // shrunk plan still reproduces the failure.

@@ -171,8 +171,14 @@ func (in *Injector) CtrlMessage(now sim.Time, dst int) (extra sim.Time, drop boo
 	return extra, drop
 }
 
-// ArmNode schedules the plan's CPU faults (NodePause, NodeSlow) against
-// one node's host CPU. Called once per node at cluster construction.
+// crashHorizon is the "never" a NodeCrash blocks the CPU until: far past
+// any reachable virtual time yet small enough that freeAt arithmetic
+// cannot overflow.
+const crashHorizon = sim.Time(1) << 62
+
+// ArmNode schedules the plan's CPU faults (NodePause, NodeSlow,
+// NodeCrash) against one node's host CPU. Called once per node at
+// cluster construction.
 func (in *Injector) ArmNode(node int, cpu *sim.Resource) {
 	for i := range in.plan.Faults {
 		f := in.plan.Faults[i]
@@ -185,6 +191,11 @@ func (in *Injector) ArmNode(node int, cpu *sim.Resource) {
 			in.eng.ScheduleAt(f.From, func() {
 				in.record(NodePause, "node %d CPU blocked until %d", node, until)
 				cpu.Block(until)
+			})
+		case NodeCrash:
+			in.eng.ScheduleAt(f.From, func() {
+				in.record(NodeCrash, "node %d crashed (fail-stop)", node)
+				cpu.Block(crashHorizon)
 			})
 		case NodeSlow:
 			period := (f.Until - f.From) / slowSliceTarget
@@ -206,15 +217,18 @@ func (in *Injector) ArmNode(node int, cpu *sim.Resource) {
 	}
 }
 
-// CPUFaultActive reports whether a NodePause or NodeSlow window covers the
-// node at time t. The delivery-stall auditor uses it to excuse progress
-// freezes that a CPU fault fully explains — a paused host is slow, not
-// protocol-broken.
+// CPUFaultActive reports whether a NodePause, NodeSlow or NodeCrash
+// window covers the node at time t. The delivery-stall auditor uses it to
+// excuse progress freezes that a CPU fault fully explains — a paused host
+// is slow, not protocol-broken. A crash is active from its From forever.
 func (in *Injector) CPUFaultActive(node int, t sim.Time) bool {
 	for i := range in.plan.Faults {
 		f := &in.plan.Faults[i]
-		if (f.Kind == NodePause || f.Kind == NodeSlow) && f.active(t) && f.matchesNode(node) {
-			return true
+		switch f.Kind {
+		case NodePause, NodeSlow, NodeCrash:
+			if f.active(t) && f.matchesNode(node) {
+				return true
+			}
 		}
 	}
 	return false

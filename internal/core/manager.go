@@ -300,6 +300,9 @@ func (m *Manager) RemoveNode(id myrinet.NodeID) error {
 // Nodes returns the current topology size.
 func (m *Manager) Nodes() int { return len(m.topology) }
 
+// InTopology reports whether a node is in the routing-table view.
+func (m *Manager) InTopology(id myrinet.NodeID) bool { return m.topology[id] }
+
 // InitJob allocates a communication context for a process about to be
 // forked (COMM_init_job). In Partitioned mode this registers a dedicated
 // hardware context with the divided buffer sizes. In Switched mode it

@@ -13,26 +13,40 @@ package lanai
 // readys — for an epoch it has not itself entered yet. Counters are
 // therefore keyed by epoch; this is the robustness refinement called out
 // in DESIGN.md (the real system relied on phase alternation).
+//
+// The tracker also remembers *which* peer each message came from, which is
+// what makes the recovery layer possible: duplicates (from retransmission)
+// are idempotent, completed epochs reject late stragglers, the unheard-peer
+// set is the retransmission target list, and an evicted peer can be dropped
+// from the expected count of every open epoch.
+
+import (
+	"sort"
+
+	"gangfm/internal/myrinet"
+)
 
 // phaseTracker counts one class of control message (halt or ready) per
 // epoch and fires a completion callback when the local transition has
 // happened and all expected remote messages have arrived.
 type phaseTracker struct {
-	peers int // number of remote nodes expected to report (p-1)
+	peers int // number of live remote nodes expected to report (p-1)
 
-	arrived map[uint64]int
+	heard   map[uint64]map[myrinet.NodeID]bool
 	local   map[uint64]bool
 	done    map[uint64]bool
 	onDone  map[uint64]func()
+	evicted map[myrinet.NodeID]bool
 }
 
 func newPhaseTracker(peers int) *phaseTracker {
 	return &phaseTracker{
 		peers:   peers,
-		arrived: make(map[uint64]int),
+		heard:   make(map[uint64]map[myrinet.NodeID]bool),
 		local:   make(map[uint64]bool),
 		done:    make(map[uint64]bool),
 		onDone:  make(map[uint64]func()),
+		evicted: make(map[myrinet.NodeID]bool),
 	}
 }
 
@@ -47,32 +61,107 @@ func (t *phaseTracker) LocalTransition(epoch uint64, onDone func()) {
 	t.check(epoch)
 }
 
-// Arrive records a remote halt/ready ("ah" in Figure 3) for epoch.
-func (t *phaseTracker) Arrive(epoch uint64) {
-	t.arrived[epoch]++
-	if t.arrived[epoch] > t.peers {
-		panic("lanai: more phase messages than peers for one epoch")
+// Arrive records a remote halt/ready ("ah" in Figure 3) for epoch from the
+// given peer. It reports whether the message carried new information: a
+// duplicate of an already-counted peer, a message for a completed epoch, or
+// one from an evicted peer is stale and returns false (the caller counts it
+// and drops the packet).
+func (t *phaseTracker) Arrive(epoch uint64, from myrinet.NodeID) bool {
+	if t.done[epoch] || t.evicted[from] {
+		return false
 	}
+	set := t.heard[epoch]
+	if set == nil {
+		set = make(map[myrinet.NodeID]bool)
+		t.heard[epoch] = set
+	}
+	if set[from] {
+		return false
+	}
+	set[from] = true
 	t.check(epoch)
+	return true
+}
+
+// Heard reports whether the peer's message for epoch has been counted.
+func (t *phaseTracker) Heard(epoch uint64, from myrinet.NodeID) bool {
+	return t.heard[epoch][from]
+}
+
+// liveHeard counts the epoch's arrivals from peers that are still members.
+func (t *phaseTracker) liveHeard(epoch uint64) int {
+	n := 0
+	for from := range t.heard[epoch] {
+		if !t.evicted[from] {
+			n++
+		}
+	}
+	return n
 }
 
 // State returns (locallyDone, remoteCount) for an epoch — the Figure 3
 // state label (S/H, k) with k = remoteCount + (1 if locallyDone).
 func (t *phaseTracker) State(epoch uint64) (local bool, remote int) {
-	return t.local[epoch], t.arrived[epoch]
+	return t.local[epoch], t.liveHeard(epoch)
 }
 
 // Done reports whether the epoch's phase has completed.
 func (t *phaseTracker) Done(epoch uint64) bool { return t.done[epoch] }
 
-func (t *phaseTracker) check(epoch uint64) {
-	if t.done[epoch] || !t.local[epoch] || t.arrived[epoch] < t.peers {
+// Transitioned reports whether this node has made its own transition for
+// the epoch (including epochs already completed, whose per-epoch state has
+// been freed).
+func (t *phaseTracker) Transitioned(epoch uint64) bool {
+	return t.done[epoch] || t.local[epoch]
+}
+
+// ForceComplete completes an epoch's phase without the missing peers — the
+// recovery layer's last resort after the retransmission budget is spent.
+// It is a no-op before the local transition or after normal completion.
+func (t *phaseTracker) ForceComplete(epoch uint64) bool {
+	if t.done[epoch] || !t.local[epoch] {
+		return false
+	}
+	t.complete(epoch)
+	return true
+}
+
+// Evict removes a peer from the membership: it is no longer expected to
+// report for any epoch, past or future. Open epochs whose only missing
+// messages were the evicted peer's complete immediately (in ascending epoch
+// order, for determinism).
+func (t *phaseTracker) Evict(peer myrinet.NodeID) {
+	if t.evicted[peer] {
 		return
 	}
+	t.evicted[peer] = true
+	t.peers--
+	open := make([]uint64, 0, len(t.onDone))
+	for e := range t.onDone {
+		open = append(open, e)
+	}
+	sort.Slice(open, func(i, j int) bool { return open[i] < open[j] })
+	for _, e := range open {
+		t.check(e)
+	}
+}
+
+// Evicted reports whether the peer has been removed from the membership.
+func (t *phaseTracker) Evicted(peer myrinet.NodeID) bool { return t.evicted[peer] }
+
+func (t *phaseTracker) check(epoch uint64) {
+	if t.done[epoch] || !t.local[epoch] || t.liveHeard(epoch) < t.peers {
+		return
+	}
+	t.complete(epoch)
+}
+
+func (t *phaseTracker) complete(epoch uint64) {
 	t.done[epoch] = true
 	cb := t.onDone[epoch]
-	// Free the epoch's bookkeeping; epochs are never revisited.
-	delete(t.arrived, epoch)
+	// Free the epoch's bookkeeping; epochs are never revisited (the done
+	// marker is retained so stragglers for old epochs stay detectable).
+	delete(t.heard, epoch)
 	delete(t.local, epoch)
 	delete(t.onDone, epoch)
 	if cb != nil {

@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"gangfm/internal/myrinet"
 )
 
 func TestPhaseTrackerBasic(t *testing.T) {
@@ -13,12 +15,12 @@ func TestPhaseTrackerBasic(t *testing.T) {
 	if done {
 		t.Fatal("completed before any remote arrival")
 	}
-	pt.Arrive(1)
-	pt.Arrive(1)
+	pt.Arrive(1, 1)
+	pt.Arrive(1, 2)
 	if done {
 		t.Fatal("completed with only 2 of 3 remote halts")
 	}
-	pt.Arrive(1)
+	pt.Arrive(1, 3)
 	if !done {
 		t.Fatal("did not complete at H,p")
 	}
@@ -32,8 +34,8 @@ func TestPhaseTrackerRemoteFirst(t *testing.T) {
 	// LANai may receive a halt message before it was notified by its
 	// noded").
 	pt := newPhaseTracker(2)
-	pt.Arrive(5)
-	pt.Arrive(5)
+	pt.Arrive(5, 1)
+	pt.Arrive(5, 2)
 	done := false
 	pt.LocalTransition(5, func() { done = true })
 	if !done {
@@ -46,11 +48,11 @@ func TestPhaseTrackerEpochIsolation(t *testing.T) {
 	done1, done2 := false, false
 	pt.LocalTransition(1, func() { done1 = true })
 	// A halt for a *future* epoch must not complete epoch 1.
-	pt.Arrive(2)
+	pt.Arrive(2, 1)
 	if done1 {
 		t.Fatal("epoch-2 arrival completed epoch 1")
 	}
-	pt.Arrive(1)
+	pt.Arrive(1, 1)
 	if !done1 {
 		t.Fatal("epoch 1 should have completed")
 	}
@@ -74,8 +76,8 @@ func TestPhaseTrackerState(t *testing.T) {
 	if l, r := pt.State(7); l || r != 0 {
 		t.Fatal("initial state should be S,0")
 	}
-	pt.Arrive(7)
-	pt.Arrive(7)
+	pt.Arrive(7, 1)
+	pt.Arrive(7, 2)
 	if l, r := pt.State(7); l || r != 2 {
 		t.Fatalf("state after 2 arrivals = (%v,%d), want (false,2)", l, r)
 	}
@@ -96,15 +98,125 @@ func TestPhaseTrackerDuplicateLocalPanics(t *testing.T) {
 	pt.LocalTransition(1, nil)
 }
 
-func TestPhaseTrackerOverArrivalPanics(t *testing.T) {
+func TestPhaseTrackerDuplicateArrivalIsStale(t *testing.T) {
+	// A retransmitted halt from a peer already counted must not advance
+	// the state machine; Arrive reports it stale instead.
+	pt := newPhaseTracker(2)
+	if !pt.Arrive(1, 1) {
+		t.Fatal("first arrival from peer 1 should be fresh")
+	}
+	if pt.Arrive(1, 1) {
+		t.Fatal("duplicate arrival from peer 1 should be stale")
+	}
+	if l, r := pt.State(1); l || r != 1 {
+		t.Fatalf("state after duplicate = (%v,%d), want (false,1)", l, r)
+	}
+	done := false
+	pt.LocalTransition(1, func() { done = true })
+	pt.Arrive(1, 2)
+	if !done {
+		t.Fatal("fresh arrival from peer 2 should complete the phase")
+	}
+	// Anything for a completed epoch is stale, fresh peer or not.
+	if pt.Arrive(1, 1) || pt.Arrive(1, 2) {
+		t.Fatal("arrivals for a completed epoch should be stale")
+	}
+}
+
+func TestPhaseTrackerForceComplete(t *testing.T) {
+	pt := newPhaseTracker(2)
+	done := false
+	// Before the local transition, force-complete must refuse: the node
+	// has not even halted itself yet.
+	if pt.ForceComplete(3) {
+		t.Fatal("force-complete before local transition should refuse")
+	}
+	pt.LocalTransition(3, func() { done = true })
+	pt.Arrive(3, 1)
+	if !pt.ForceComplete(3) {
+		t.Fatal("force-complete of an open epoch should succeed")
+	}
+	if !done || !pt.Done(3) {
+		t.Fatal("force-complete should fire the completion callback")
+	}
+	if pt.ForceComplete(3) {
+		t.Fatal("force-complete of a done epoch should be a no-op")
+	}
+	// The straggler that force-complete stopped waiting for is stale.
+	if pt.Arrive(3, 2) {
+		t.Fatal("post-force arrival should be stale")
+	}
+}
+
+func TestPhaseTrackerEvict(t *testing.T) {
+	pt := newPhaseTracker(3)
+	done := false
+	pt.LocalTransition(1, func() { done = true })
+	pt.Arrive(1, 1)
+	pt.Arrive(1, 2)
+	// Evicting the only unheard peer completes the open epoch.
+	pt.Evict(3)
+	if !done {
+		t.Fatal("eviction of the last missing peer should complete the phase")
+	}
+	if !pt.Evicted(3) || pt.Evicted(2) {
+		t.Fatal("eviction bookkeeping wrong")
+	}
+	// The next epoch expects only the two survivors.
+	done = false
+	pt.LocalTransition(2, func() { done = true })
+	if pt.Arrive(2, 3) {
+		t.Fatal("arrival from an evicted peer should be stale")
+	}
+	pt.Arrive(2, 1)
+	pt.Arrive(2, 2)
+	if !done {
+		t.Fatal("survivor-only epoch should complete without the evicted peer")
+	}
+	// Eviction is idempotent: peers must not be double-decremented.
+	pt.Evict(3)
+	done = false
+	pt.LocalTransition(4, func() { done = true })
+	pt.Arrive(4, 1)
+	if done {
+		t.Fatal("epoch completed with one of two surviving peers missing")
+	}
+	pt.Arrive(4, 2)
+	if !done {
+		t.Fatal("epoch should complete with both survivors heard")
+	}
+}
+
+func TestPhaseTrackerEvictAlreadyHeardPeer(t *testing.T) {
+	// Evicting a peer whose message was already counted must re-evaluate
+	// the epoch with that arrival discounted — not complete early.
+	pt := newPhaseTracker(2)
+	done := false
+	pt.LocalTransition(1, func() { done = true })
+	pt.Arrive(1, 1)
+	pt.Evict(1)
+	if done {
+		t.Fatal("evicting the already-heard peer must discount its arrival, not complete the phase")
+	}
+	pt.Arrive(1, 2)
+	if !done {
+		t.Fatal("the surviving peer's arrival should complete the phase")
+	}
+}
+
+func TestPhaseTrackerTransitioned(t *testing.T) {
 	pt := newPhaseTracker(1)
-	pt.Arrive(1)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic on arrivals exceeding peer count")
-		}
-	}()
-	pt.Arrive(1)
+	if pt.Transitioned(9) {
+		t.Fatal("untouched epoch should not be transitioned")
+	}
+	pt.LocalTransition(9, nil)
+	if !pt.Transitioned(9) {
+		t.Fatal("open epoch after local transition should be transitioned")
+	}
+	pt.Arrive(9, 1)
+	if !pt.Done(9) || !pt.Transitioned(9) {
+		t.Fatal("completed epoch should remain transitioned")
+	}
 }
 
 // Property (Figure 3): for ANY interleaving of the local halt and the p-1
@@ -129,7 +241,7 @@ func TestFlushAllInterleavingsProperty(t *testing.T) {
 			if ev == -1 {
 				pt.LocalTransition(0, func() { completions++ })
 			} else {
-				pt.Arrive(0)
+				pt.Arrive(0, myrinet.NodeID(ev+1))
 			}
 			if !last && completions != 0 {
 				return false // completed early

@@ -45,6 +45,36 @@ func DefaultConfig(node myrinet.NodeID) Config {
 	}
 }
 
+// Recovery parameterizes the firmware's control-packet retransmission
+// layer. The protocol of Figure 3 assumes every Halt/Ready arrives; with
+// recovery enabled the card arms a timer per switch epoch after its own
+// local transition and, while the phase is incomplete, re-broadcasts its
+// control packet to the peers not yet heard from — Timeout cycles for the
+// first attempt, doubling on each subsequent one (exponential backoff).
+// After Retries attempts the phase is force-completed without the missing
+// peers (degraded flush): liveness is restored and failure detection is
+// left to the masterd's watchdog, which alone decides eviction.
+//
+// Retransmitted packets carry a marker; a card receiving a marked packet
+// it has already counted (or whose epoch it has completed) echoes its own
+// control packet back to the sender, so one-sided loss heals even when
+// the receiver has nothing left to wait for. Echoes are unmarked and
+// therefore never trigger counter-echoes.
+type Recovery struct {
+	// Timeout is the first retransmission deadline, measured from the
+	// local phase transition, in cycles.
+	Timeout sim.Time
+	// Retries bounds the retransmission attempts per epoch per phase;
+	// attempt i fires after Timeout<<i. After the last attempt the phase
+	// is force-completed.
+	Retries int
+}
+
+// ctrlRetransmit marks a Halt/Ready as a retransmission in the otherwise
+// unused Frag field of control packets; receivers that find it stale echo
+// their own control packet back (unmarked) to unstick the sender.
+const ctrlRetransmit = 1
+
 // Hooks are the host-library callbacks attached to a context. All hooks
 // are optional.
 type Hooks struct {
@@ -108,6 +138,19 @@ type Stats struct {
 	Drops      map[DropReason]uint64
 	HaltsSent  uint64
 	ReadysSent uint64
+
+	// HaltRetransmits / ReadyRetransmits count recovery-layer re-sends
+	// (timer-driven retransmissions plus stale-packet echoes). Always zero
+	// with recovery disabled.
+	HaltRetransmits  uint64
+	ReadyRetransmits uint64
+	// StaleCtrl counts Halt/Ready packets that carried no new information:
+	// duplicates of an already-counted peer, packets for a completed
+	// epoch, or packets from an evicted peer.
+	StaleCtrl uint64
+	// ForcedPhases counts flush/release phases completed degraded, without
+	// every peer's control packet, after the retransmission budget ran out.
+	ForcedPhases uint64
 }
 
 // NIC is the simulated Myrinet card: LANai processor, firmware and queues.
@@ -128,6 +171,13 @@ type NIC struct {
 	release     *phaseTracker
 	scanPending bool
 	rr          int // round-robin cursor over context slots
+
+	// recovery, when non-nil, enables the retransmission layer; the
+	// timer maps hold the pending per-epoch retransmission events so
+	// normal completion cancels them (zero clean-path overhead).
+	recovery      *Recovery
+	flushTimers   map[uint64]sim.Event
+	releaseTimers map[uint64]sim.Event
 
 	// recvEngine serializes the receive context + DMA engine.
 	recvEngine *sim.Resource
@@ -204,6 +254,25 @@ func (n *NIC) Config() Config { return n.cfg }
 
 // Stats returns a snapshot of the counters.
 func (n *NIC) Stats() Stats { return n.stats }
+
+// SetRecovery enables the control-packet retransmission layer. Must be
+// called before the first switch; the zero value of r is rejected.
+func (n *NIC) SetRecovery(r Recovery) {
+	if r.Timeout <= 0 || r.Retries < 0 {
+		panic(fmt.Sprintf("lanai: invalid recovery config %+v", r))
+	}
+	n.recovery = &r
+	n.flushTimers = make(map[uint64]sim.Event)
+	n.releaseTimers = make(map[uint64]sim.Event)
+}
+
+// EvictPeer removes a peer from the card's membership view: it is no
+// longer expected to report in any flush or release phase, open epochs
+// blocked only on it complete immediately, and future broadcasts skip it.
+func (n *NIC) EvictPeer(peer myrinet.NodeID) {
+	n.flush.Evict(peer)
+	n.release.Evict(peer)
+}
 
 // Halted reports the state of the halt bit.
 func (n *NIC) Halted() bool { return n.haltBit }
@@ -385,8 +454,7 @@ func (n *NIC) SendRaw(p *myrinet.Packet) {
 // from all other nodes have been collected (state H,p of Figure 3).
 func (n *NIC) HaltNetwork(epoch uint64, onFlushed func()) {
 	n.haltBit = true
-	peers := n.net.Nodes() - 1
-	if peers == 0 {
+	if n.flush.peers == 0 {
 		n.flush.LocalTransition(epoch, onFlushed)
 		return
 	}
@@ -395,19 +463,17 @@ func (n *NIC) HaltNetwork(epoch uint64, onFlushed func()) {
 	delay := sim.Time(0)
 	for d := 0; d < n.net.Nodes(); d++ {
 		dst := myrinet.NodeID(d)
-		if dst == n.cfg.Node {
+		if dst == n.cfg.Node || n.flush.Evicted(dst) {
 			continue
 		}
 		delay += n.cfg.CtlOverhead
 		n.eng.Schedule(delay, func() {
 			n.stats.HaltsSent++
-			p := n.net.NewPacket()
-			p.Type, p.Src, p.Dst, p.Job, p.Epoch = myrinet.Halt, n.cfg.Node, dst, myrinet.NoJob, epoch
-			n.net.Send(p)
+			n.sendCtrl(myrinet.Halt, dst, epoch, false)
 		})
 	}
 	n.eng.Schedule(delay, func() {
-		n.flush.LocalTransition(epoch, onFlushed)
+		n.localTransition(n.flush, epoch, onFlushed)
 	})
 }
 
@@ -433,28 +499,123 @@ func (n *NIC) ReleaseNetwork(epoch uint64, onReleased func()) {
 			onReleased()
 		}
 	}
-	peers := n.net.Nodes() - 1
-	if peers == 0 {
+	if n.release.peers == 0 {
 		n.release.LocalTransition(epoch, complete)
 		return
 	}
 	delay := sim.Time(0)
 	for d := 0; d < n.net.Nodes(); d++ {
 		dst := myrinet.NodeID(d)
-		if dst == n.cfg.Node {
+		if dst == n.cfg.Node || n.release.Evicted(dst) {
 			continue
 		}
 		delay += n.cfg.CtlOverhead
 		n.eng.Schedule(delay, func() {
 			n.stats.ReadysSent++
-			p := n.net.NewPacket()
-			p.Type, p.Src, p.Dst, p.Job, p.Epoch = myrinet.Ready, n.cfg.Node, dst, myrinet.NoJob, epoch
-			n.net.Send(p)
+			n.sendCtrl(myrinet.Ready, dst, epoch, false)
 		})
 	}
 	n.eng.Schedule(delay, func() {
-		n.release.LocalTransition(epoch, complete)
+		n.localTransition(n.release, epoch, complete)
 	})
+}
+
+// sendCtrl emits one flush-protocol control packet. Retransmissions and
+// echoes are distinguished by the marker (see ctrlRetransmit).
+func (n *NIC) sendCtrl(typ myrinet.PacketType, dst myrinet.NodeID, epoch uint64, retx bool) {
+	p := n.net.NewPacket()
+	p.Type, p.Src, p.Dst, p.Job, p.Epoch = typ, n.cfg.Node, dst, myrinet.NoJob, epoch
+	if retx {
+		p.Frag = ctrlRetransmit
+	}
+	n.net.Send(p)
+}
+
+// localTransition performs the tracker's local transition and, with
+// recovery enabled, wraps the completion callback to cancel the epoch's
+// retransmission timer and arms the first one if the phase is still open.
+func (n *NIC) localTransition(t *phaseTracker, epoch uint64, onDone func()) {
+	if n.recovery == nil {
+		t.LocalTransition(epoch, onDone)
+		return
+	}
+	t.LocalTransition(epoch, func() {
+		n.cancelRetry(t, epoch)
+		if onDone != nil {
+			onDone()
+		}
+	})
+	if !t.Done(epoch) {
+		n.armRetry(t, epoch, 0)
+	}
+}
+
+// timersOf returns the retransmission-timer map for a tracker.
+func (n *NIC) timersOf(t *phaseTracker) map[uint64]sim.Event {
+	if t == n.flush {
+		return n.flushTimers
+	}
+	return n.releaseTimers
+}
+
+func (n *NIC) cancelRetry(t *phaseTracker, epoch uint64) {
+	timers := n.timersOf(t)
+	if ev, ok := timers[epoch]; ok {
+		ev.Cancel()
+		delete(timers, epoch)
+	}
+}
+
+// armRetry schedules retransmission attempt number attempt for the epoch,
+// Timeout<<attempt cycles from now.
+func (n *NIC) armRetry(t *phaseTracker, epoch uint64, attempt int) {
+	n.timersOf(t)[epoch] = n.eng.Schedule(n.recovery.Timeout<<attempt, func() {
+		n.retryFire(t, epoch, attempt)
+	})
+}
+
+// retryFire is a retransmission deadline: the phase is still incomplete,
+// so either re-broadcast to the unheard peers and back off, or — budget
+// spent — force the phase complete without them.
+func (n *NIC) retryFire(t *phaseTracker, epoch uint64, attempt int) {
+	delete(n.timersOf(t), epoch)
+	if t.Done(epoch) {
+		return
+	}
+	if attempt >= n.recovery.Retries {
+		if t.ForceComplete(epoch) {
+			n.stats.ForcedPhases++
+		}
+		return
+	}
+	typ := myrinet.Halt
+	if t == n.release {
+		typ = myrinet.Ready
+	}
+	delay := sim.Time(0)
+	for d := 0; d < n.net.Nodes(); d++ {
+		dst := myrinet.NodeID(d)
+		if dst == n.cfg.Node || t.Evicted(dst) || t.Heard(epoch, dst) {
+			continue
+		}
+		delay += n.cfg.CtlOverhead
+		n.eng.Schedule(delay, func() {
+			if t.Done(epoch) || t.Heard(epoch, dst) {
+				return
+			}
+			n.countRetransmit(typ)
+			n.sendCtrl(typ, dst, epoch, true)
+		})
+	}
+	n.armRetry(t, epoch, attempt+1)
+}
+
+func (n *NIC) countRetransmit(typ myrinet.PacketType) {
+	if typ == myrinet.Halt {
+		n.stats.HaltRetransmits++
+	} else {
+		n.stats.ReadyRetransmits++
+	}
 }
 
 // FlushState exposes the Figure 3 state label for an epoch: whether the
@@ -474,13 +635,13 @@ func (n *NIC) HandlePacket(p *myrinet.Packet) {
 		// packet that preceded it on the wire has been fully deposited
 		// in its receive queue. The buffer switch that follows flush
 		// completion therefore sees complete queues.
-		epoch := p.Epoch
+		epoch, src, retx := p.Epoch, p.Src, p.Frag == ctrlRetransmit
 		n.net.FreePacket(p)
-		n.recvEngine.Use(n.cfg.CtlOverhead, func() { n.flush.Arrive(epoch) })
+		n.recvEngine.Use(n.cfg.CtlOverhead, func() { n.ctrlArrive(n.flush, epoch, src, retx) })
 	case myrinet.Ready:
-		epoch := p.Epoch
+		epoch, src, retx := p.Epoch, p.Src, p.Frag == ctrlRetransmit
 		n.net.FreePacket(p)
-		n.recvEngine.Use(n.cfg.CtlOverhead, func() { n.release.Arrive(epoch) })
+		n.recvEngine.Use(n.cfg.CtlOverhead, func() { n.ctrlArrive(n.release, epoch, src, retx) })
 	case myrinet.Ack, myrinet.Nack:
 		if n.OnControl != nil {
 			n.OnControl(p)
@@ -506,6 +667,28 @@ func (n *NIC) HandlePacket(p *myrinet.Packet) {
 		cost := n.cfg.RecvOverhead + n.mem.DMACycles(p.WireSize())
 		n.recvEngine.UseArg(cost, n.depositFn, p)
 	}
+}
+
+// ctrlArrive counts one received Halt/Ready against its tracker. Stale
+// packets — duplicates, completed epochs, evicted peers — are dropped and
+// counted; if a *retransmitted* packet turns out stale and this card has
+// itself made the epoch's transition, it echoes its own control packet to
+// the sender, healing one-sided loss (the sender is stuck waiting for a
+// packet that was lost, not unsent).
+func (n *NIC) ctrlArrive(t *phaseTracker, epoch uint64, src myrinet.NodeID, retx bool) {
+	if t.Arrive(epoch, src) {
+		return
+	}
+	n.stats.StaleCtrl++
+	if !retx || n.recovery == nil || t.Evicted(src) || !t.Transitioned(epoch) {
+		return
+	}
+	typ := myrinet.Halt
+	if t == n.release {
+		typ = myrinet.Ready
+	}
+	n.countRetransmit(typ)
+	n.sendCtrl(typ, src, epoch, false)
 }
 
 // refillArrived is the receive context's handling of a refill after its

@@ -69,6 +69,9 @@ func (c *Cluster) armChaos() {
 	c.auditor.Register(c.checkJobDelivery)
 	c.auditor.Register(c.checkGangMatrix)
 	c.auditor.Register(c.checkMasterProgress)
+	if c.cfg.Recovery != nil {
+		c.auditor.Register(c.checkRecovery)
+	}
 }
 
 // armAuditTick starts the per-quantum audit loop. The loop keeps itself
@@ -214,6 +217,73 @@ func (c *Cluster) cpuFaultNear(node int, now sim.Time) bool {
 	return c.injector.CPUFaultActive(node, now) || c.injector.CPUFaultActive(node, prev)
 }
 
+// checkRecovery audits the self-healing layer itself (registered only with
+// recovery enabled).
+//
+// retransmit-bounded: the retransmission traffic of every card stays under
+// the budget implied by its timer configuration — a card exceeding it is
+// retransmitting outside its state machine (for example, an echo loop).
+//
+// eviction-consistency: once a node is evicted, no live job spans it, its
+// matrix column is empty, and — after the membership-update grace period —
+// every survivor has pruned it from its routing table.
+func (c *Cluster) checkRecovery(now sim.Time, report func(invariant, detail string)) {
+	m := c.master
+	rec := c.cfg.Recovery
+
+	// Per epoch and phase a card re-sends at most NICRetries times to each
+	// peer and echoes at most once per marked packet received (itself
+	// bounded by the peers' budgets); 4·(NICRetries+1)·peers per epoch
+	// covers both phases with slack.
+	if peers := len(c.nodes) - 1; peers > 0 {
+		limit := uint64(4*(rec.NICRetries+1)*peers) * (m.epoch + 1)
+		for _, n := range c.nodes {
+			st := n.NIC.Stats()
+			if total := st.HaltRetransmits + st.ReadyRetransmits; total > limit {
+				report("retransmit-bounded", fmt.Sprintf(
+					"node %d re-sent %d control packets over %d epochs (budget %d)",
+					n.ID, total, m.epoch, limit))
+			}
+		}
+	}
+
+	evicted := make([]int, 0, len(m.evictedAt))
+	for i := range m.evictedAt {
+		evicted = append(evicted, i)
+	}
+	sort.Ints(evicted)
+	for _, i := range evicted {
+		id := myrinet.NodeID(i)
+		ids := make([]myrinet.JobID, 0, len(m.jobs))
+		for jid := range m.jobs {
+			ids = append(ids, jid)
+		}
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		for _, jid := range ids {
+			for _, col := range m.jobs[jid].Placement.Cols {
+				if col == i {
+					report("eviction-consistency", fmt.Sprintf(
+						"job %d still live across evicted node %d", jid, i))
+				}
+			}
+		}
+		for r := 0; r < c.cfg.Slots; r++ {
+			if jid := m.matrix.JobAt(r, i); jid != myrinet.NoJob {
+				report("eviction-consistency", fmt.Sprintf(
+					"matrix slot %d still assigns job %d to evicted node %d", r, jid, i))
+			}
+		}
+		if now-m.evictedAt[i] > c.stallBudget() {
+			for j, node := range c.nodes {
+				if !m.dead[j] && node.Mgr.InTopology(id) {
+					report("eviction-consistency", fmt.Sprintf(
+						"node %d still has evicted node %d in its topology", j, i))
+				}
+			}
+		}
+	}
+}
+
 // checkGangMatrix audits the scheduling matrix's structural invariants.
 func (c *Cluster) checkGangMatrix(now sim.Time, report func(invariant, detail string)) {
 	for _, msg := range c.master.matrix.Audit() {
@@ -226,16 +296,36 @@ func (c *Cluster) checkGangMatrix(now sim.Time, report func(invariant, detail st
 // well within one quantum.
 const stallRounds = 4
 
+// recoveryStallRounds is the liveness budget with recovery enabled: the
+// layered timers (NIC force-complete ~3.75 quanta, watchdog eviction ~14)
+// legitimately stretch a round, so the alarm threshold sits above the
+// whole cascade. A round still stuck past it means recovery itself failed.
+const recoveryStallRounds = 20
+
+// stallBudget returns the masterd-protocol stall threshold in cycles.
+func (c *Cluster) stallBudget() sim.Time {
+	if c.cfg.Recovery != nil {
+		return recoveryStallRounds * c.cfg.Quantum
+	}
+	return stallRounds * c.cfg.Quantum
+}
+
 // checkMasterProgress audits the masterd's protocols: a switch round that
 // never collects all acknowledgements (a lost or starved control message,
 // a node that cannot finish its flush) and a job stuck in the Figure 2
-// launch protocol.
+// launch protocol. With recovery enabled the round alarm is named for what
+// it means there — the recovery cascade itself failed to restore liveness.
 func (c *Cluster) checkMasterProgress(now sim.Time, report func(invariant, detail string)) {
 	m := c.master
-	if m.inFlight && now-m.roundStart > stallRounds*c.cfg.Quantum {
-		report("flush-stall", fmt.Sprintf(
+	budget := c.stallBudget()
+	if m.inFlight && now-m.roundStart > budget {
+		invariant := "flush-stall"
+		if c.cfg.Recovery != nil {
+			invariant = "recovery-liveness"
+		}
+		report(invariant, fmt.Sprintf(
 			"switch round %d stuck: %d/%d acks after %d cycles",
-			m.epoch, m.acks, len(c.nodes), now-m.roundStart))
+			m.epoch, m.acks, m.needAcks, now-m.roundStart))
 	}
 	ids := make([]myrinet.JobID, 0, len(m.jobs))
 	for id := range m.jobs {
@@ -244,7 +334,7 @@ func (c *Cluster) checkMasterProgress(now sim.Time, report func(invariant, detai
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
 		job := m.jobs[id]
-		if job.state == JobLoading && now-job.SubmitTime > stallRounds*c.cfg.Quantum {
+		if job.state == JobLoading && now-job.SubmitTime > budget {
 			report("launch-stall", fmt.Sprintf(
 				"job %d stuck loading: %d/%d ranks ready after %d cycles",
 				id, job.readyRanks, job.Spec.Size, now-job.SubmitTime))
@@ -252,9 +342,11 @@ func (c *Cluster) checkMasterProgress(now sim.Time, report func(invariant, detai
 		// Completion stall: every rank's program has locally finished
 		// (p.done is node-side ground truth) yet the job never reaches
 		// JobDone — its rankDone control messages are gone. The condition
-		// must persist across two audit ticks: a ctrl round trip is far
-		// shorter than a quantum, so one full quantum of "all done but not
-		// done" is already conclusive.
+		// must persist across consecutive audit ticks: without recovery a
+		// ctrl round trip is far shorter than a quantum, so one full
+		// quantum of "all done but not done" is already conclusive; with
+		// recovery the completions are re-sent with backoff, so the alarm
+		// waits out the whole retry budget.
 		if job.state == JobRunning {
 			allDone := true
 			for _, p := range job.procs {
@@ -264,13 +356,17 @@ func (c *Cluster) checkMasterProgress(now sim.Time, report func(invariant, detai
 				}
 			}
 			key := progressKey{node: -2, job: id}
-			prev, seen := c.prevProgress[key]
+			prev := c.prevProgress[key]
 			val := uint64(0)
 			if allDone {
-				val = 1
+				val = prev + 1
 			}
 			c.prevProgress[key] = val
-			if allDone && seen && prev == 1 {
+			persist := uint64(2)
+			if c.cfg.Recovery != nil {
+				persist = recoveryStallRounds
+			}
+			if val >= persist {
 				report("completion-stall", fmt.Sprintf(
 					"job %d: all %d ranks finished locally but only %d/%d completions reached the masterd",
 					id, job.Spec.Size, job.doneRanks, job.Spec.Size))

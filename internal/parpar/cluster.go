@@ -61,6 +61,13 @@ type Config struct {
 	Chaos *chaos.Plan
 	// FailFast stops the simulation at the first invariant violation.
 	FailFast bool
+
+	// Recovery, when non-nil, enables the self-healing switch path:
+	// Halt/Ready retransmission with degraded flush completion in the
+	// LANai firmware, reliable daemon control messages, the masterd
+	// switch watchdog, and node eviction. Nil (the default) leaves the
+	// cluster byte-identical to the base protocol.
+	Recovery *Recovery
 }
 
 // DefaultConfig returns the paper's setup: 16-ish nodes, 4 slots, the
@@ -92,6 +99,15 @@ type Node struct {
 
 	cluster *Cluster
 	procs   map[myrinet.JobID]*Proc
+
+	// Slot-switch idempotence (recovery only): the watchdog may re-send a
+	// round's notification, so the noded remembers the round it is working
+	// on and, once done, the stats it acked with — a duplicate re-acks
+	// instead of re-switching (the manager rejects non-monotonic epochs).
+	swEpoch uint64
+	swBusy  bool
+	swDone  bool
+	swStats core.SwitchStats
 }
 
 // Cluster is the assembled system.
@@ -125,6 +141,11 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Quantum == 0 {
 		return nil, fmt.Errorf("parpar: zero quantum")
 	}
+	if cfg.Recovery != nil {
+		if err := cfg.Recovery.validate(); err != nil {
+			return nil, err
+		}
+	}
 	eng := sim.NewEngine()
 	ncfg := myrinet.DefaultConfig(cfg.Nodes)
 	if cfg.NetConfig != nil {
@@ -142,6 +163,9 @@ func New(cfg Config) (*Cluster, error) {
 	c.ctrl = newCtrlNet(eng, cfg.CtrlBase, cfg.CtrlJitter, c.rng)
 	for i := 0; i < cfg.Nodes; i++ {
 		nic := lanai.New(eng, c.Net, c.Mem, lanai.DefaultConfig(myrinet.NodeID(i)))
+		if r := cfg.Recovery; r != nil {
+			nic.SetRecovery(lanai.Recovery{Timeout: r.NICTimeout, Retries: r.NICRetries})
+		}
 		cpu := sim.NewResource(eng, fmt.Sprintf("host%d", i))
 		mgr, err := core.NewManager(eng, nic, cpu, c.Mem, core.Config{
 			Policy:      cfg.Policy,
@@ -203,6 +227,21 @@ func (c *Cluster) SwitchHistory() [][]core.SwitchStats {
 	return out
 }
 
+// reliableSend routes one daemon control message: a plain send with
+// recovery disabled, a re-sent-until-done send with it enabled. dst < 0
+// addresses the masterd (or is otherwise unattributed).
+func (c *Cluster) reliableSend(dst int, done func() bool, fn func()) {
+	r := c.cfg.Recovery
+	if r == nil {
+		// The base protocol sends every daemon message unattributed;
+		// keeping that here (rather than routing by dst) preserves the
+		// injector's decision sequence byte-for-byte with recovery off.
+		c.ctrl.send(fn)
+		return
+	}
+	c.ctrl.sendReliable(dst, r.CtrlTimeout, r.CtrlRetries, done, fn)
+}
+
 // node-side daemon actions -------------------------------------------------
 
 // loadJob is the noded's handling of the masterd's job-load message: run
@@ -210,6 +249,11 @@ func (c *Cluster) SwitchHistory() [][]core.SwitchStats {
 // already receive), fork the process, and notify the masterd.
 func (n *Node) loadJob(job *Job, rank int) {
 	n.CPU.Use(n.cluster.cfg.InitJobCost, func() {
+		if _, dup := n.procs[job.ID]; dup {
+			// Re-sent load (recovery): the job is already initialized; the
+			// readiness notification has its own reliable delivery.
+			return
+		}
 		alloc := n.Mgr.Alloc()
 		fmCfg := fm.DefaultConfig(alloc.C0)
 		if n.cluster.cfg.FMTweak != nil {
@@ -232,7 +276,8 @@ func (n *Node) loadJob(job *Job, rank int) {
 		job.procs[rank] = p
 		// Fork; the child notifies readiness through the noded.
 		n.cluster.Eng.Schedule(n.cluster.cfg.ForkDelay, func() {
-			n.cluster.ctrl.send(func() { n.cluster.master.rankReady(job) })
+			n.cluster.reliableSend(-1, func() bool { return job.readySeen[rank] },
+				func() { n.cluster.master.rankReady(job, rank) })
 		})
 	})
 }
@@ -256,7 +301,25 @@ func (n *Node) startJob(job *Job, rank int) {
 // new row (or an idle switch when the cell is empty or the job has
 // already terminated).
 func (n *Node) switchSlot(epoch uint64, job myrinet.JobID, ack func(core.SwitchStats)) {
+	if n.cluster.cfg.Recovery != nil {
+		switch {
+		case epoch < n.swEpoch:
+			return // straggler from a closed round
+		case epoch == n.swEpoch && n.swDone:
+			// Watchdog re-send after completion: the ack was lost, not the
+			// switch. Re-ack with the recorded stats.
+			s := n.swStats
+			n.cluster.ctrl.send(func() { ack(s) })
+			return
+		case epoch == n.swEpoch && n.swBusy:
+			return // re-send overtook the switch in progress; ack follows
+		}
+		n.swEpoch, n.swBusy, n.swDone = epoch, true, false
+	}
 	done := func(s core.SwitchStats) {
+		if n.cluster.cfg.Recovery != nil {
+			n.swBusy, n.swDone, n.swStats = false, true, s
+		}
 		n.cluster.ctrl.send(func() { ack(s) })
 	}
 	if job != myrinet.NoJob {
@@ -282,4 +345,31 @@ func (n *Node) endJob(job myrinet.JobID) {
 		panic(fmt.Sprintf("parpar: EndJob: %v", err))
 	}
 	delete(n.procs, job)
+}
+
+// killJob is the noded's handling of a recovery-layer job termination: the
+// job spanned an evicted node. Unlike endJob the process has not exited on
+// its own, so it is stopped first — the endpoint is suspended and the proc
+// marked killed, making any still-scheduled program activity inert —
+// before its communication resources are released.
+func (n *Node) killJob(job myrinet.JobID) {
+	p, ok := n.procs[job]
+	if !ok {
+		return
+	}
+	p.killed = true
+	p.EP.Suspend()
+	n.endJob(job)
+}
+
+// evictPeer is the noded's handling of the masterd's membership update: a
+// node was declared failed. The card stops expecting it in flush/release
+// phases and COMM_remove_node drops it from the routing-table view.
+func (n *Node) evictPeer(id myrinet.NodeID) {
+	n.NIC.EvictPeer(id)
+	if n.Mgr.InTopology(id) {
+		if err := n.Mgr.RemoveNode(id); err != nil {
+			panic(fmt.Sprintf("parpar: RemoveNode: %v", err))
+		}
+	}
 }

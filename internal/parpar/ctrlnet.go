@@ -57,6 +57,47 @@ func (c *ctrlNet) send(fn func()) {
 	c.deliver(-1, c.delay(), fn)
 }
 
+// sendTo delivers fn to a specific node after one control-message latency,
+// so node-targeted faults apply.
+func (c *ctrlNet) sendTo(dst int, fn func()) {
+	c.deliver(dst, c.delay(), fn)
+}
+
+// sendReliable delivers fn like send and then, while done keeps reporting
+// false, re-delivers it with exponential backoff: re-send k fires
+// timeout<<k after the previous one, for at most retries re-sends. The
+// daemons' real protocol would carry sequence numbers and acks; in the
+// simulation the done predicate reads the receiver's state directly, which
+// is exactly the information an ack would carry. A message still
+// undelivered after the last re-send is abandoned — the switch watchdog
+// and the eviction path own what happens to a permanently unreachable
+// node.
+func (c *ctrlNet) sendReliable(dst int, timeout sim.Time, retries int, done func() bool, fn func()) {
+	c.deliverOnce(dst, fn)
+	c.armResend(dst, timeout, retries, 0, done, fn)
+}
+
+func (c *ctrlNet) deliverOnce(dst int, fn func()) {
+	if dst < 0 {
+		c.send(fn)
+	} else {
+		c.sendTo(dst, fn)
+	}
+}
+
+func (c *ctrlNet) armResend(dst int, timeout sim.Time, retries, attempt int, done func() bool, fn func()) {
+	if attempt >= retries {
+		return
+	}
+	c.eng.Schedule(timeout<<attempt, func() {
+		if done() {
+			return
+		}
+		c.deliverOnce(dst, fn)
+		c.armResend(dst, timeout, retries, attempt+1, done, fn)
+	})
+}
+
 // broadcast delivers fn(i) to each of n destinations, each with its own
 // independently sampled latency — the multicast preloading of [Kavas et
 // al. 2001] reaches all nodes in one send, but per-node delivery and

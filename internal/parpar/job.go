@@ -40,6 +40,9 @@ const (
 	JobRunning
 	// JobDone: every rank called Done.
 	JobDone
+	// JobKilled: the job spanned an evicted node and was terminated by
+	// the recovery layer; surviving ranks' results are partial.
+	JobKilled
 )
 
 // String names the state.
@@ -51,6 +54,8 @@ func (s JobState) String() string {
 		return "running"
 	case JobDone:
 		return "done"
+	case JobKilled:
+		return "killed"
 	default:
 		return "JobState(?)"
 	}
@@ -68,6 +73,11 @@ type Job struct {
 
 	readyRanks int
 	doneRanks  int
+	// readySeen/doneSeen dedup the per-rank lifecycle notifications: with
+	// recovery enabled they are re-sent until acknowledged, and a count
+	// alone would double-book a duplicate.
+	readySeen []bool
+	doneSeen  []bool
 
 	// Results holds each rank's Done value.
 	Results []any
@@ -104,6 +114,10 @@ type Proc struct {
 	program Program
 	started bool
 	done    bool
+	// killed marks a process whose job was terminated by node eviction;
+	// its endpoint is suspended and its resources already released, so a
+	// late Done from the still-unwinding program is ignored.
+	killed bool
 }
 
 // Rank returns the process's rank in its job.
@@ -130,13 +144,23 @@ func (p *Proc) Schedule(d sim.Time, fn func()) { p.cluster.Eng.Schedule(d, fn) }
 // flushed into the network first (a real process exits only after its
 // last FM_send returned).
 func (p *Proc) Done(result any) {
+	if p.killed {
+		// The job was terminated by node eviction while this program was
+		// still unwinding; its completion has nowhere to go.
+		p.done = true
+		return
+	}
 	if p.done {
 		panic("parpar: Done called twice")
 	}
 	p.done = true
 	job, rank := p.job, p.rank
 	p.EP.Flush(func() {
+		if p.killed {
+			return
+		}
 		p.EP.Suspend()
-		p.cluster.ctrl.send(func() { p.cluster.master.rankDone(job, rank, result) })
+		p.cluster.reliableSend(-1, func() bool { return job.doneSeen[rank] },
+			func() { p.cluster.master.rankDone(job, rank, result) })
 	})
 }

@@ -2,6 +2,7 @@ package parpar
 
 import (
 	"fmt"
+	"sort"
 
 	"gangfm/internal/core"
 	"gangfm/internal/gang"
@@ -35,16 +36,43 @@ type Masterd struct {
 	// skipEv is the pending no-switch-needed re-check, cancelable when a
 	// job-ready event wants an immediate rotation.
 	skipEv sim.Event
+
+	// Recovery bookkeeping (all dormant with Recovery nil). dead marks
+	// evicted nodes, evictedAt when each was evicted. Per round: needAcks
+	// is the live-node count the round waits for, ackedBy dedups the
+	// per-node acknowledgements (the watchdog's re-sends mean one node
+	// can ack more than once), roundTargets is the broadcast snapshot the
+	// watchdog re-sends from, and ackWatch the pending watchdog deadline.
+	dead         []bool
+	evictedAt    map[int]sim.Time
+	needAcks     int
+	ackedBy      []bool
+	roundTargets []myrinet.JobID
+	ackWatch     sim.Event
 }
 
 func newMasterd(c *Cluster) *Masterd {
 	return &Masterd{
-		c:       c,
-		matrix:  gang.NewMatrixPolicy(c.cfg.Nodes, c.cfg.Slots, c.cfg.Packing),
-		jobs:    make(map[myrinet.JobID]*Job),
-		nextID:  1,
-		lastRow: -1,
+		c:         c,
+		matrix:    gang.NewMatrixPolicy(c.cfg.Nodes, c.cfg.Slots, c.cfg.Packing),
+		jobs:      make(map[myrinet.JobID]*Job),
+		nextID:    1,
+		lastRow:   -1,
+		dead:      make([]bool, c.cfg.Nodes),
+		evictedAt: make(map[int]sim.Time),
+		needAcks:  c.cfg.Nodes,
 	}
+}
+
+// liveNodes counts the nodes not yet evicted.
+func (m *Masterd) liveNodes() int {
+	n := 0
+	for _, d := range m.dead {
+		if !d {
+			n++
+		}
+	}
+	return n
 }
 
 // Matrix exposes the gang matrix (read-only use).
@@ -82,6 +110,8 @@ func (m *Masterd) submit(spec JobSpec) (*Job, error) {
 		ID: id, Spec: spec, Placement: placement,
 		nodeOf:     make([]myrinet.NodeID, spec.Size),
 		procs:      make([]*Proc, spec.Size),
+		readySeen:  make([]bool, spec.Size),
+		doneSeen:   make([]bool, spec.Size),
 		Results:    make([]any, spec.Size),
 		SubmitTime: m.c.Eng.Now(),
 	}
@@ -93,15 +123,53 @@ func (m *Masterd) submit(spec JobSpec) (*Job, error) {
 	// Figure 2: notify each allocated node to load the job.
 	for rank, col := range placement.Cols {
 		rank, col := rank, col
-		m.c.ctrl.send(func() { m.c.nodes[col].loadJob(job, rank) })
+		m.c.reliableSend(col, func() bool { return job.procs[rank] != nil },
+			func() { m.c.nodes[col].loadJob(job, rank) })
+	}
+	if m.c.cfg.Recovery != nil {
+		m.armLaunchWatch(job)
 	}
 	m.maybeTick()
 	return job, nil
 }
 
+// armLaunchWatch supervises the job's Figure 2 load phase. A node that has
+// crashed while idle keeps acknowledging switch rounds — with no buffers
+// bound, the three-stage switch never touches its host CPU — so the switch
+// watchdog cannot see it; the load fork is the first point where such a
+// node must spend CPU or go visibly silent. The deadline sits past the
+// reliable ctrl-send retry budget (CtrlTimeout·(2^CtrlRetries−1) is the
+// last re-send) plus one ack window, so only a node that ignored every
+// re-send is declared failed.
+func (m *Masterd) armLaunchWatch(job *Job) {
+	rec := m.c.cfg.Recovery
+	deadline := rec.CtrlTimeout*sim.Time((1<<rec.CtrlRetries)-1) + rec.AckTimeout
+	m.c.Eng.Schedule(deadline, func() {
+		if job.state != JobLoading {
+			return
+		}
+		var evict []int
+		seen := make(map[int]bool)
+		for rank, col := range job.Placement.Cols {
+			if job.procs[rank] == nil && !m.dead[col] && !seen[col] {
+				seen[col] = true
+				evict = append(evict, col)
+			}
+		}
+		sort.Ints(evict)
+		for _, col := range evict {
+			m.evictNode(col)
+		}
+	})
+}
+
 // rankReady collects the per-node process-created notifications; once all
 // arrive, the all-up synchronization is broadcast (Figure 2).
-func (m *Masterd) rankReady(job *Job) {
+func (m *Masterd) rankReady(job *Job, rank int) {
+	if job.state != JobLoading || job.readySeen[rank] {
+		return
+	}
+	job.readySeen[rank] = true
 	job.readyRanks++
 	if job.readyRanks < job.Spec.Size {
 		return
@@ -110,7 +178,8 @@ func (m *Masterd) rankReady(job *Job) {
 	job.SyncTime = m.c.Eng.Now()
 	for rank, col := range job.Placement.Cols {
 		rank, col := rank, col
-		m.c.ctrl.send(func() { m.c.nodes[col].startJob(job, rank) })
+		m.c.reliableSend(col, func() bool { p := job.procs[rank]; return p == nil || p.started },
+			func() { m.c.nodes[col].startJob(job, rank) })
 	}
 	// Force the next rotation to perform a real slot switch even if it
 	// lands on the already-active row — the new job's processes are
@@ -124,9 +193,10 @@ func (m *Masterd) rankReady(job *Job) {
 // rankDone collects per-rank completions; when a job finishes it leaves
 // the matrix and its contexts are released cluster-wide.
 func (m *Masterd) rankDone(job *Job, rank int, result any) {
-	if job.state == JobDone {
+	if job.state == JobDone || job.state == JobKilled || job.doneSeen[rank] {
 		return
 	}
+	job.doneSeen[rank] = true
 	job.Results[rank] = result
 	job.doneRanks++
 	if job.doneRanks < job.Spec.Size {
@@ -148,7 +218,9 @@ func (m *Masterd) rankDone(job *Job, rank int, result any) {
 	delete(m.jobs, job.ID)
 	for _, col := range job.Placement.Cols {
 		col := col
-		m.c.ctrl.send(func() { m.c.nodes[col].endJob(job.ID) })
+		node := m.c.nodes[col]
+		m.c.reliableSend(col, func() bool { _, ok := node.procs[job.ID]; return !ok },
+			func() { node.endJob(job.ID) })
 	}
 	for _, fn := range job.onDone {
 		fn(job)
@@ -224,15 +296,39 @@ func (m *Masterd) tick() {
 			}
 		}
 	}
-	m.c.ctrl.serialBroadcast(len(m.c.nodes), m.c.cfg.CtrlSerialGap, func(i int) {
-		m.c.nodes[i].switchSlot(epoch, targets[i], func(core.SwitchStats) {
-			m.acks++
-			if m.acks == len(m.c.nodes) {
-				m.inFlight = false
-			}
-			m.advance()
+	if m.c.cfg.Recovery == nil {
+		m.c.ctrl.serialBroadcast(len(m.c.nodes), m.c.cfg.CtrlSerialGap, func(i int) {
+			m.c.nodes[i].switchSlot(epoch, targets[i], func(core.SwitchStats) {
+				m.acks++
+				if m.acks == len(m.c.nodes) {
+					m.inFlight = false
+				}
+				m.advance()
+			})
 		})
-	})
+	} else {
+		// Watchdog-supervised round: evicted nodes are skipped (keeping
+		// each survivor's original serialization slot), acknowledgements
+		// are deduplicated per node, and a deadline chain re-sends the
+		// notification to silent nodes and ultimately evicts them.
+		m.roundTargets = targets
+		m.needAcks = m.liveNodes()
+		if m.ackedBy == nil {
+			m.ackedBy = make([]bool, len(m.c.nodes))
+		}
+		for i := range m.ackedBy {
+			m.ackedBy[i] = false
+		}
+		for i := range m.c.nodes {
+			if m.dead[i] {
+				continue
+			}
+			i := i
+			m.c.ctrl.deliver(i, m.c.ctrl.delay()+sim.Time(i+1)*m.c.cfg.CtrlSerialGap,
+				func() { m.sendSwitch(epoch, i) })
+		}
+		m.armAckWatch(epoch, 0)
+	}
 	m.c.Eng.Schedule(m.c.cfg.Quantum, func() {
 		// A later round (started early by a job-ready kick) owns the
 		// pacing now; this round's timer is stale.
@@ -242,4 +338,141 @@ func (m *Masterd) tick() {
 		m.quantumUp = true
 		m.advance()
 	})
+}
+
+// sendSwitch hands one node its slot-switch notification for the round,
+// with the deduplicating ack used by both the broadcast and the watchdog's
+// re-sends.
+func (m *Masterd) sendSwitch(epoch uint64, i int) {
+	m.c.nodes[i].switchSlot(epoch, m.roundTargets[i], func(core.SwitchStats) {
+		if m.epoch != epoch || m.ackedBy[i] || m.dead[i] {
+			return
+		}
+		m.ackedBy[i] = true
+		m.acks++
+		if m.acks >= m.needAcks {
+			m.closeRound()
+		}
+		m.advance()
+	})
+}
+
+// closeRound ends the in-flight rotation and disarms the watchdog.
+func (m *Masterd) closeRound() {
+	m.inFlight = false
+	m.ackWatch.Cancel()
+}
+
+// armAckWatch schedules watchdog deadline number attempt for the round,
+// AckTimeout<<attempt cycles from now.
+func (m *Masterd) armAckWatch(epoch uint64, attempt int) {
+	m.ackWatch = m.c.Eng.Schedule(m.c.cfg.Recovery.AckTimeout<<attempt, func() {
+		m.ackFire(epoch, attempt)
+	})
+}
+
+// ackFire is a watchdog deadline: the round is still missing
+// acknowledgements. Re-send the notification to each silent live node
+// while the retry budget lasts; after AckRetries re-sends the silent nodes
+// are declared failed and evicted.
+func (m *Masterd) ackFire(epoch uint64, attempt int) {
+	if m.epoch != epoch || !m.inFlight {
+		return
+	}
+	rec := m.c.cfg.Recovery
+	if attempt >= rec.AckRetries {
+		for i := range m.c.nodes {
+			if !m.dead[i] && !m.ackedBy[i] {
+				m.evictNode(i)
+			}
+		}
+		return
+	}
+	for i := range m.c.nodes {
+		if m.dead[i] || m.ackedBy[i] {
+			continue
+		}
+		i := i
+		m.c.ctrl.sendTo(i, func() { m.sendSwitch(epoch, i) })
+	}
+	m.armAckWatch(epoch, attempt+1)
+}
+
+// evictNode declares a node failed: it leaves the round's quorum, every
+// survivor prunes it from its card membership and routing table, and every
+// job that spanned it is killed so its slots are reclaimed and its
+// surviving processes released. The rotation then continues on the
+// remaining nodes.
+func (m *Masterd) evictNode(i int) {
+	if m.dead[i] {
+		return
+	}
+	m.dead[i] = true
+	m.evictedAt[i] = m.c.Eng.Now()
+	id := myrinet.NodeID(i)
+	if m.inFlight {
+		if m.ackedBy[i] {
+			m.acks--
+		}
+		m.ackedBy[i] = true // a late ack from the dead node must not count
+		m.needAcks--
+	}
+	for j, node := range m.c.nodes {
+		if m.dead[j] {
+			continue
+		}
+		node := node
+		m.c.reliableSend(j, func() bool { return !node.Mgr.InTopology(id) },
+			func() { node.evictPeer(id) })
+	}
+	// Kill spanning jobs in ascending ID order for determinism.
+	ids := make([]myrinet.JobID, 0, len(m.jobs))
+	for jid, job := range m.jobs {
+		for _, col := range job.Placement.Cols {
+			if col == i {
+				ids = append(ids, jid)
+				break
+			}
+		}
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	for _, jid := range ids {
+		m.killJob(m.jobs[jid])
+	}
+	if m.inFlight && m.acks >= m.needAcks {
+		m.closeRound()
+	}
+	m.advance()
+}
+
+// killJob terminates a job that spanned an evicted node: it leaves the
+// matrix (reclaiming its slots), its surviving processes are stopped and
+// their contexts released, and its completion callbacks fire with state
+// JobKilled.
+func (m *Masterd) killJob(job *Job) {
+	if job.state == JobDone || job.state == JobKilled {
+		return
+	}
+	job.state = JobKilled
+	job.DoneTime = m.c.Eng.Now()
+	if err := m.matrix.Remove(job.ID); err != nil {
+		panic(fmt.Sprintf("parpar: removing killed job: %v", err))
+	}
+	if m.matrix.Policy().UnifyOnExit() {
+		m.activated = false
+		m.kickASAP = true
+	}
+	delete(m.jobs, job.ID)
+	for _, col := range job.Placement.Cols {
+		if m.dead[col] {
+			continue
+		}
+		col := col
+		node := m.c.nodes[col]
+		m.c.reliableSend(col, func() bool { _, ok := node.procs[job.ID]; return !ok },
+			func() { node.killJob(job.ID) })
+	}
+	for _, fn := range job.onDone {
+		fn(job)
+	}
 }

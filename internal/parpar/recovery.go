@@ -1,0 +1,92 @@
+package parpar
+
+// recovery.go defines the opt-in self-healing layer's tuning knobs. The
+// mechanisms live where the protocols live — control-packet retransmission
+// in internal/lanai, reliable daemon messaging in ctrlnet.go, the switch
+// watchdog and eviction in masterd.go — this file only gathers the timer
+// budgets and documents how they relate.
+//
+// The budgets are layered so each mechanism resolves before the one above
+// it loses patience:
+//
+//	NIC phase force-complete  ≈ NICTimeout·(2^(NICRetries+1)-1)   (~3.5 quanta at defaults)
+//	masterd node eviction     ≈ AckTimeout·(2^(AckRetries+1)-1)   (~14 quanta at defaults)
+//	recovery-liveness auditor   recoveryStallRounds quanta          (20 quanta)
+//
+// A healthy-but-lossy node therefore always finishes its switch (via
+// degraded flush) and acks well before the watchdog would evict it; only a
+// node that cannot ack at all — a crashed host CPU, a severed control
+// link — crosses the eviction deadline; and the auditor's liveness alarm
+// fires only if even eviction failed to unwedge the round.
+
+import "gangfm/internal/sim"
+
+// Recovery enables and parameterizes the self-healing switch path. Nil on
+// Config means fully disabled: no timers are armed, no message is ever
+// re-sent, and the cluster behaves byte-identically to the base protocol.
+type Recovery struct {
+	// NICTimeout is the LANai's first Halt/Ready retransmission deadline,
+	// measured from its local phase transition; attempt i fires after
+	// NICTimeout<<i (exponential backoff).
+	NICTimeout sim.Time
+	// NICRetries bounds the per-epoch retransmission attempts of each
+	// phase; after the last one the phase completes degraded, without the
+	// missing peers' control packets.
+	NICRetries int
+
+	// CtrlTimeout is the first re-send deadline for daemon control
+	// messages (job load, readiness, start, completion, termination),
+	// doubling per attempt.
+	CtrlTimeout sim.Time
+	// CtrlRetries bounds the re-sends of one control message; an
+	// undeliverable message is abandoned afterwards (the watchdog and
+	// eviction path own the consequences).
+	CtrlRetries int
+
+	// AckTimeout is the masterd switch watchdog's first deadline: a
+	// rotation whose acknowledgements are incomplete re-sends the
+	// slot-switch notification to the silent nodes, backing off ×2.
+	AckTimeout sim.Time
+	// AckRetries is how many watchdog re-sends a node may ignore; at the
+	// next deadline it is declared suspect and evicted.
+	AckRetries int
+}
+
+// DefaultRecovery returns the budgets described above for a quantum. The
+// NIC timeout is half a quantum: it must exceed the worst-case skew
+// between two peers' flush starts — the masterd's switch broadcast is
+// serialized at CtrlSerialGap per node plus delivery jitter — or a
+// healthy-but-late peer triggers clean-path retransmission. At realistic
+// quanta (tens of ms) half a quantum dwarfs that skew; stress configs that
+// push the jitter toward the quantum itself should tune this up.
+func DefaultRecovery(quantum sim.Time) Recovery {
+	return Recovery{
+		NICTimeout:  quantum / 2,
+		NICRetries:  2,
+		CtrlTimeout: quantum / 4,
+		CtrlRetries: 6,
+		AckTimeout:  2 * quantum,
+		AckRetries:  2,
+	}
+}
+
+// validate rejects budgets that cannot work (a zero timeout would spin the
+// event loop; negative retries make the first deadline evict).
+func (r *Recovery) validate() error {
+	if r.NICTimeout <= 0 || r.CtrlTimeout <= 0 || r.AckTimeout <= 0 {
+		return errRecoveryTimeout
+	}
+	if r.NICRetries < 0 || r.CtrlRetries < 0 || r.AckRetries < 0 {
+		return errRecoveryRetries
+	}
+	return nil
+}
+
+var (
+	errRecoveryTimeout = recoveryErr("recovery timeouts must be positive")
+	errRecoveryRetries = recoveryErr("recovery retry counts must be non-negative")
+)
+
+type recoveryErr string
+
+func (e recoveryErr) Error() string { return "parpar: " + string(e) }

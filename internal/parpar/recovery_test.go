@@ -1,0 +1,318 @@
+package parpar
+
+import (
+	"strings"
+	"testing"
+
+	"gangfm/internal/chaos"
+	"gangfm/internal/myrinet"
+	"gangfm/internal/sim"
+)
+
+// recoveredConfig is testConfig plus the self-healing switch layer at its
+// default budgets.
+func recoveredConfig(nodes int) Config {
+	cfg := testConfig(nodes)
+	r := DefaultRecovery(cfg.Quantum)
+	cfg.Recovery = &r
+	return cfg
+}
+
+// nicTotals sums the recovery-relevant NIC counters across the cluster.
+func nicTotals(c *Cluster) (halt, ready, stale, forced uint64) {
+	for _, n := range c.Nodes() {
+		st := n.NIC.Stats()
+		halt += st.HaltRetransmits
+		ready += st.ReadyRetransmits
+		stale += st.StaleCtrl
+		forced += st.ForcedPhases
+	}
+	return
+}
+
+// TestHaltLossRecovered: the exact plan of TestHaltLossStallsSwitch — every
+// halt packet lost, forever — wedges the bare protocol; with recovery the
+// NIC re-broadcasts halts and ultimately force-completes the flush phase,
+// so the same workload finishes with a clean auditor. Permanent 100% halt
+// loss means even retransmitted halts die, so this pins the force-complete
+// backstop, not just the retransmission.
+func TestHaltLossRecovered(t *testing.T) {
+	cfg := recoveredConfig(2)
+	cfg.Chaos = &chaos.Plan{Seed: 5, Faults: []chaos.Fault{
+		{Kind: chaos.HaltLoss, Prob: 1.0, Node: -1},
+	}}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := c.Submit(JobSpec{Name: "pp", Size: 2, NewProgram: pingPong(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RunUntil(chaosHorizon)
+	if job.State() != JobDone {
+		t.Fatalf("job state %v under recovery; auditor: %s", job.State(), c.Auditor().Summary())
+	}
+	if !c.Auditor().Ok() {
+		t.Fatalf("recovery run reported violations: %s", c.Auditor().Summary())
+	}
+	halt, _, _, forced := nicTotals(c)
+	if halt == 0 {
+		t.Fatal("no halt retransmissions under permanent halt loss")
+	}
+	if forced == 0 {
+		t.Fatal("no forced phases: permanent halt loss is only survivable by force-complete")
+	}
+}
+
+// TestReadyLossRecovered: the stage-3 mirror of TestHaltLossRecovered —
+// permanent ready loss, absorbed by ready retransmission + force-complete.
+func TestReadyLossRecovered(t *testing.T) {
+	cfg := recoveredConfig(2)
+	cfg.Chaos = &chaos.Plan{Seed: 5, Faults: []chaos.Fault{
+		{Kind: chaos.ReadyLoss, Prob: 1.0, Node: -1},
+	}}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := c.Submit(JobSpec{Name: "pp", Size: 2, NewProgram: pingPong(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RunUntil(chaosHorizon)
+	if job.State() != JobDone {
+		t.Fatalf("job state %v under recovery; auditor: %s", job.State(), c.Auditor().Summary())
+	}
+	if !c.Auditor().Ok() {
+		t.Fatalf("recovery run reported violations: %s", c.Auditor().Summary())
+	}
+	_, ready, _, _ := nicTotals(c)
+	if ready == 0 {
+		t.Fatal("no ready retransmissions under permanent ready loss")
+	}
+}
+
+// TestPartialHaltLossCountsStaleCtrl: with half the halts lost, the
+// re-broadcasts reach peers that already heard the original — those
+// duplicates must be dropped idempotently and counted, and (being marked
+// retransmissions) answered with an echo that fills the sender's own gap.
+func TestPartialHaltLossCountsStaleCtrl(t *testing.T) {
+	cfg := recoveredConfig(3)
+	cfg.Chaos = &chaos.Plan{Seed: 21, Faults: []chaos.Fault{
+		{Kind: chaos.HaltLoss, Prob: 0.5, Node: -1},
+	}}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := c.Submit(JobSpec{Name: "stream", Size: 2, NewProgram: oneWay(100, 512)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RunUntil(chaosHorizon)
+	if job.State() != JobDone {
+		t.Fatalf("job state %v under recovery; auditor: %s", job.State(), c.Auditor().Summary())
+	}
+	if !c.Auditor().Ok() {
+		t.Fatalf("recovery run reported violations: %s", c.Auditor().Summary())
+	}
+	halt, _, stale, _ := nicTotals(c)
+	if halt == 0 {
+		t.Fatal("no halt retransmissions under 50% halt loss")
+	}
+	if stale == 0 {
+		t.Fatal("no stale control packets counted: duplicates should have reached already-heard peers")
+	}
+}
+
+// TestCtrlLossRecoveredWithinWindow: a 3-quantum blackout of the control
+// Ethernet (100% loss) — every masterd/noded message in flight is dropped.
+// The reliable-send retry chain (re-sends at 0.25q, 0.75q, 1.75q, 3.75q …
+// cumulative) punches through after the window closes; the bare protocol
+// wedges on the first lost message. Permanent 100% ctrl loss is excluded
+// by design: retransmission needs some delivery.
+func TestCtrlLossRecoveredWithinWindow(t *testing.T) {
+	cfg := recoveredConfig(2)
+	cfg.Chaos = &chaos.Plan{Seed: 5, Faults: []chaos.Fault{
+		{Kind: chaos.CtrlLoss, Prob: 1.0, Node: -1, From: 0, Until: 3 * 400_000},
+	}}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := c.Submit(JobSpec{Name: "pp", Size: 2, NewProgram: pingPong(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RunUntil(chaosHorizon)
+	if job.State() != JobDone {
+		t.Fatalf("job state %v under recovery; auditor: %s", job.State(), c.Auditor().Summary())
+	}
+	if !c.Auditor().Ok() {
+		t.Fatalf("recovery run reported violations: %s", c.Auditor().Summary())
+	}
+}
+
+// TestNodeCrashEvictsAndSurvives: a node crashes before its rank of job A
+// ever forks. The crashed node is idle, so it still acknowledges switch
+// rounds — the launch watchdog is what detects the silent fork, evicts the
+// node, and kills job A. Job B, placed on the surviving nodes, must load,
+// run and complete normally on the degraded cluster, and every survivor
+// must have pruned the dead node from its membership.
+func TestNodeCrashEvictsAndSurvives(t *testing.T) {
+	const crashed = 0
+	cfg := recoveredConfig(4)
+	cfg.Chaos = &chaos.Plan{Seed: 5, Faults: []chaos.Fault{
+		{Kind: chaos.NodeCrash, Node: crashed, From: 10_000},
+	}}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobA, err := c.Submit(JobSpec{Name: "doomed", Size: 2, NewProgram: pingPong(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobB, err := c.Submit(JobSpec{Name: "survivor", Size: 2, NewProgram: pingPong(400)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := func(j *Job, col int) bool {
+		for _, jc := range j.Placement.Cols {
+			if jc == col {
+				return true
+			}
+		}
+		return false
+	}
+	if !spans(jobA, crashed) || spans(jobB, crashed) {
+		t.Fatalf("placement assumption broken: A on %v, B on %v", jobA.Placement.Cols, jobB.Placement.Cols)
+	}
+	c.RunUntil(chaosHorizon)
+
+	if jobA.State() != JobKilled {
+		t.Fatalf("job spanning the crashed node is %v, want killed; auditor: %s",
+			jobA.State(), c.Auditor().Summary())
+	}
+	if jobB.State() != JobDone {
+		t.Fatalf("surviving job is %v, want done; auditor: %s", jobB.State(), c.Auditor().Summary())
+	}
+	if !c.master.dead[crashed] {
+		t.Fatal("masterd never declared the crashed node dead")
+	}
+	for i, n := range c.Nodes() {
+		if i == crashed {
+			continue
+		}
+		if n.Mgr.InTopology(myrinet.NodeID(crashed)) {
+			t.Fatalf("survivor %d still lists the dead node in its topology", i)
+		}
+	}
+	if !c.Auditor().Ok() {
+		t.Fatalf("crash recovery reported violations: %s", c.Auditor().Summary())
+	}
+}
+
+// TestRecoveryDeterminism: the recovery layer preserves the replay
+// contract — two runs of the same seeded crash-plus-loss plan produce
+// byte-identical injection traces, identical violations (none), and
+// identical job timelines.
+func TestRecoveryDeterminism(t *testing.T) {
+	run := func() ([]string, []chaos.Violation, sim.Time, sim.Time) {
+		cfg := recoveredConfig(4)
+		cfg.Chaos = &chaos.Plan{Seed: 31, Faults: []chaos.Fault{
+			{Kind: chaos.NodeCrash, Node: 0, From: 10_000},
+			{Kind: chaos.HaltLoss, Prob: 0.4, Node: -1},
+		}}
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := c.Submit(JobSpec{Name: "doomed", Size: 2, NewProgram: pingPong(5)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := c.Submit(JobSpec{Name: "survivor", Size: 2, NewProgram: pingPong(100)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.RunUntil(chaosHorizon)
+		return c.ChaosTrace(), c.Auditor().Violations(), a.DoneTime, b.DoneTime
+	}
+	t1, v1, a1, b1 := run()
+	t2, v2, a2, b2 := run()
+	if strings.Join(t1, "\n") != strings.Join(t2, "\n") {
+		t.Fatal("identical recovery runs produced different injection traces")
+	}
+	if len(v1) != len(v2) {
+		t.Fatalf("violation counts differ: %d vs %d", len(v1), len(v2))
+	}
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatalf("violation %d differs:\n  %s\n  %s", i, v1[i], v2[i])
+		}
+	}
+	if a1 != a2 || b1 != b2 {
+		t.Fatalf("job timelines differ: %d/%d vs %d/%d", a1, b1, a2, b2)
+	}
+	if len(t1) == 0 {
+		t.Fatal("plan produced no injections")
+	}
+}
+
+// TestRecoveryCleanPathFree: on a fault-free run the recovery layer is
+// pure bookkeeping — every timer is cancelled before it fires, so the
+// workload's completion time is cycle-identical to the recovery-off run
+// and no retransmission or force-complete ever happens.
+func TestRecoveryCleanPathFree(t *testing.T) {
+	elapsed := func(recovery bool) sim.Time {
+		cfg := testConfig(2)
+		if recovery {
+			r := DefaultRecovery(cfg.Quantum)
+			cfg.Recovery = &r
+		}
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		job, err := c.Submit(JobSpec{Name: "stream", Size: 2, NewProgram: oneWay(100, 512)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.RunUntil(chaosHorizon)
+		if job.State() != JobDone {
+			t.Fatalf("recovery=%v: job did not finish", recovery)
+		}
+		if recovery {
+			halt, ready, stale, forced := nicTotals(c)
+			if halt+ready+stale+forced != 0 {
+				t.Fatalf("clean run exercised recovery: halt=%d ready=%d stale=%d forced=%d",
+					halt, ready, stale, forced)
+			}
+		}
+		return job.DoneTime
+	}
+	off := elapsed(false)
+	on := elapsed(true)
+	if off != on {
+		t.Fatalf("recovery changed the clean path: done at %d with, %d without", on, off)
+	}
+}
+
+// TestRecoveryConfigValidation: broken recovery budgets are rejected at
+// cluster construction, not discovered as silent timer misbehaviour.
+func TestRecoveryConfigValidation(t *testing.T) {
+	cfg := testConfig(2)
+	cfg.Recovery = &Recovery{} // zero timeouts
+	if _, err := New(cfg); err == nil {
+		t.Fatal("zero-valued Recovery accepted")
+	}
+	cfg = testConfig(2)
+	r := DefaultRecovery(cfg.Quantum)
+	r.NICRetries = -1
+	cfg.Recovery = &r
+	if _, err := New(cfg); err == nil {
+		t.Fatal("negative retry budget accepted")
+	}
+}
