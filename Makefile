@@ -16,8 +16,13 @@ build:
 test:
 	$(GO) test ./...
 
+# The -race gate runs the full matrix, then the concurrent components —
+# the sharded parallel engine, the sweep harness, and the root package's
+# sharded-vs-serial equivalence tests — once more explicitly.
 race:
 	$(GO) test -race ./...
+	$(GO) test -race ./internal/sim/... ./internal/experiments/...
+	$(GO) test -race -run 'TestParallel' .
 
 fuzz-smoke:
 	$(GO) run ./cmd/gangsim fuzz -seed 1 -runs 5

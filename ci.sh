@@ -6,9 +6,12 @@ set -eux
 go vet ./...
 go build ./...
 go test -race ./...
-# The sweep harness is the one concurrent component; race it explicitly
-# even when the full -race matrix above is trimmed.
-go test -race ./internal/experiments/...
+# The concurrent components — the sharded parallel engine and the sweep
+# harness — get an explicit -race pass even when the full matrix above is
+# trimmed; the root package holds the sharded-vs-serial equivalence tests,
+# whose windowed worker pools are the hottest synchronization in the tree.
+go test -race ./internal/sim/... ./internal/experiments/...
+go test -race -run 'TestParallel' .
 
 # Chaos-fuzz smoke: a short fixed-seed campaign plus the paper-§2.2
 # differential (FM wedges under loss, go-back-N recovers). Both are

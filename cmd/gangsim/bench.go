@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"gangfm/internal/experiments"
+	"gangfm/internal/myrinet"
 	"gangfm/internal/parpar"
 	"gangfm/internal/sim"
 	"gangfm/internal/workload"
@@ -49,6 +50,23 @@ var benchBaseline = BenchBaseline{
 	AllQuickSeconds:   1.6,
 }
 
+// ScalingResult is one leg of the parallel_scaling sweep: a fixed
+// large-topology workload run unsharded, or sharded at a given worker
+// count.
+type ScalingResult struct {
+	Name        string  `json:"name"`
+	Shards      int     `json:"shards"`
+	Workers     int     `json:"workers"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Events      uint64  `json:"events"`
+	EventsPerS  float64 `json:"events_per_second"`
+	// Speedup is wall time of the workers=1 sharded leg divided by this
+	// leg's wall time (1.0 for that leg itself; 0 for the unsharded
+	// baseline, which is the serial reference, not part of the scaling
+	// curve).
+	Speedup float64 `json:"speedup"`
+}
+
 // BenchReport is the top-level BENCH_<date>.json document.
 type BenchReport struct {
 	Date       string `json:"date"`
@@ -70,7 +88,12 @@ type BenchReport struct {
 	SwitchCyclesRecoveryClean float64       `json:"switch_cycles_recovery_clean"`
 	Figures                   []BenchResult `json:"figures"`
 	Total                     BenchResult   `json:"total"`
-	Baseline                  BenchBaseline `json:"baseline"`
+	// ParallelScaling sweeps the sharded engine's worker pool over a
+	// large-topology bandwidth workload. Real speedup is bounded by
+	// GOMAXPROCS (recorded above): on a single-core host every leg shares
+	// one CPU and the sweep measures coordination overhead instead.
+	ParallelScaling []ScalingResult `json:"parallel_scaling"`
+	Baseline        BenchBaseline   `json:"baseline"`
 }
 
 // runBench executes every figure under wall-clock, event-count and
@@ -139,6 +162,8 @@ func runBench(args []string, out io.Writer) int {
 		fmt.Fprintf(out, "%-10s %8.2fs  %12d events  %10.0f events/s  %6.1f allocs/event\n",
 			r.Name, r.WallSeconds, r.Events, r.EventsPerS, r.AllocsPerEv)
 	}
+	rep.ParallelScaling = parallelScaling(*quick, out)
+
 	rep.Total.Name = "total"
 	if rep.Total.WallSeconds > 0 {
 		rep.Total.EventsPerS = float64(rep.Total.Events) / rep.Total.WallSeconds
@@ -189,6 +214,74 @@ func measure(name string, fn func()) BenchResult {
 		r.AllocsPerEv = float64(r.Allocs) / float64(r.Events)
 	}
 	return r
+}
+
+// parallelScaling runs a fig6-style pairwise-bandwidth workload on a
+// large machine — the regime sharding exists for — unsharded, then sharded
+// at 1/2/4/8 workers, and reports wall time per leg. The simulated work is
+// identical in every leg (the equivalence tests prove the results are
+// too), so the wall-time ratios isolate the engine's parallel efficiency.
+func parallelScaling(quick bool, out io.Writer) []ScalingResult {
+	// 512 nodes is the largest machine the modeled FM can drive: switched
+	// credits are C0 = Br/p = 668/512 = 1 (stop-and-wait, alive); at 1024
+	// peers the formula hits zero and communication wedges by design.
+	nodes, msgs := 512, 24
+	if quick {
+		nodes, msgs = 128, 30
+	}
+	const shards = 16
+	run := func(nShards, workers int) ScalingResult {
+		cfg := parpar.DefaultConfig(nodes)
+		// One slot: every pair job runs on its own column with no
+		// rotation, so the machine is uniformly busy end to end.
+		cfg.Slots = 1
+		cfg.Quantum = 100_000_000
+		// A SAN this size is a multi-stage fabric with a longer switch
+		// traversal; the higher latency also widens the conservative
+		// lookahead window, cutting barrier frequency.
+		ncfg := myrinet.DefaultConfig(nodes)
+		ncfg.SwitchLatency = 2000
+		cfg.NetConfig = &ncfg
+		cfg.Shards = nShards
+		cfg.Workers = workers
+		c, err := parpar.New(cfg)
+		if err != nil {
+			panic(err)
+		}
+		for j := 0; j < nodes/2; j++ {
+			if _, err := c.Submit(workload.Bandwidth(fmt.Sprintf("pair%d", j), msgs, 1536)); err != nil {
+				panic(err)
+			}
+		}
+		start := time.Now()
+		c.Run()
+		wall := time.Since(start).Seconds()
+		r := ScalingResult{Shards: nShards, Workers: workers, WallSeconds: wall, Events: c.Fired()}
+		if wall > 0 {
+			r.EventsPerS = float64(r.Events) / wall
+		}
+		return r
+	}
+	legs := []ScalingResult{run(1, 1)}
+	legs[0].Name = "unsharded"
+	for _, w := range []int{1, 2, 4, 8} {
+		r := run(shards, w)
+		r.Name = fmt.Sprintf("shards=%d workers=%d", shards, w)
+		legs = append(legs, r)
+	}
+	ref := legs[1].WallSeconds
+	for i := 1; i < len(legs); i++ {
+		if legs[i].WallSeconds > 0 {
+			legs[i].Speedup = ref / legs[i].WallSeconds
+		}
+	}
+	fmt.Fprintf(out, "parallel_scaling: %d nodes, %d pair jobs x %d msgs (GOMAXPROCS=%d)\n",
+		nodes, nodes/2, msgs, runtime.GOMAXPROCS(0))
+	for _, r := range legs {
+		fmt.Fprintf(out, "  %-22s %8.2fs  %12d events  %10.0f events/s  speedup %.2fx\n",
+			r.Name, r.WallSeconds, r.Events, r.EventsPerS, r.Speedup)
+	}
+	return legs
 }
 
 // switchCostCycles measures the mean steady-state switch cost (virtual

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	gangsim [-quick] [-par N] <fig5|fig6|fig7|fig8|fig9|overhead|credits|all>
+//	gangsim [-quick] [-par N] [-shards N] [-workers N] <fig5|fig6|fig7|fig8|fig9|overhead|credits|all>
 //	gangsim fuzz [-seed S] [-runs N] [-shrink] [-trace] [-compare]
 //	gangsim bench [-quick] [-par N] [-o FILE]
 //	gangsim sched [-seed S] [-policy P] [-scheme S] [-trace FILE]
@@ -77,6 +77,8 @@ func main() {
 	}
 	quick := flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
 	par := flag.Int("par", runtime.GOMAXPROCS(0), "max concurrently simulated points")
+	shards := flag.Int("shards", 0, "shard each cluster's engine into N event lanes (0 = unsharded)")
+	workers := flag.Int("workers", 0, "worker goroutines per sharded engine group (<=1 = lockstep)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Usage = usage
@@ -91,7 +93,7 @@ func main() {
 		os.Exit(1)
 	}
 	defer stop()
-	p := experiments.Params{Quick: *quick, Parallel: *par}
+	p := experiments.Params{Quick: *quick, Parallel: *par, Shards: *shards, Workers: *workers}
 
 	cmds := map[string]func(experiments.Params){
 		"fig5":     fig5,
@@ -161,7 +163,13 @@ func startProfiles(cpuPath, memPath string) (stop func(), err error) {
 func usage() {
 	fmt.Fprintf(os.Stderr, `gangsim — regenerate the paper's evaluation
 
-usage: gangsim [-quick] [-par N] [-cpuprofile F] [-memprofile F] <experiment>
+usage: gangsim [-quick] [-par N] [-shards N] [-workers N]
+               [-cpuprofile F] [-memprofile F] <experiment>
+
+-shards N splits every simulated cluster's engine into N event lanes; with
+-workers > 1 the lanes run concurrently under conservative lookahead
+windows, otherwise in bit-identical lockstep. Either way the tables must
+come out identical to the unsharded run.
 
 experiments:
   credits   credit formulas C0 = Br/(n^2 p) vs Br/p (paper 2.2, 3.3)

@@ -3,6 +3,7 @@ package chaos
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"gangfm/internal/myrinet"
 	"gangfm/internal/sim"
@@ -40,6 +41,10 @@ type Auditor struct {
 	eng  *sim.Engine
 	seed uint64
 
+	// mu guards the report state: the NIC and manager hook points can fire
+	// from concurrent shard workers when the cluster runs a windowed shard
+	// group, while the periodic checks run on the group's global lane.
+	mu         sync.Mutex
 	failFast   bool
 	checks     []Check
 	seen       map[string]bool
@@ -75,6 +80,8 @@ func (a *Auditor) RunChecks() {
 // Report records a violation. Duplicate (invariant, detail) pairs are
 // collapsed: a wedged invariant re-reports identically every audit tick.
 func (a *Auditor) Report(invariant, detail string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	key := invariant + "\x00" + detail
 	if a.seen[key] {
 		return
@@ -92,10 +99,16 @@ func (a *Auditor) Report(invariant, detail string) {
 }
 
 // Ok reports whether no violation has been recorded.
-func (a *Auditor) Ok() bool { return len(a.violations) == 0 && a.dropped == 0 }
+func (a *Auditor) Ok() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.violations) == 0 && a.dropped == 0
+}
 
 // Violations returns the recorded violations in report order.
 func (a *Auditor) Violations() []Violation {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	out := make([]Violation, len(a.violations))
 	copy(out, a.violations)
 	return out
@@ -126,6 +139,9 @@ func (a *Auditor) Summary() string {
 // loss-induced stall (a violation of FM's reliable-SAN assumption) from a
 // legitimately exhausted window.
 type CreditLedger struct {
+	// mu guards the maps: drop hooks fire from whichever shard worker owns
+	// the dropping node when the cluster runs a windowed shard group.
+	mu        sync.Mutex
 	destroyed map[myrinet.JobID]int
 	drops     map[myrinet.JobID]int
 }
@@ -141,6 +157,8 @@ func NewCreditLedger() *CreditLedger {
 // RecordDrop accounts one dropped packet (network loss or card-level
 // discard). Control packets carry no credits and are ignored.
 func (l *CreditLedger) RecordDrop(p *myrinet.Packet) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	switch p.Type {
 	case myrinet.Data:
 		l.destroyed[p.Job] += 1 + p.Credits
@@ -152,7 +170,15 @@ func (l *CreditLedger) RecordDrop(p *myrinet.Packet) {
 }
 
 // Destroyed returns how many credits the job has irrecoverably lost.
-func (l *CreditLedger) Destroyed(job myrinet.JobID) int { return l.destroyed[job] }
+func (l *CreditLedger) Destroyed(job myrinet.JobID) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.destroyed[job]
+}
 
 // Drops returns how many of the job's packets were dropped.
-func (l *CreditLedger) Drops(job myrinet.JobID) int { return l.drops[job] }
+func (l *CreditLedger) Drops(job myrinet.JobID) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.drops[job]
+}

@@ -27,6 +27,13 @@ type Params struct {
 	// 0 means one per available CPU (GOMAXPROCS). Each point owns an
 	// independent engine, so sweeps are embarrassingly parallel.
 	Parallel int
+	// Shards, when > 1, runs each cluster-backed point on a sharded
+	// engine group (parpar.Config.Shards); Workers sets the worker count
+	// per group. The figures must come out identical either way — that is
+	// the equivalence the sharded engine promises, and the root-package
+	// parallel tests enforce it against the golden tables.
+	Shards  int
+	Workers int
 }
 
 func (p Params) parallel() int {

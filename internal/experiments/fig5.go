@@ -66,18 +66,20 @@ func Fig5(p Params) []Fig5Point {
 	forEach(p.parallel(), len(points), func(i int) {
 		n := contexts[i/len(sizes)]
 		size := sizes[i%len(sizes)]
-		points[i] = fig5Point(n, size, p.Quick)
+		points[i] = fig5Point(n, size, p)
 	})
 	return points
 }
 
-func fig5Point(nContexts, size int, quick bool) Fig5Point {
+func fig5Point(nContexts, size int, p Params) Fig5Point {
 	cfg := parpar.DefaultConfig(16)
 	cfg.Policy = fm.Partitioned
 	cfg.Slots = nContexts
 	cfg.Quantum = 40_000_000 // irrelevant: a single job never rotates
 	cfg.CtrlJitter = 50_000
 	cfg.ForkDelay = 100_000
+	cfg.Shards = p.Shards
+	cfg.Workers = p.Workers
 	cluster, err := parpar.New(cfg)
 	if err != nil {
 		panic(err)
@@ -87,13 +89,13 @@ func fig5Point(nContexts, size int, quick bool) Fig5Point {
 	if aerr == nil {
 		c0 = alloc.C0
 	}
-	msgs := fig5Messages(size, quick)
+	msgs := fig5Messages(size, p.Quick)
 	job, err := cluster.Submit(workload.Bandwidth("fig5", msgs, size))
 	if err != nil {
 		panic(err)
 	}
 	cluster.RunUntil(fig5Deadline)
-	addFired(cluster.Eng.Fired())
+	addFired(cluster.Fired())
 	pt := Fig5Point{Contexts: nContexts, MsgSize: size, C0: c0}
 	res, err := workload.ExtractBandwidth(job)
 	if err != nil {

@@ -86,23 +86,25 @@ func Fig6(p Params) []Fig6Point {
 	forEach(p.parallel(), len(points), func(i int) {
 		k := jobCounts[i/len(sizes)]
 		size := sizes[i%len(sizes)]
-		points[i] = fig6Point(k, size, p.Quick)
+		points[i] = fig6Point(k, size, p)
 	})
 	return points
 }
 
-func fig6Point(k, size int, quick bool) Fig6Point {
+func fig6Point(k, size int, p Params) Fig6Point {
 	cfg := parpar.DefaultConfig(2)
 	cfg.Slots = 8
 	cfg.Mode = core.ValidOnly
 	cfg.Quantum = fig6Quantum
 	cfg.CtrlJitter = 40_000
 	cfg.ForkDelay = 100_000
+	cfg.Shards = p.Shards
+	cfg.Workers = p.Workers
 	cluster, err := parpar.New(cfg)
 	if err != nil {
 		panic(err)
 	}
-	msgs := fig6Messages(size, quick)
+	msgs := fig6Messages(size, p.Quick)
 	jobs := make([]*parpar.Job, k)
 	for i := range jobs {
 		jobs[i], err = cluster.Submit(workload.Bandwidth("fig6", msgs, size))
@@ -111,7 +113,7 @@ func fig6Point(k, size int, quick bool) Fig6Point {
 		}
 	}
 	cluster.Run()
-	addFired(cluster.Eng.Fired())
+	addFired(cluster.Fired())
 
 	var per []float64
 	for _, job := range jobs {

@@ -106,7 +106,7 @@ func gangResponsiveness(p Params) ResponsivenessRow {
 		panic(err)
 	}
 	cluster.RunUntil(sim.Time(requests+8) * respInterval * 2)
-	addFired(cluster.Eng.Fired())
+	addFired(cluster.Fired())
 	return ResponsivenessRow{
 		Scheme:        "gang scheduling (20 ms quantum)",
 		Requests:      len(rtts),

@@ -72,7 +72,7 @@ func paperSchemeRow(p Params) SchemeRow {
 		}
 	}
 	cluster.Run()
-	addFired(cluster.Eng.Fired())
+	addFired(cluster.Fired())
 
 	row := SchemeRow{Name: "gang + flush + switch (paper)", Efficiency: 1}
 	var coord, copies float64

@@ -72,7 +72,7 @@ func switchPoint(nodes int, mode core.CopyMode, quick bool) SwitchPoint {
 		}
 	}
 	cluster.Run()
-	addFired(cluster.Eng.Fired())
+	addFired(cluster.Fired())
 
 	pt := SwitchPoint{Nodes: nodes}
 	var halt, cp, rel, vs, vr []float64

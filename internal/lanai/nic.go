@@ -233,9 +233,10 @@ func New(eng *sim.Engine, net *myrinet.Network, mem *memmodel.Model, cfg Config)
 	return n
 }
 
-// NewPacket returns a zeroed packet from the network's free list; packets
-// built through it are recycled at their death point (see FreePacket).
-func (n *NIC) NewPacket() *myrinet.Packet { return n.net.NewPacket() }
+// NewPacket returns a zeroed packet from this node's slice of the
+// network's free list; packets built through it are recycled at their
+// death point (see FreePacket).
+func (n *NIC) NewPacket() *myrinet.Packet { return n.net.NewPacketFrom(n.cfg.Node) }
 
 // FreePacket returns a pool-allocated packet to the network's free list
 // (no-op for externally constructed packets). Host libraries call it when
@@ -434,7 +435,7 @@ func (n *NIC) nextReady() *Context {
 // credit check and the data send queue (they are small control-like
 // packets the firmware emits directly).
 func (n *NIC) SendRefill(job myrinet.JobID, srcRank, dstRank int, dst myrinet.NodeID, credits int) {
-	p := n.net.NewPacket()
+	p := n.net.NewPacketFrom(n.cfg.Node)
 	p.Type, p.Src, p.Dst = myrinet.Refill, n.cfg.Node, dst
 	p.Job, p.SrcRank, p.DstRank, p.Credits = job, srcRank, dstRank, credits
 	n.net.Send(p)
@@ -523,7 +524,7 @@ func (n *NIC) ReleaseNetwork(epoch uint64, onReleased func()) {
 // sendCtrl emits one flush-protocol control packet. Retransmissions and
 // echoes are distinguished by the marker (see ctrlRetransmit).
 func (n *NIC) sendCtrl(typ myrinet.PacketType, dst myrinet.NodeID, epoch uint64, retx bool) {
-	p := n.net.NewPacket()
+	p := n.net.NewPacketFrom(n.cfg.Node)
 	p.Type, p.Src, p.Dst, p.Job, p.Epoch = typ, n.cfg.Node, dst, myrinet.NoJob, epoch
 	if retx {
 		p.Frag = ctrlRetransmit

@@ -68,6 +68,20 @@ type Config struct {
 	// switch watchdog, and node eviction. Nil (the default) leaves the
 	// cluster byte-identical to the base protocol.
 	Recovery *Recovery
+
+	// Shards, when > 1, partitions the cluster into that many contiguous
+	// node ranges, each with its own event lane (masterd and control
+	// network live on an extra global lane). With Workers > 1 the lanes
+	// run concurrently under conservative lookahead windows derived from
+	// the data network's minimum cross-node latency; results are
+	// semantically identical to the unsharded simulator. With Workers <= 1
+	// — or whenever a chaos plan is installed, since the fault injector is
+	// a single sequential machine — the lanes execute in lockstep, which
+	// is bit-identical to the unsharded simulator. Shards <= 1 leaves the
+	// classic single-engine path untouched.
+	Shards int
+	// Workers caps the goroutines running shard windows (see Shards).
+	Workers int
 }
 
 // DefaultConfig returns the paper's setup: 16-ish nodes, 4 slots, the
@@ -96,6 +110,11 @@ type Node struct {
 	NIC *lanai.NIC
 	CPU *sim.Resource
 	Mgr *core.Manager
+	// Eng is the event lane this node's state lives on: the cluster
+	// engine normally, the owning shard's engine under sharded execution.
+	// Every event that touches the node's NIC, CPU, manager, or endpoint
+	// state runs here.
+	Eng *sim.Engine
 
 	cluster *Cluster
 	procs   map[myrinet.JobID]*Proc
@@ -112,9 +131,15 @@ type Node struct {
 
 // Cluster is the assembled system.
 type Cluster struct {
+	// Eng is the cluster's control lane: the single engine of an
+	// unsharded cluster, or the shard group's global lane (masterd,
+	// control network, audit ticks). Use Run/RunUntil/RunFor to drive the
+	// simulation — they dispatch to the shard group when one exists.
 	Eng *sim.Engine
 	Net *myrinet.Network
 	Mem *memmodel.Model
+
+	group *sim.Group
 
 	cfg    Config
 	rng    *sim.Rand
@@ -146,28 +171,77 @@ func New(cfg Config) (*Cluster, error) {
 			return nil, err
 		}
 	}
-	eng := sim.NewEngine()
 	ncfg := myrinet.DefaultConfig(cfg.Nodes)
 	if cfg.NetConfig != nil {
 		ncfg = *cfg.NetConfig
 		ncfg.Nodes = cfg.Nodes
 	}
+
+	// Sharded execution: partition the nodes into contiguous ranges, one
+	// event lane each, with the masterd and control network on the extra
+	// global lane. The window size is the data network's minimum
+	// cross-node latency; control messages must not undercut it, so
+	// windowed mode requires CtrlBase to cover the lookahead (in practice
+	// Ethernet+daemon latency dwarfs a switch traversal).
+	shards := cfg.Shards
+	if shards > cfg.Nodes {
+		shards = cfg.Nodes
+	}
+	var group *sim.Group
+	var eng *sim.Engine
+	if shards > 1 {
+		lookahead := ncfg.SwitchLatency + ncfg.PerPacketGap + 1
+		mode := sim.Windowed
+		if cfg.Workers <= 1 || (cfg.Chaos != nil && !cfg.Chaos.Empty()) {
+			// Single-worker runs promise bit-identity; chaos runs replay a
+			// sequential injector whose consultation order is part of the
+			// trace contract. Both need the lockstep interleaving.
+			mode = sim.Lockstep
+		}
+		if mode == sim.Windowed && cfg.CtrlBase < lookahead {
+			return nil, fmt.Errorf(
+				"parpar: CtrlBase %d is below the network lookahead %d; windowed sharding needs control latency >= the window size",
+				cfg.CtrlBase, lookahead)
+		}
+		group = sim.NewGroup(sim.GroupConfig{
+			Shards:    shards,
+			Lookahead: lookahead,
+			Workers:   cfg.Workers,
+			Mode:      mode,
+		})
+		eng = group.Global()
+	} else {
+		eng = sim.NewEngine()
+	}
+
 	c := &Cluster{
 		Eng:          eng,
 		Net:          myrinet.New(eng, ncfg),
 		Mem:          memmodel.Default(),
+		group:        group,
 		cfg:          cfg,
 		rng:          sim.NewRand(cfg.Seed ^ 0xABCD),
 		prevProgress: make(map[progressKey]uint64),
 	}
+	if group != nil {
+		engs := make([]*sim.Engine, cfg.Nodes)
+		for i := range engs {
+			engs[i] = group.Shard(i * shards / cfg.Nodes)
+		}
+		c.Net.SetShardEngines(engs)
+	}
 	c.ctrl = newCtrlNet(eng, cfg.CtrlBase, cfg.CtrlJitter, c.rng)
 	for i := 0; i < cfg.Nodes; i++ {
-		nic := lanai.New(eng, c.Net, c.Mem, lanai.DefaultConfig(myrinet.NodeID(i)))
+		nodeEng := eng
+		if group != nil {
+			nodeEng = group.Shard(i * shards / cfg.Nodes)
+		}
+		nic := lanai.New(nodeEng, c.Net, c.Mem, lanai.DefaultConfig(myrinet.NodeID(i)))
 		if r := cfg.Recovery; r != nil {
 			nic.SetRecovery(lanai.Recovery{Timeout: r.NICTimeout, Retries: r.NICRetries})
 		}
-		cpu := sim.NewResource(eng, fmt.Sprintf("host%d", i))
-		mgr, err := core.NewManager(eng, nic, cpu, c.Mem, core.Config{
+		cpu := sim.NewResource(nodeEng, fmt.Sprintf("host%d", i))
+		mgr, err := core.NewManager(nodeEng, nic, cpu, c.Mem, core.Config{
 			Policy:      cfg.Policy,
 			Mode:        cfg.Mode,
 			MaxContexts: cfg.Slots,
@@ -180,9 +254,12 @@ func New(cfg Config) (*Cluster, error) {
 			return nil, err
 		}
 		c.nodes = append(c.nodes, &Node{
-			ID: myrinet.NodeID(i), NIC: nic, CPU: cpu, Mgr: mgr,
+			ID: myrinet.NodeID(i), NIC: nic, CPU: cpu, Mgr: mgr, Eng: nodeEng,
 			cluster: c, procs: make(map[myrinet.JobID]*Proc),
 		})
+	}
+	if group != nil {
+		c.ctrl.engOf = func(node int) *sim.Engine { return c.nodes[node].Eng }
 	}
 	c.master = newMasterd(c)
 	c.armChaos()
@@ -210,13 +287,33 @@ func (c *Cluster) Submit(spec JobSpec) (*Job, error) {
 
 // Run processes events until the cluster goes quiescent (all jobs done and
 // the rotation stopped).
-func (c *Cluster) Run() { c.Eng.Run() }
+func (c *Cluster) Run() {
+	if c.group != nil {
+		c.group.Run()
+		return
+	}
+	c.Eng.Run()
+}
 
 // RunUntil processes events up to the given virtual time.
-func (c *Cluster) RunUntil(t sim.Time) { c.Eng.RunUntil(t) }
+func (c *Cluster) RunUntil(t sim.Time) {
+	if c.group != nil {
+		c.group.RunUntil(t)
+		return
+	}
+	c.Eng.RunUntil(t)
+}
 
 // RunFor processes events for d more cycles.
-func (c *Cluster) RunFor(d sim.Time) { c.Eng.RunUntil(c.Eng.Now() + d) }
+func (c *Cluster) RunFor(d sim.Time) { c.RunUntil(c.Eng.Now() + d) }
+
+// Fired returns the total number of events executed across every lane.
+func (c *Cluster) Fired() uint64 {
+	if c.group != nil {
+		return c.group.Fired()
+	}
+	return c.Eng.Fired()
+}
 
 // SwitchHistory returns every node's recorded switch statistics.
 func (c *Cluster) SwitchHistory() [][]core.SwitchStats {
@@ -229,17 +326,20 @@ func (c *Cluster) SwitchHistory() [][]core.SwitchStats {
 
 // reliableSend routes one daemon control message: a plain send with
 // recovery disabled, a re-sent-until-done send with it enabled. dst < 0
-// addresses the masterd (or is otherwise unattributed).
-func (c *Cluster) reliableSend(dst int, done func() bool, fn func()) {
+// addresses the masterd (or is otherwise unattributed); dst >= 0 names the
+// node whose shard the handler runs on. src is the engine the caller is
+// executing on.
+func (c *Cluster) reliableSend(src *sim.Engine, dst int, done func() bool, fn func()) {
 	r := c.cfg.Recovery
 	if r == nil {
-		// The base protocol sends every daemon message unattributed;
-		// keeping that here (rather than routing by dst) preserves the
-		// injector's decision sequence byte-for-byte with recovery off.
-		c.ctrl.send(fn)
+		// The base protocol presents every daemon message unattributed to
+		// the fault layer; keeping that here (rather than exposing dst)
+		// preserves the injector's decision sequence byte-for-byte with
+		// recovery off. The handler still runs on dst's lane.
+		c.ctrl.sendRouted(src, dst, fn)
 		return
 	}
-	c.ctrl.sendReliable(dst, r.CtrlTimeout, r.CtrlRetries, done, fn)
+	c.ctrl.sendReliable(src, dst, r.CtrlTimeout, r.CtrlRetries, done, fn)
 }
 
 // node-side daemon actions -------------------------------------------------
@@ -259,7 +359,7 @@ func (n *Node) loadJob(job *Job, rank int) {
 		if n.cluster.cfg.FMTweak != nil {
 			n.cluster.cfg.FMTweak(&fmCfg)
 		}
-		ep, err := fm.NewEndpoint(n.cluster.Eng, n.NIC, n.CPU, n.cluster.Mem,
+		ep, err := fm.NewEndpoint(n.Eng, n.NIC, n.CPU, n.cluster.Mem,
 			fmCfg, job.ID, rank, job.nodeOf)
 		if err != nil {
 			panic(fmt.Sprintf("parpar: endpoint for job %d rank %d: %v", job.ID, rank, err))
@@ -275,8 +375,8 @@ func (n *Node) loadJob(job *Job, rank int) {
 		n.procs[job.ID] = p
 		job.procs[rank] = p
 		// Fork; the child notifies readiness through the noded.
-		n.cluster.Eng.Schedule(n.cluster.cfg.ForkDelay, func() {
-			n.cluster.reliableSend(-1, func() bool { return job.readySeen[rank] },
+		n.Eng.Schedule(n.cluster.cfg.ForkDelay, func() {
+			n.cluster.reliableSend(n.Eng, -1, func() bool { return job.readySeen[rank] },
 				func() { n.cluster.master.rankReady(job, rank) })
 		})
 	})
@@ -309,7 +409,7 @@ func (n *Node) switchSlot(epoch uint64, job myrinet.JobID, ack func(core.SwitchS
 			// Watchdog re-send after completion: the ack was lost, not the
 			// switch. Re-ack with the recorded stats.
 			s := n.swStats
-			n.cluster.ctrl.send(func() { ack(s) })
+			n.cluster.ctrl.send(n.Eng, func() { ack(s) })
 			return
 		case epoch == n.swEpoch && n.swBusy:
 			return // re-send overtook the switch in progress; ack follows
@@ -320,7 +420,7 @@ func (n *Node) switchSlot(epoch uint64, job myrinet.JobID, ack func(core.SwitchS
 		if n.cluster.cfg.Recovery != nil {
 			n.swBusy, n.swDone, n.swStats = false, true, s
 		}
-		n.cluster.ctrl.send(func() { ack(s) })
+		n.cluster.ctrl.send(n.Eng, func() { ack(s) })
 	}
 	if job != myrinet.NoJob {
 		if _, known := n.procs[job]; known {

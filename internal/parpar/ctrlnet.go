@@ -15,10 +15,20 @@ import (
 // the nodeds at a context switch and makes the halt stage grow with the
 // node count (Figure 7).
 type ctrlNet struct {
+	// eng is the lane the control network itself lives on: the single
+	// engine of an unsharded cluster, or a shard group's global lane. All
+	// latency sampling happens here, so the jitter RNG — a sequential
+	// machine whose draw order must be deterministic — is consulted only
+	// in serialized context.
 	eng    *sim.Engine
 	base   sim.Time
 	jitter sim.Time
 	rng    *sim.Rand
+
+	// engOf, when set, maps a node to the shard engine owning it;
+	// deliveries addressed to a node are inserted there so the callback
+	// runs in the node's shard. Nil means everything runs on eng.
+	engOf func(node int) *sim.Engine
 
 	// intercept, when set, is consulted once per message with the
 	// destination node (-1 for masterd-bound or unaddressed messages); it
@@ -31,7 +41,8 @@ func newCtrlNet(eng *sim.Engine, base, jitter sim.Time, rng *sim.Rand) *ctrlNet 
 	return &ctrlNet{eng: eng, base: base, jitter: jitter, rng: rng}
 }
 
-// delay samples one message latency.
+// delay samples one message latency. Call only from eng's context (hop
+// gets a node-side caller there first).
 func (c *ctrlNet) delay() sim.Time {
 	d := c.base
 	if c.jitter > 0 {
@@ -40,27 +51,69 @@ func (c *ctrlNet) delay() sim.Time {
 	return d
 }
 
+// hop runs fn in the control network's own context. When the caller is
+// already serial with it — same engine, no shard group, or a lockstep
+// group (one goroutine, shared clock) — fn runs inline, which keeps the
+// RNG draw order bit-identical to the unsharded simulator. Only a shard
+// running concurrent windows must detour: the call is posted to the global
+// lane at the caller's current time (daemon-to-masterd requests carry no
+// modeled latency of their own; the sampled delivery delay is the whole
+// cost, exactly as in the inline case).
+func (c *ctrlNet) hop(src *sim.Engine, fn func()) {
+	g := src.Group()
+	if src == c.eng || g == nil || g.Serial() {
+		fn()
+		return
+	}
+	src.CrossAt(c.eng, src.Now(), fn)
+}
+
+// engFor returns the engine a delivery for the given node runs on.
+func (c *ctrlNet) engFor(node int) *sim.Engine {
+	if node >= 0 && c.engOf != nil {
+		return c.engOf(node)
+	}
+	return c.eng
+}
+
 // deliver schedules one message to dst after d, subject to the intercept.
+// Call only from eng's context.
 func (c *ctrlNet) deliver(dst int, d sim.Time, fn func()) {
+	c.deliverRouted(dst, dst, d, fn)
+}
+
+// deliverRouted is deliver with the fault-layer presentation (seen)
+// decoupled from the execution site (node): the base-protocol daemons send
+// unaddressed messages (seen = -1), yet the actions those messages trigger
+// belong to a specific node's shard.
+func (c *ctrlNet) deliverRouted(seen, node int, d sim.Time, fn func()) {
 	if c.intercept != nil {
-		extra, drop := c.intercept(c.eng.Now(), dst)
+		extra, drop := c.intercept(c.eng.Now(), seen)
 		if drop {
 			return
 		}
 		d += extra
 	}
-	c.eng.Schedule(d, fn)
+	c.eng.CrossAt(c.engFor(node), c.eng.Now()+d, fn)
 }
 
-// send delivers fn after one control-message latency.
-func (c *ctrlNet) send(fn func()) {
-	c.deliver(-1, c.delay(), fn)
+// send delivers fn after one control-message latency. src is the engine
+// the caller is executing on.
+func (c *ctrlNet) send(src *sim.Engine, fn func()) {
+	c.hop(src, func() { c.deliverRouted(-1, -1, c.delay(), fn) })
+}
+
+// sendRouted is send for the base protocol's unaddressed daemon messages
+// whose handler nevertheless acts on one node: the intercept still sees
+// dst = -1 (identical fault presentation), but fn runs on node's shard.
+func (c *ctrlNet) sendRouted(src *sim.Engine, node int, fn func()) {
+	c.hop(src, func() { c.deliverRouted(-1, node, c.delay(), fn) })
 }
 
 // sendTo delivers fn to a specific node after one control-message latency,
 // so node-targeted faults apply.
-func (c *ctrlNet) sendTo(dst int, fn func()) {
-	c.deliver(dst, c.delay(), fn)
+func (c *ctrlNet) sendTo(src *sim.Engine, dst int, fn func()) {
+	c.hop(src, func() { c.deliverRouted(dst, dst, c.delay(), fn) })
 }
 
 // sendReliable delivers fn like send and then, while done keeps reporting
@@ -72,16 +125,21 @@ func (c *ctrlNet) sendTo(dst int, fn func()) {
 // undelivered after the last re-send is abandoned — the switch watchdog
 // and the eviction path own what happens to a permanently unreachable
 // node.
-func (c *ctrlNet) sendReliable(dst int, timeout sim.Time, retries int, done func() bool, fn func()) {
-	c.deliverOnce(dst, fn)
-	c.armResend(dst, timeout, retries, 0, done, fn)
+func (c *ctrlNet) sendReliable(src *sim.Engine, dst int, timeout sim.Time, retries int, done func() bool, fn func()) {
+	c.hop(src, func() {
+		c.deliverOnce(dst, fn)
+		c.armResend(dst, timeout, retries, 0, done, fn)
+	})
 }
 
+// deliverOnce and armResend run in eng's context (sendReliable hops
+// there); the retransmission timers and the done-predicate checks stay on
+// that lane, where reading receiver state is barrier-safe.
 func (c *ctrlNet) deliverOnce(dst int, fn func()) {
 	if dst < 0 {
-		c.send(fn)
+		c.deliverRouted(-1, -1, c.delay(), fn)
 	} else {
-		c.sendTo(dst, fn)
+		c.deliverRouted(dst, dst, c.delay(), fn)
 	}
 }
 

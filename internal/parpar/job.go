@@ -133,11 +133,13 @@ func (p *Proc) Job() myrinet.JobID { return p.job.ID }
 func (p *Proc) NodeID() myrinet.NodeID { return p.node.ID }
 
 // Now returns the current virtual time.
-func (p *Proc) Now() sim.Time { return p.cluster.Eng.Now() }
+func (p *Proc) Now() sim.Time { return p.node.Eng.Now() }
 
 // Schedule runs fn after d cycles of virtual time (modelling local
-// computation between communication phases).
-func (p *Proc) Schedule(d sim.Time, fn func()) { p.cluster.Eng.Schedule(d, fn) }
+// computation between communication phases). The timer lives on the
+// hosting node's event lane, so compute phases stay inside the process's
+// shard.
+func (p *Proc) Schedule(d sim.Time, fn func()) { p.node.Eng.Schedule(d, fn) }
 
 // Done reports the process's result to the noded; when every rank of the
 // job has called Done the masterd retires the job. Queued sends are
@@ -160,7 +162,7 @@ func (p *Proc) Done(result any) {
 			return
 		}
 		p.EP.Suspend()
-		p.cluster.reliableSend(-1, func() bool { return job.doneSeen[rank] },
+		p.cluster.reliableSend(p.node.Eng, -1, func() bool { return job.doneSeen[rank] },
 			func() { p.cluster.master.rankDone(job, rank, result) })
 	})
 }

@@ -123,7 +123,7 @@ func (m *Masterd) submit(spec JobSpec) (*Job, error) {
 	// Figure 2: notify each allocated node to load the job.
 	for rank, col := range placement.Cols {
 		rank, col := rank, col
-		m.c.reliableSend(col, func() bool { return job.procs[rank] != nil },
+		m.c.reliableSend(m.c.Eng, col, func() bool { return job.procs[rank] != nil },
 			func() { m.c.nodes[col].loadJob(job, rank) })
 	}
 	if m.c.cfg.Recovery != nil {
@@ -178,7 +178,7 @@ func (m *Masterd) rankReady(job *Job, rank int) {
 	job.SyncTime = m.c.Eng.Now()
 	for rank, col := range job.Placement.Cols {
 		rank, col := rank, col
-		m.c.reliableSend(col, func() bool { p := job.procs[rank]; return p == nil || p.started },
+		m.c.reliableSend(m.c.Eng, col, func() bool { p := job.procs[rank]; return p == nil || p.started },
 			func() { m.c.nodes[col].startJob(job, rank) })
 	}
 	// Force the next rotation to perform a real slot switch even if it
@@ -219,7 +219,7 @@ func (m *Masterd) rankDone(job *Job, rank int, result any) {
 	for _, col := range job.Placement.Cols {
 		col := col
 		node := m.c.nodes[col]
-		m.c.reliableSend(col, func() bool { _, ok := node.procs[job.ID]; return !ok },
+		m.c.reliableSend(m.c.Eng, col, func() bool { _, ok := node.procs[job.ID]; return !ok },
 			func() { node.endJob(job.ID) })
 	}
 	for _, fn := range job.onDone {
@@ -393,7 +393,7 @@ func (m *Masterd) ackFire(epoch uint64, attempt int) {
 			continue
 		}
 		i := i
-		m.c.ctrl.sendTo(i, func() { m.sendSwitch(epoch, i) })
+		m.c.ctrl.sendTo(m.c.Eng, i, func() { m.sendSwitch(epoch, i) })
 	}
 	m.armAckWatch(epoch, attempt+1)
 }
@@ -422,7 +422,7 @@ func (m *Masterd) evictNode(i int) {
 			continue
 		}
 		node := node
-		m.c.reliableSend(j, func() bool { return !node.Mgr.InTopology(id) },
+		m.c.reliableSend(m.c.Eng, j, func() bool { return !node.Mgr.InTopology(id) },
 			func() { node.evictPeer(id) })
 	}
 	// Kill spanning jobs in ascending ID order for determinism.
@@ -469,7 +469,7 @@ func (m *Masterd) killJob(job *Job) {
 		}
 		col := col
 		node := m.c.nodes[col]
-		m.c.reliableSend(col, func() bool { _, ok := node.procs[job.ID]; return !ok },
+		m.c.reliableSend(m.c.Eng, col, func() bool { _, ok := node.procs[job.ID]; return !ok },
 			func() { node.killJob(job.ID) })
 	}
 	for _, fn := range job.onDone {

@@ -43,6 +43,11 @@ type Config struct {
 	Chaos *chaos.Plan
 	// FailFast stops at the first invariant violation.
 	FailFast bool
+	// Shards and Workers select the sharded engine group for the cluster
+	// (parpar.Config.Shards/Workers); results must be identical to an
+	// unsharded run.
+	Shards  int
+	Workers int
 }
 
 // DefaultConfig returns the evaluation setup: a deep 8-row gang matrix
@@ -141,6 +146,8 @@ func Run(cfg Config) (*Result, error) {
 	}
 	pcfg.Chaos = cfg.Chaos
 	pcfg.FailFast = cfg.FailFast
+	pcfg.Shards = cfg.Shards
+	pcfg.Workers = cfg.Workers
 	cluster, err := parpar.New(pcfg)
 	if err != nil {
 		return nil, err
@@ -238,7 +245,7 @@ func Run(cfg Config) (*Result, error) {
 		AuditOK:    cluster.Auditor().Ok(),
 		Violations: len(cluster.Auditor().Violations()),
 		ChaosTrace: cluster.ChaosTrace(),
-		Events:     cluster.Eng.Fired(),
+		Events:     cluster.Fired(),
 	}
 	bound := float64(cfg.SlowdownBound)
 	firstArrive := cfg.Trace[order[0]].Arrive

@@ -6,10 +6,13 @@
 // (the paper reports every overhead in cycles of a 200 MHz Pentium Pro, so
 // using cycles as the base unit lets every result be compared directly).
 //
-// The engine is intentionally single-goroutine: determinism is what makes
-// the protocol tests meaningful. Parallelism belongs one level up, where
-// independent engine instances (one per parameter-sweep point) run on
-// separate goroutines.
+// A single Engine is intentionally single-goroutine: determinism is what
+// makes the protocol tests meaningful. Parallelism is available two ways:
+// one level up, where independent engine instances (one per
+// parameter-sweep point) run on separate goroutines, and within one
+// simulation via Group (see shard.go), which partitions the system into
+// per-shard engines run under conservative lookahead windows without
+// giving up deterministic results.
 //
 // The event queue is the hot path of every experiment, so it is built to
 // run allocation-free in steady state: event records live in a per-engine
@@ -138,7 +141,7 @@ func entLess(a, b heapEnt) bool {
 }
 
 // Engine is the discrete-event simulation core. The zero value is not
-// usable; construct with NewEngine.
+// usable; construct with NewEngine (standalone) or NewGroup (sharded).
 type Engine struct {
 	now     Time
 	recs    []eventRec // arena of event records
@@ -148,6 +151,13 @@ type Engine struct {
 	fired   uint64
 	pending int // scheduled and not canceled
 	stopped bool
+
+	// Sharded-mode fields, nil/zero on standalone engines. shard is the
+	// lane index within the group (-1 for the global lane); outbox parks
+	// cross-shard messages until the group's next window barrier.
+	group  *Group
+	shard  int
+	outbox []crossMsg
 }
 
 // NewEngine returns an engine with the clock at zero and an empty queue.
@@ -155,8 +165,18 @@ func NewEngine() *Engine {
 	return &Engine{}
 }
 
-// Now returns the current virtual time.
-func (e *Engine) Now() Time { return e.now }
+// Now returns the current virtual time. In a lockstep group the clock is
+// shared across lanes (every lane sees the time of the event executing
+// anywhere in the group), exactly as a single engine would report it.
+func (e *Engine) Now() Time {
+	if g := e.group; g != nil && g.lockstep {
+		return g.now
+	}
+	return e.now
+}
+
+// Group returns the group this engine belongs to, or nil when standalone.
+func (e *Engine) Group() *Group { return e.group }
 
 // Fired returns the number of events executed so far (diagnostics).
 func (e *Engine) Fired() uint64 { return e.fired }
@@ -167,7 +187,7 @@ func (e *Engine) Pending() int { return e.pending }
 
 // Schedule queues fn to run delay cycles from now and returns the event.
 func (e *Engine) Schedule(delay Time, fn func()) Event {
-	return e.schedule(e.now+delay, fn, nil, nil)
+	return e.schedule(e.Now()+delay, fn, nil, nil)
 }
 
 // ScheduleAt queues fn to run at absolute time t. Scheduling in the past
@@ -181,7 +201,7 @@ func (e *Engine) ScheduleAt(t Time, fn func()) Event {
 // hot paths can use one long-lived callback value instead of allocating a
 // fresh closure per event; passing a pointer-typed arg does not allocate.
 func (e *Engine) ScheduleArg(delay Time, fn func(any), arg any) Event {
-	return e.schedule(e.now+delay, nil, fn, arg)
+	return e.schedule(e.Now()+delay, nil, fn, arg)
 }
 
 // ScheduleArgAt queues fn(arg) to run at absolute time t (see ScheduleArg).
@@ -190,10 +210,10 @@ func (e *Engine) ScheduleArgAt(t Time, fn func(any), arg any) Event {
 }
 
 func (e *Engine) schedule(t Time, fn func(), afn func(any), arg any) Event {
-	if t < e.now {
-		panic(fmt.Sprintf("sim: event scheduled at %d, before now=%d", t, e.now))
+	if now := e.Now(); t < now {
+		panic(fmt.Sprintf("sim: event scheduled at %d, before now=%d", t, now))
 	}
-	e.seq++
+	seq := e.nextSeq()
 	var slot int32
 	if n := len(e.free); n > 0 {
 		slot = e.free[n-1]
@@ -205,9 +225,21 @@ func (e *Engine) schedule(t Time, fn func(), afn func(any), arg any) Event {
 	r := &e.recs[slot]
 	r.fn, r.afn, r.arg = fn, afn, arg
 	r.canceled = false
-	e.push(heapEnt{when: t, seq: e.seq, slot: slot})
+	e.push(heapEnt{when: t, seq: seq, slot: slot})
 	e.pending++
 	return Event{eng: e, slot: slot, gen: r.gen, when: t}
+}
+
+// nextSeq returns the next FIFO tie-break key. A lockstep group shares one
+// counter across lanes so that the interleaved execution order reproduces a
+// single engine's bit-for-bit; everywhere else the counter is per-engine.
+func (e *Engine) nextSeq() uint64 {
+	if g := e.group; g != nil && g.lockstep {
+		g.seq++
+		return g.seq
+	}
+	e.seq++
+	return e.seq
 }
 
 // freeSlot recycles an arena slot whose heap entry has been popped. The
@@ -249,6 +281,9 @@ func (e *Engine) Step() bool {
 
 // Run executes events until the queue drains or Stop is called.
 func (e *Engine) Run() {
+	if e.group != nil {
+		panic("sim: Run called on a grouped engine; drive the Group instead")
+	}
 	e.stopped = false
 	for !e.stopped && e.Step() {
 	}
@@ -257,6 +292,9 @@ func (e *Engine) Run() {
 // RunUntil executes all events with time <= limit, then advances the clock
 // to limit. Events scheduled beyond the limit stay queued.
 func (e *Engine) RunUntil(limit Time) {
+	if e.group != nil {
+		panic("sim: RunUntil called on a grouped engine; drive the Group instead")
+	}
 	e.stopped = false
 	for !e.stopped {
 		when, ok := e.peekWhen()
@@ -270,8 +308,57 @@ func (e *Engine) RunUntil(limit Time) {
 	}
 }
 
-// Stop makes the innermost Run/RunUntil return after the current event.
-func (e *Engine) Stop() { e.stopped = true }
+// Stop makes the innermost Run/RunUntil return after the current event. On
+// a grouped engine it stops the whole group (any lane may call it — e.g. a
+// fail-fast auditor hook firing inside a shard window).
+func (e *Engine) Stop() {
+	if e.group != nil {
+		e.group.Stop()
+		return
+	}
+	e.stopped = true
+}
+
+// CrossAt queues fn at absolute time t on the target engine. On standalone
+// engines (or when target is e itself, or the group runs in lockstep, or
+// the caller is the barrier-serialized global lane) this is a plain
+// ScheduleAt on the target. Only a shard posting to another lane while
+// windows run concurrently needs the outbox: the message is parked and
+// inserted at the next window barrier, and t must then respect the group's
+// lookahead bound relative to the sending event's time.
+func (e *Engine) CrossAt(target *Engine, t Time, fn func()) {
+	e.cross(target, t, fn, nil, nil)
+}
+
+// CrossArgAt is CrossAt with the allocation-avoiding (fn, arg) callback
+// form (see ScheduleArg).
+func (e *Engine) CrossArgAt(target *Engine, t Time, fn func(any), arg any) {
+	e.cross(target, t, nil, fn, arg)
+}
+
+func (e *Engine) cross(target *Engine, t Time, fn func(), afn func(any), arg any) {
+	if target == e || e.group == nil || e.group.lockstep || e.shard < 0 {
+		target.schedule(t, fn, afn, arg)
+		return
+	}
+	e.outbox = append(e.outbox, crossMsg{to: target, when: t, fn: fn, afn: afn, arg: arg})
+}
+
+// runWindow executes every pending event with time strictly before h, then
+// parks the clock at h. It is one shard's serial share of a conservative
+// window; only the group coordinator and its helpers call it.
+func (e *Engine) runWindow(h Time) {
+	for {
+		when, ok := e.peekWhen()
+		if !ok || when >= h {
+			break
+		}
+		e.Step()
+	}
+	if e.now < h {
+		e.now = h
+	}
+}
 
 // peekWhen returns the fire time of the earliest live event, collecting
 // any canceled events sitting at the front of the queue.
@@ -285,6 +372,21 @@ func (e *Engine) peekWhen() (Time, bool) {
 		e.freeSlot(ent.slot)
 	}
 	return 0, false
+}
+
+// peekKey is peekWhen returning the full (when, seq) ordering key — the
+// lockstep coordinator compares keys across lanes to replay the global
+// single-engine order.
+func (e *Engine) peekKey() (heapEnt, bool) {
+	for len(e.heap) > 0 {
+		ent := e.heap[0]
+		if !e.recs[ent.slot].canceled {
+			return ent, true
+		}
+		e.popMin()
+		e.freeSlot(ent.slot)
+	}
+	return heapEnt{}, false
 }
 
 // push adds an entry to the 4-ary heap (sift-up).

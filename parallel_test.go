@@ -1,0 +1,137 @@
+package gangfm
+
+// Sharded-engine equivalence harness. The parallel DES (internal/sim.Group)
+// promises that sharding a cluster across event lanes — at any worker
+// count — leaves every observable result identical to the single-engine
+// run. These tests hold it to that promise against the same golden files
+// the serial simulator is frozen to: the figure tables and the chaos
+// injector trace must come out byte-for-byte the same whether the engine
+// runs unsharded, sharded in lockstep, or sharded across concurrent
+// windows. Run them under -race (make race) to check the windowed path's
+// synchronization as well as its semantics.
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+
+	"gangfm/internal/chaos"
+	"gangfm/internal/experiments"
+	"gangfm/internal/parpar"
+	"gangfm/internal/workload"
+)
+
+// workerCounts is the sweep of satellite worker pools: the serial-identical
+// lockstep path (1), small pools (2, 4), and whatever this machine offers.
+func workerCounts() []int {
+	counts := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n != 1 && n != 2 && n != 4 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+// TestParallelEquivalenceFigures re-renders the figure tables with the
+// cluster sharded, at every worker count, and compares each against the
+// golden bytes the unsharded runs are frozen to (golden_test.go). A
+// lookahead bug, a mis-merged per-shard counter, or a reordered RNG draw
+// all surface here as a table diff.
+func TestParallelEquivalenceFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sharded equivalence sweep is not short")
+	}
+	tables := []struct {
+		golden string
+		shards int
+		render func(p experiments.Params) string
+	}{
+		{"fig5.txt", 4, func(p experiments.Params) string {
+			return fmt.Sprint(experiments.Fig5Table(experiments.Fig5(p)))
+		}},
+		{"fig6.txt", 2, func(p experiments.Params) string {
+			return fmt.Sprint(experiments.Fig6Table(experiments.Fig6(p)))
+		}},
+		{"sched.txt", 4, func(p experiments.Params) string {
+			return fmt.Sprint(experiments.SchedTable(experiments.Sched(p)))
+		}},
+	}
+	for _, tb := range tables {
+		tb := tb
+		for _, w := range workerCounts() {
+			w := w
+			name := fmt.Sprintf("%s/shards=%d/workers=%d",
+				strings.TrimSuffix(tb.golden, ".txt"), tb.shards, w)
+			t.Run(name, func(t *testing.T) {
+				p := experiments.Params{Quick: true, Parallel: 2, Shards: tb.shards, Workers: w}
+				goldenCompare(t, tb.golden, tb.render(p))
+			})
+		}
+	}
+}
+
+// chaosCluster builds the TestGoldenChaosTrace cluster with the given
+// shard/worker counts and runs the fixed two-job workload under the seeded
+// fault plan.
+func chaosCluster(t *testing.T, shards, workers int) *parpar.Cluster {
+	t.Helper()
+	cfg := parpar.DefaultConfig(4)
+	cfg.Slots = 2
+	cfg.Quantum = 2_000_000
+	cfg.Shards = shards
+	cfg.Workers = workers
+	cfg.Chaos = &chaos.Plan{
+		Seed: 42,
+		Faults: []chaos.Fault{
+			{Kind: chaos.DataLoss, Prob: 0.02, Node: -1},
+			{Kind: chaos.DataDup, Prob: 0.01, Node: -1},
+			{Kind: chaos.RefillLoss, Prob: 0.05, Node: -1},
+			{Kind: chaos.CtrlDelay, Prob: 0.1, Delay: 50_000},
+		},
+	}
+	cluster, err := parpar.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"golden-a", "golden-b"} {
+		if _, err := cluster.Submit(workload.AllToAll(name, 4, 30, 1536)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cluster.RunUntil(60_000_000)
+	return cluster
+}
+
+// TestParallelEquivalenceChaos replays the golden fault plan on a sharded
+// cluster. An armed chaos plan forces the group into lockstep — the
+// injector's RNG is a sequential machine whose draw order is part of the
+// replay contract — so the injector trace must match the frozen golden
+// trace exactly, and the auditor must reach the same verdict as the
+// unsharded run.
+func TestParallelEquivalenceChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sharded equivalence sweep is not short")
+	}
+	serial := chaosCluster(t, 1, 1)
+	for _, shards := range []int{2, 4} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			sharded := chaosCluster(t, shards, 4)
+			trace := strings.Join(sharded.ChaosTrace(), "\n") + "\n"
+			goldenCompare(t, "chaos_trace.txt", trace)
+			if got, want := sharded.Auditor().Ok(), serial.Auditor().Ok(); got != want {
+				t.Errorf("auditor verdict diverged: sharded Ok=%v, serial Ok=%v", got, want)
+			}
+			gotV := sharded.Auditor().Violations()
+			wantV := serial.Auditor().Violations()
+			if len(gotV) != len(wantV) {
+				t.Fatalf("violation count diverged: sharded %d, serial %d", len(gotV), len(wantV))
+			}
+			for i := range gotV {
+				if gotV[i] != wantV[i] {
+					t.Errorf("violation %d diverged: sharded %v, serial %v", i, gotV[i], wantV[i])
+				}
+			}
+		})
+	}
+}
