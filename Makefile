@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: check vet build test race fuzz-smoke sched-smoke bench bench-smoke figures
+.PHONY: check vet build test race fuzz-smoke sched-smoke bench bench-smoke figures lint-hotpath
 
 # The full CI gate: static checks, build, race-enabled tests, a short
 # fixed-seed chaos-fuzz campaign, and a scheduler-evaluation smoke run
 # (all deterministic, so safe to gate on).
-check: vet build race fuzz-smoke sched-smoke
+check: vet build race fuzz-smoke sched-smoke lint-hotpath
 
 vet:
 	$(GO) vet ./...
@@ -46,3 +46,9 @@ bench-smoke:
 
 figures:
 	$(GO) run ./cmd/gangsim all
+
+# Guard the zero-alloc hot paths: audited packages must not grow inline
+# closure callbacks at Schedule/At/Use call sites (allowlist for cold
+# sites in tools/hotpath_allow.txt; see DESIGN.md §6).
+lint-hotpath:
+	sh tools/lint_hotpath.sh

@@ -29,5 +29,12 @@ go run ./cmd/gangsim sched -quick > /tmp/sched-ci-a.txt
 go run ./cmd/gangsim sched -quick > /tmp/sched-ci-b.txt
 cmp /tmp/sched-ci-a.txt /tmp/sched-ci-b.txt
 
-# Benchmark pipeline smoke: the report must build and serialize.
+# Benchmark pipeline smoke: the report must build and serialize, and the
+# -compare path must parse it back and pass against itself re-measured
+# (allocs/event is deterministic, so self-comparison never regresses).
 go run ./cmd/gangsim bench -quick -o /tmp/bench-ci.json
+go run ./cmd/gangsim bench -quick -o /tmp/bench-ci2.json -compare /tmp/bench-ci.json
+
+# Hot-path closure lint: audited packages must stay closure-free at their
+# Schedule/At call sites (allowlist in tools/hotpath_allow.txt).
+make lint-hotpath

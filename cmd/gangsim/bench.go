@@ -24,6 +24,11 @@ type BenchResult struct {
 	EventsPerS  float64 `json:"events_per_second"`
 	Allocs      uint64  `json:"allocs"`
 	AllocsPerEv float64 `json:"allocs_per_event"`
+	// Analytic marks entries that evaluate closed-form formulas rather
+	// than running the simulator: they fire no events, so the per-event
+	// rates are undefined (reported as zero) and excluded from regression
+	// comparisons.
+	Analytic bool `json:"analytic,omitempty"`
 }
 
 // BenchBaseline pins the numbers measured on the pre-optimization tree
@@ -103,10 +108,11 @@ func runBench(args []string, out io.Writer) int {
 	quick := fs.Bool("quick", false, "shrink sweeps for a fast smoke run")
 	par := fs.Int("par", 0, "max concurrently simulated points (0 = one per CPU)")
 	outPath := fs.String("o", "", "output path (default BENCH_<date>.json)")
+	comparePath := fs.String("compare", "", "previous BENCH_*.json to diff against; exits non-zero on a >10% allocs/event regression")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file")
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: gangsim bench [-quick] [-par N] [-o FILE] [-cpuprofile FILE] [-memprofile FILE]\n")
+		fmt.Fprintf(os.Stderr, "usage: gangsim bench [-quick] [-par N] [-o FILE] [-compare OLD.json] [-cpuprofile FILE] [-memprofile FILE]\n")
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)
@@ -139,27 +145,35 @@ func runBench(args []string, out io.Writer) int {
 	}
 
 	figures := []struct {
-		name string
-		run  func(experiments.Params)
+		name     string
+		analytic bool
+		run      func(experiments.Params)
 	}{
-		{"credits", func(p experiments.Params) { experiments.Credits() }},
-		{"fig5", func(p experiments.Params) { experiments.Fig5(p) }},
-		{"fig6", func(p experiments.Params) { experiments.Fig6(p) }},
-		{"fig7", func(p experiments.Params) { experiments.Fig7(p) }},
-		{"fig9", func(p experiments.Params) { experiments.Fig9(p) }},
-		{"overhead", func(p experiments.Params) { experiments.Overhead(p) }},
-		{"schemes", func(p experiments.Params) { experiments.Schemes(p) }},
-		{"dyncos", func(p experiments.Params) { experiments.Responsiveness(p) }},
-		{"sched", func(p experiments.Params) { experiments.Sched(p) }},
+		// credits evaluates the paper's closed-form credit formulas — no
+		// simulation runs, so its event count is legitimately zero.
+		{"credits", true, func(p experiments.Params) { experiments.Credits() }},
+		{"fig5", false, func(p experiments.Params) { experiments.Fig5(p) }},
+		{"fig6", false, func(p experiments.Params) { experiments.Fig6(p) }},
+		{"fig7", false, func(p experiments.Params) { experiments.Fig7(p) }},
+		{"fig9", false, func(p experiments.Params) { experiments.Fig9(p) }},
+		{"overhead", false, func(p experiments.Params) { experiments.Overhead(p) }},
+		{"schemes", false, func(p experiments.Params) { experiments.Schemes(p) }},
+		{"dyncos", false, func(p experiments.Params) { experiments.Responsiveness(p) }},
+		{"sched", false, func(p experiments.Params) { experiments.Sched(p) }},
 	}
 	experiments.TakeFiredCount() // drain any prior count
 	for _, f := range figures {
 		r := measure(f.name, func() { f.run(p) })
+		r.Analytic = f.analytic
 		rep.Figures = append(rep.Figures, r)
 		rep.Total.WallSeconds += r.WallSeconds
 		rep.Total.Events += r.Events
 		rep.Total.Allocs += r.Allocs
-		fmt.Fprintf(out, "%-10s %8.2fs  %12d events  %10.0f events/s  %6.1f allocs/event\n",
+		if f.analytic {
+			fmt.Fprintf(out, "%-10s %8.2fs  analytic (no simulated events)\n", r.Name, r.WallSeconds)
+			continue
+		}
+		fmt.Fprintf(out, "%-10s %8.2fs  %12d events  %10.0f events/s  %6.2f allocs/event\n",
 			r.Name, r.WallSeconds, r.Events, r.EventsPerS, r.AllocsPerEv)
 	}
 	rep.ParallelScaling = parallelScaling(*quick, out)
@@ -189,7 +203,77 @@ func runBench(args []string, out io.Writer) int {
 		return 1
 	}
 	fmt.Fprintf(out, "wrote %s\n", path)
+
+	if *comparePath != "" {
+		old, err := loadBenchReport(*comparePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gangsim bench: -compare: %v\n", err)
+			return 1
+		}
+		if compareReports(out, old, &rep) {
+			fmt.Fprintf(out, "REGRESSION: allocs/event grew more than 10%% versus %s\n", *comparePath)
+			return 1
+		}
+	}
 	return 0
+}
+
+// loadBenchReport reads a previously written BENCH_*.json.
+func loadBenchReport(path string) (*BenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep BenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// compareReports prints per-figure deltas (wall time, event rate,
+// allocations per event) between two reports and reports whether any
+// shared figure's allocs/event regressed by more than 10%. Wall time and
+// event rate are hardware- and load-dependent, so they are informational;
+// allocs/event is deterministic for a deterministic simulation and gates.
+func compareReports(out io.Writer, old, cur *BenchReport) bool {
+	prev := make(map[string]BenchResult, len(old.Figures))
+	for _, f := range old.Figures {
+		prev[f.Name] = f
+	}
+	pct := func(oldV, newV float64) string {
+		if oldV == 0 {
+			return "   n/a"
+		}
+		return fmt.Sprintf("%+5.1f%%", (newV-oldV)/oldV*100)
+	}
+	fmt.Fprintf(out, "comparison vs %s (quick=%v):\n", old.Date, old.Quick)
+	fmt.Fprintf(out, "  %-10s %10s %12s %26s\n", "figure", "wall", "events/s", "allocs/event (old -> new)")
+	regressed := false
+	for _, f := range cur.Figures {
+		o, ok := prev[f.Name]
+		if !ok {
+			fmt.Fprintf(out, "  %-10s (new figure, no baseline)\n", f.Name)
+			continue
+		}
+		if f.Analytic || (f.Events == 0 && o.Events == 0) {
+			fmt.Fprintf(out, "  %-10s %10s %12s %26s\n", f.Name,
+				pct(o.WallSeconds, f.WallSeconds), "analytic", "-")
+			continue
+		}
+		verdict := ""
+		// Over 10% worse — with an absolute floor so counting noise on an
+		// already ~zero-alloc figure (e.g. 0.001 -> 0.0012) cannot gate.
+		if f.AllocsPerEv > o.AllocsPerEv*1.10 && f.AllocsPerEv-o.AllocsPerEv > 0.005 {
+			verdict = "  REGRESSED"
+			regressed = true
+		}
+		fmt.Fprintf(out, "  %-10s %10s %12s %12.4f -> %-8.4f%s\n", f.Name,
+			pct(o.WallSeconds, f.WallSeconds),
+			pct(o.EventsPerS, f.EventsPerS),
+			o.AllocsPerEv, f.AllocsPerEv, verdict)
+	}
+	return regressed
 }
 
 // measure runs fn, attributing its wall time, simulation event count and
@@ -207,7 +291,9 @@ func measure(name string, fn func()) BenchResult {
 		Events:      experiments.TakeFiredCount(),
 		Allocs:      after.Mallocs - before.Mallocs,
 	}
-	if wall > 0 {
+	// Both per-event rates are undefined when nothing fired (analytic
+	// entries): report zero rather than dividing by the event count.
+	if wall > 0 && r.Events > 0 {
 		r.EventsPerS = float64(r.Events) / wall
 	}
 	if r.Events > 0 {

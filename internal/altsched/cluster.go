@@ -71,6 +71,9 @@ type Cluster struct {
 	// eps[job][rank]
 	eps   map[myrinet.JobID][]*Endpoint
 	epoch uint64
+	// rotateFn is the cached rotation callback (a fresh method value per
+	// quantum would allocate).
+	rotateFn func()
 }
 
 // NewCluster assembles the rig and registers all processes.
@@ -119,6 +122,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		}
 		c.eps[job] = eps
 	}
+	c.rotateFn = c.rotate
 	return c, nil
 }
 
@@ -152,7 +156,7 @@ func (c *Cluster) rotate() {
 			}
 		})
 	}
-	c.Eng.Schedule(c.cfg.Quantum, c.rotate)
+	c.Eng.Schedule(c.cfg.Quantum, c.rotateFn)
 }
 
 // RunFor advances the simulation by d cycles.

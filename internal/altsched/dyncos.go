@@ -55,6 +55,10 @@ type DynCosNode struct {
 
 	wakePending bool
 	idleTimer   sim.Event
+	// Cached timer callbacks: onActivity and armIdleTimer run per arrival,
+	// so fresh closures or method values there would allocate per message.
+	wakeFn      func()
+	idleCheckFn func()
 
 	// CPU accounting for the local compute job: it runs whenever the
 	// communicating process does not.
@@ -79,6 +83,11 @@ func NewDynCosNode(eng *sim.Engine, net *myrinet.Network, mem *memmodel.Model,
 		return nil, err
 	}
 	n := &DynCosNode{eng: eng, nic: nic, cpu: cpu, cfg: cfg, EP: ep}
+	n.wakeFn = func() {
+		n.wakePending = false
+		n.wake()
+	}
+	n.idleCheckFn = n.idleCheck
 	ep.attach(ctx)
 	// Wrap the arrival hook: accept/ack at NIC level, then wake the
 	// process if it is descheduled.
@@ -107,10 +116,7 @@ func (n *DynCosNode) onActivity() {
 		return
 	}
 	n.wakePending = true
-	n.eng.Schedule(n.cfg.Dispatch, func() {
-		n.wakePending = false
-		n.wake()
-	})
+	n.eng.Schedule(n.cfg.Dispatch, n.wakeFn)
 }
 
 // Wake schedules the communicating process immediately (a self-initiated
@@ -130,7 +136,7 @@ func (n *DynCosNode) wake() {
 // armIdleTimer (re)schedules the deschedule check.
 func (n *DynCosNode) armIdleTimer() {
 	n.idleTimer.Cancel()
-	n.idleTimer = n.eng.Schedule(n.cfg.IdleTimeout, n.idleCheck)
+	n.idleTimer = n.eng.Schedule(n.cfg.IdleTimeout, n.idleCheckFn)
 }
 
 // idleCheck deschedules the communicator when it has gone quiet.

@@ -28,6 +28,15 @@ type Endpoint struct {
 	payloadBytes int
 
 	recvOverhead sim.Time
+
+	// drainN carries the in-flight drain batch size to drainDoneFn, the
+	// cached drain-completion callback (one drain batch is in flight at a
+	// time, guarded by draining). hooks is the context-hook set handed to
+	// the card at every attach; building it once keeps the per-switch
+	// rebind allocation-free.
+	drainN      int
+	drainDoneFn func()
+	hooks       lanai.Hooks
 }
 
 // NewEndpoint builds the process's transport state; channels to peers are
@@ -43,6 +52,11 @@ func NewEndpoint(eng *sim.Engine, nic *lanai.NIC, cpu *sim.Resource, cfg RChanne
 		chans:        make(map[int]*RChannel),
 		payloadBytes: payloadLen,
 		recvOverhead: cfg.RecvOverhead,
+	}
+	e.drainDoneFn = e.drainDone
+	e.hooks = lanai.Hooks{
+		OnArrive:    func(*lanai.Context) { e.drain() },
+		OnSendSpace: func(*lanai.Context) { e.pumpAll() },
 	}
 	return e, nil
 }
@@ -85,10 +99,7 @@ func (e *Endpoint) attach(ctx *lanai.Context) {
 	for _, c := range e.chans {
 		c.ctx = ctx
 	}
-	ctx.Hooks = lanai.Hooks{
-		OnArrive:    func(*lanai.Context) { e.drain() },
-		OnSendSpace: func(*lanai.Context) { e.pumpAll() },
-	}
+	ctx.Hooks = e.hooks
 }
 
 // Suspend stops the process: pumps and retransmission timers halt.
@@ -166,16 +177,20 @@ func (e *Endpoint) drain() {
 		n = 16
 	}
 	e.draining = true
-	e.cpu.Use(sim.Time(n)*e.recvOverhead, func() {
-		e.draining = false
-		for i := 0; i < n; i++ {
-			p := e.nic.DequeueRecv(e.ctx)
-			if p == nil {
-				return
-			}
-			e.Channel(p.SrcRank).Deliver(p)
-			e.nic.FreePacket(p)
+	e.drainN = n
+	e.cpu.Use(sim.Time(n)*e.recvOverhead, e.drainDoneFn)
+}
+
+func (e *Endpoint) drainDone() {
+	n := e.drainN
+	e.draining = false
+	for i := 0; i < n; i++ {
+		p := e.nic.DequeueRecv(e.ctx)
+		if p == nil {
+			return
 		}
-		e.drain()
-	})
+		e.Channel(p.SrcRank).Deliver(p)
+		e.nic.FreePacket(p)
+	}
+	e.drain()
 }

@@ -220,17 +220,20 @@ func (m *Manager) copyAndBind(next *proc, rec *SwitchRecord, done func(SwitchRec
 	m.cpu.Use(cost, func() {
 		rec.Copy = m.eng.Now() - t0
 		if m.current != nil {
-			m.current.sendStore = m.hwCtx.SendQ.Drain()
-			m.current.recvStore = m.hwCtx.RecvQ.Drain()
+			m.current.sendStore = m.hwCtx.SendQ.DrainTo(m.current.sendStore)
+			m.current.recvStore = m.hwCtx.RecvQ.DrainTo(m.current.recvStore)
 		} else {
-			m.hwCtx.SendQ.Drain()
-			m.hwCtx.RecvQ.Drain()
+			m.hwCtx.SendQ.Clear()
+			m.hwCtx.RecvQ.Clear()
 		}
 		m.nic.SetIdentity(m.hwCtx, next.job, next.rank, lanai.Hooks{})
 		next.ep.attach(m.hwCtx)
 		m.hwCtx.SendQ.Load(next.sendStore)
 		m.hwCtx.RecvQ.Load(next.recvStore)
-		next.sendStore, next.recvStore = nil, nil
+		// Truncate rather than nil: the backing arrays are reused by the
+		// DrainTo at this process's next deschedule.
+		next.sendStore = next.sendStore[:0]
+		next.recvStore = next.recvStore[:0]
 		m.current = next
 		next.ep.Resume()
 		m.finish(rec, done)

@@ -92,6 +92,9 @@ type RChannel struct {
 	// pumpDoneFn is the single cached send-overhead completion callback
 	// (one transmission is in flight at a time, guarded by pumping).
 	pumpDoneFn func()
+	// timeoutFn is the cached retransmission-timer callback; armTimer runs
+	// on every ack, so a fresh method value there would allocate per packet.
+	timeoutFn func()
 
 	// receiver state
 	recvNext uint64
@@ -128,6 +131,7 @@ func NewRChannel(eng *sim.Engine, nic *lanai.NIC, ctx *lanai.Context, cpu *sim.R
 		c.armTimer()
 		c.pump()
 	}
+	c.timeoutFn = c.timeout
 	return c, nil
 }
 
@@ -293,7 +297,7 @@ func (c *RChannel) armTimer() {
 	if !c.running || c.Outstanding() == 0 {
 		return
 	}
-	c.timer = c.eng.Schedule(c.cfg.RTO, c.timeout)
+	c.timer = c.eng.Schedule(c.cfg.RTO, c.timeoutFn)
 }
 
 func (c *RChannel) stopTimer() {

@@ -51,12 +51,19 @@ type Auditor struct {
 	violations []Violation
 	dropped    uint64
 	stopped    bool
+
+	// reportFn is the bound Report method, built once: RunChecks runs every
+	// quantum, and evaluating the method value there would allocate a
+	// closure per check per tick.
+	reportFn func(invariant, detail string)
 }
 
 // NewAuditor builds an auditor; seed is the value needed to replay the run
 // (the fault plan's seed, or the cluster seed when no plan is installed).
 func NewAuditor(eng *sim.Engine, seed uint64) *Auditor {
-	return &Auditor{eng: eng, seed: seed, seen: make(map[string]bool)}
+	a := &Auditor{eng: eng, seed: seed, seen: make(map[string]bool)}
+	a.reportFn = a.Report
+	return a
 }
 
 // Seed returns the replay seed.
@@ -73,7 +80,7 @@ func (a *Auditor) Register(c Check) { a.checks = append(a.checks, c) }
 func (a *Auditor) RunChecks() {
 	now := a.eng.Now()
 	for _, c := range a.checks {
-		c(now, a.Report)
+		c(now, a.reportFn)
 	}
 }
 

@@ -146,6 +146,19 @@ type proc struct {
 	ctx *lanai.Context
 }
 
+// swState is the one in-flight three-stage switch. The scheduler issues at
+// most one switch per node at a time, so SwitchTo/SwitchIdle stash their
+// stage state here and drive the chain through callbacks prebuilt in
+// NewManager — the steady-state switch allocates nothing. A second switch
+// arriving while one is in flight falls back to the closure-based path.
+type swState struct {
+	busy       bool
+	stats      SwitchStats
+	next       *proc
+	done       func(SwitchStats)
+	t0, t1, t2 sim.Time
+}
+
 // Config parameterizes a node's manager.
 type Config struct {
 	// Policy selects Partitioned (original FM) or Switched (the paper).
@@ -182,6 +195,15 @@ type Manager struct {
 	history   []SwitchStats
 	inited    bool
 
+	// sw and the *Fn fields implement the closure-free switch chain; the
+	// functions are bound once in NewManager (a method value used as an
+	// expression allocates at every evaluation).
+	sw            swState
+	haltDoneFn    func()
+	copyWorkFn    func()
+	copyDoneFn    func()
+	releaseDoneFn func()
+
 	// OnPreCopy, when set, is invoked at the start of every stage-2
 	// buffer copy, after the flush completed and before any queue is
 	// touched — the point where the protocol guarantees the outgoing
@@ -211,12 +233,17 @@ func NewManager(eng *sim.Engine, nic *lanai.NIC, cpu *sim.Resource, mem *memmode
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	return &Manager{
+	m := &Manager{
 		eng: eng, nic: nic, cpu: cpu, mem: mem, cfg: cfg,
 		alloc:    alloc,
 		procs:    make(map[myrinet.JobID]*proc),
 		topology: make(map[myrinet.NodeID]bool),
-	}, nil
+	}
+	m.haltDoneFn = m.haltDone
+	m.copyWorkFn = m.copyWork
+	m.copyDoneFn = m.copyDone
+	m.releaseDoneFn = m.releaseDone
+	return m, nil
 }
 
 // Alloc returns the per-process buffer/credit allocation the policy
@@ -226,6 +253,19 @@ func (m *Manager) Alloc() fm.Allocation { return m.alloc }
 
 // History returns the recorded switch statistics.
 func (m *Manager) History() []SwitchStats { return m.history }
+
+// ReserveHistory pre-grows the switch-history buffer to absorb at least n
+// further switches without reallocating. Per-switch history retention is
+// the one amortized allocator left in the steady-state rotation (a slice
+// doubling every 2^k switches); a measurement that needs a strictly
+// allocation-free window reserves its switch budget up front.
+func (m *Manager) ReserveHistory(n int) {
+	if need := len(m.history) + n; cap(m.history) < need {
+		h := make([]SwitchStats, len(m.history), need)
+		copy(h, m.history)
+		m.history = h
+	}
+}
 
 // StoredPackets reports how many packets a descheduled job has parked in
 // its backing store (send, recv). A bound or unknown job reports zeros.
@@ -345,8 +385,8 @@ func (m *Manager) EndJob(job myrinet.JobID) error {
 	if m.current == pr {
 		if m.hwCtx != nil {
 			m.nic.SetIdentity(m.hwCtx, myrinet.NoJob, -1, lanai.Hooks{})
-			m.hwCtx.SendQ.Drain()
-			m.hwCtx.RecvQ.Drain()
+			m.hwCtx.SendQ.Clear()
+			m.hwCtx.RecvQ.Clear()
 		}
 		m.current = nil
 	}
@@ -368,8 +408,11 @@ func (m *Manager) bind(pr *proc) {
 	pr.p.Attach(m.hwCtx)
 	m.hwCtx.SendQ.Load(pr.store.send)
 	m.hwCtx.RecvQ.Load(pr.store.recv)
-	pr.store.send = nil
-	pr.store.recv = nil
+	// Truncate rather than nil the store slices: the backing arrays are
+	// reused by DrainTo at the next switch-out, so the steady-state save
+	// allocates nothing.
+	pr.store.send = pr.store.send[:0]
+	pr.store.recv = pr.store.recv[:0]
 	m.current = pr
 }
 
@@ -442,11 +485,7 @@ func (m *Manager) SwitchTo(epoch uint64, job myrinet.JobID, done func(SwitchStat
 		return nil
 	}
 
-	stats := SwitchStats{Epoch: epoch, From: m.Current(), To: job}
-	if err := m.haltStage(epoch, &stats, next, done); err != nil {
-		return err
-	}
-	return nil
+	return m.haltStage(epoch, SwitchStats{Epoch: epoch, From: m.Current(), To: job}, next, done)
 }
 
 // SwitchIdle performs a context switch on a node that has no process in
@@ -465,16 +504,104 @@ func (m *Manager) SwitchIdle(epoch uint64, done func(SwitchStats)) error {
 		}
 		return nil
 	}
-	stats := SwitchStats{Epoch: epoch, From: m.Current(), To: myrinet.NoJob}
-	return m.haltStage(epoch, &stats, nil, done)
+	return m.haltStage(epoch, SwitchStats{Epoch: epoch, From: m.Current(), To: myrinet.NoJob}, nil, done)
 }
 
-func (m *Manager) haltStage(epoch uint64, stats *SwitchStats, next *proc, done func(SwitchStats)) error {
+// haltStage takes stats by value: the steady-state switch copies it into
+// the prebuilt m.sw record, so nothing escapes; only the slow fallback
+// lets its closures capture a heap copy.
+func (m *Manager) haltStage(epoch uint64, stats SwitchStats, next *proc, done func(SwitchStats)) error {
+	if m.sw.busy {
+		return m.haltStageSlow(epoch, stats, next, done)
+	}
+	m.sw.busy = true
+	m.sw.stats = stats
+	m.sw.next = next
+	m.sw.done = done
+	m.sw.t0 = m.eng.Now()
+	if epoch <= m.lastEpoch && m.lastEpoch != 0 {
+		m.sw.busy, m.sw.next, m.sw.done = false, nil, nil
+		return fmt.Errorf("core: epoch %d not after %d", epoch, m.lastEpoch)
+	}
+	m.lastEpoch = epoch
+	if m.current != nil {
+		m.current.p.Suspend()
+	}
+	m.nic.HaltNetwork(epoch, m.haltDoneFn)
+	return nil
+}
+
+func (m *Manager) haltDone() {
+	m.sw.stats.Halt = m.eng.Now() - m.sw.t0
+	m.sw.t1 = m.eng.Now()
+	st := &m.sw.stats
+	if m.OnPreCopy != nil {
+		m.OnPreCopy(st.From, st.To)
+	}
+	st.ValidSend = m.hwCtx.SendQ.Len()
+	st.ValidRecv = m.hwCtx.RecvQ.Len()
+	if m.current == m.sw.next {
+		m.eng.Schedule(0, m.copyDoneFn)
+		return
+	}
+	if m.sw.next != nil {
+		st.RestoredSend = len(m.sw.next.store.send)
+		st.RestoredRecv = len(m.sw.next.store.recv)
+	}
+	m.cpu.Use(m.copyCost(st, m.current != nil, m.sw.next != nil), m.copyWorkFn)
+}
+
+func (m *Manager) copyWork() {
+	if m.current != nil {
+		m.current.store.send = m.hwCtx.SendQ.DrainTo(m.current.store.send)
+		m.current.store.recv = m.hwCtx.RecvQ.DrainTo(m.current.store.recv)
+		m.current.store.digest = queueDigest(m.current.store.send, m.current.store.recv)
+		m.current.store.stored = true
+		if m.OnStore != nil {
+			m.OnStore(m.current.job, m.current.store.send, m.current.store.recv)
+		}
+	} else {
+		m.hwCtx.SendQ.Clear()
+		m.hwCtx.RecvQ.Clear()
+	}
+	if m.sw.next != nil {
+		m.bind(m.sw.next)
+	} else {
+		m.nic.SetIdentity(m.hwCtx, myrinet.NoJob, -1, lanai.Hooks{})
+		m.current = nil
+	}
+	m.copyDone()
+}
+
+func (m *Manager) copyDone() {
+	m.sw.stats.Copy = m.eng.Now() - m.sw.t1
+	m.sw.t2 = m.eng.Now()
+	m.nic.ReleaseNetwork(m.sw.stats.Epoch, m.releaseDoneFn)
+}
+
+func (m *Manager) releaseDone() {
+	m.sw.stats.Release = m.eng.Now() - m.sw.t2
+	if m.current != nil {
+		m.current.p.Resume()
+	}
+	st := m.sw.stats
+	done := m.sw.done
+	m.sw.busy, m.sw.next, m.sw.done = false, nil, nil
+	m.history = append(m.history, st)
+	if done != nil {
+		done(st)
+	}
+}
+
+// haltStageSlow is the closure-based fallback for an overlapping switch
+// request (the staged test APIs can produce one); the scheduler-driven
+// steady state never takes it.
+func (m *Manager) haltStageSlow(epoch uint64, stats SwitchStats, next *proc, done func(SwitchStats)) error {
 	t0 := m.eng.Now()
 	err := m.HaltNetwork(epoch, func() {
 		stats.Halt = m.eng.Now() - t0
 		t1 := m.eng.Now()
-		m.copyBuffers(next, stats, func() {
+		m.copyBuffers(next, &stats, func() {
 			stats.Copy = m.eng.Now() - t1
 			t2 := m.eng.Now()
 			m.nic.ReleaseNetwork(epoch, func() {
@@ -482,9 +609,9 @@ func (m *Manager) haltStage(epoch uint64, stats *SwitchStats, next *proc, done f
 				if m.current != nil {
 					m.current.p.Resume()
 				}
-				m.history = append(m.history, *stats)
+				m.history = append(m.history, stats)
 				if done != nil {
-					done(*stats)
+					done(stats)
 				}
 			})
 		})
@@ -514,16 +641,16 @@ func (m *Manager) copyBuffers(next *proc, stats *SwitchStats, done func()) {
 	cost := m.copyCost(stats, m.current != nil, next != nil)
 	m.cpu.Use(cost, func() {
 		if m.current != nil {
-			m.current.store.send = m.hwCtx.SendQ.Drain()
-			m.current.store.recv = m.hwCtx.RecvQ.Drain()
+			m.current.store.send = m.hwCtx.SendQ.DrainTo(m.current.store.send)
+			m.current.store.recv = m.hwCtx.RecvQ.DrainTo(m.current.store.recv)
 			m.current.store.digest = queueDigest(m.current.store.send, m.current.store.recv)
 			m.current.store.stored = true
 			if m.OnStore != nil {
 				m.OnStore(m.current.job, m.current.store.send, m.current.store.recv)
 			}
 		} else {
-			m.hwCtx.SendQ.Drain()
-			m.hwCtx.RecvQ.Drain()
+			m.hwCtx.SendQ.Clear()
+			m.hwCtx.RecvQ.Clear()
 		}
 		if next != nil {
 			m.bind(next)

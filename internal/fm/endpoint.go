@@ -120,7 +120,12 @@ type Endpoint struct {
 	sendCredits []int // per peer rank
 	consumed    []int // per peer rank, consumed since last refill sent
 
+	// outbox is a fixed ring (len == OutboxCap): outHead indexes the
+	// oldest queued message, outN counts them. A ring instead of a
+	// sliding slice keeps the steady-state send path allocation-free.
 	outbox    []outMsg
+	outHead   int
+	outN      int
 	nextMsgID []uint64
 	pumping   bool
 	draining  bool
@@ -129,6 +134,16 @@ type Endpoint struct {
 	// progress per endpoint, guarded by pumping).
 	pumpFrag   int
 	pumpDoneFn func()
+	// drainN carries the in-flight batch size to drainDoneFn (one batch at
+	// a time, guarded by draining).
+	drainN      int
+	drainDoneFn func()
+	// refillQ holds the peers whose refill host-cost grants are pending,
+	// in grant order (the CPU resource is FIFO); refillDoneFn pops from it.
+	refillQ     []int
+	refillHead  int
+	refillGrant func()
+	hooks       lanai.Hooks
 
 	reasm map[int]*partial // src rank -> in-progress message
 	// partialPool recycles reassembly records. Payload arrays are NOT
@@ -165,6 +180,7 @@ func NewEndpoint(eng *sim.Engine, nic *lanai.NIC, cpu *sim.Resource, mem *memmod
 		sendCredits: make([]int, len(nodeOf)),
 		consumed:    make([]int, len(nodeOf)),
 		nextMsgID:   make([]uint64, len(nodeOf)),
+		outbox:      make([]outMsg, cfg.outboxCap()),
 		reasm:       make(map[int]*partial),
 	}
 	for i := range e.sendCredits {
@@ -175,18 +191,30 @@ func NewEndpoint(eng *sim.Engine, nic *lanai.NIC, cpu *sim.Resource, mem *memmod
 		e.completeSend(e.pumpFrag)
 		e.pump()
 	}
-	return e, nil
-}
-
-// Hooks returns the NIC callbacks that bind this endpoint to a hardware
-// context. The glueFM layer installs them at COMM_init_job / switch-in.
-func (e *Endpoint) Hooks() lanai.Hooks {
-	return lanai.Hooks{
+	e.drainDoneFn = e.drainDone
+	e.refillGrant = e.refillGranted
+	e.hooks = lanai.Hooks{
 		OnArrive:    func(*lanai.Context) { e.drain() },
 		OnRefill:    func(_ *lanai.Context, p *myrinet.Packet) { e.refillArrived(p) },
 		OnSendSpace: func(*lanai.Context) { e.pump() },
 	}
+	return e, nil
 }
+
+// outSlot maps the i-th oldest outbox message to its ring index.
+func (e *Endpoint) outSlot(i int) int {
+	i += e.outHead
+	if i >= len(e.outbox) {
+		i -= len(e.outbox)
+	}
+	return i
+}
+
+// Hooks returns the NIC callbacks that bind this endpoint to a hardware
+// context. The glueFM layer installs them at COMM_init_job / switch-in.
+// The hook set is built once in NewEndpoint: Attach runs at every
+// switch-in, so rebuilding the closures there would allocate per switch.
+func (e *Endpoint) Hooks() lanai.Hooks { return e.hooks }
 
 // Attach binds the endpoint to its hardware context.
 func (e *Endpoint) Attach(ctx *lanai.Context) {
@@ -231,7 +259,7 @@ func (e *Endpoint) SetHandler(h func(src int, size int, payload []byte)) { e.han
 func (e *Endpoint) SetOnCanSend(f func()) { e.onCanSend = f }
 
 // CanSend reports whether the outbox can accept another message.
-func (e *Endpoint) CanSend() bool { return len(e.outbox) < e.cfg.outboxCap() }
+func (e *Endpoint) CanSend() bool { return e.outN < len(e.outbox) }
 
 // Send queues a message of size bytes for dst. payload may be nil (the
 // cost model keys off size); when non-nil its length must equal size and
@@ -253,10 +281,11 @@ func (e *Endpoint) Send(dst int, size int, payload []byte) bool {
 		return false
 	}
 	nfrags := (size + myrinet.MaxPayload - 1) / myrinet.MaxPayload
-	e.outbox = append(e.outbox, outMsg{
+	e.outbox[e.outSlot(e.outN)] = outMsg{
 		dst: dst, size: size, payload: payload,
 		nfrags: nfrags, msgID: e.nextMsgID[dst],
-	})
+	}
+	e.outN++
 	e.nextMsgID[dst]++
 	e.pump()
 	return true
@@ -303,10 +332,10 @@ func (e *Endpoint) recvCost(p *myrinet.Packet) sim.Time {
 // message order (FM_send blocks the caller, so a message with no credits
 // head-of-line-blocks the process).
 func (e *Endpoint) pump() {
-	if !e.running || e.pumping || e.ctx == nil || len(e.outbox) == 0 {
+	if !e.running || e.pumping || e.ctx == nil || e.outN == 0 {
 		return
 	}
-	m := &e.outbox[0]
+	m := &e.outbox[e.outHead]
 	if e.sendCredits[m.dst] <= 0 {
 		e.stats.CreditStalls++
 		return // a refill arrival re-kicks the pump
@@ -328,10 +357,10 @@ func (e *Endpoint) pump() {
 // runs even if the process was suspended mid-operation: the packet was
 // already being written when the signal arrived.
 func (e *Endpoint) completeSend(fragLen int) {
-	if len(e.outbox) == 0 {
+	if e.outN == 0 {
 		return
 	}
-	m := &e.outbox[0]
+	m := &e.outbox[e.outHead]
 	var chunk []byte
 	if m.payload != nil {
 		start := m.frag * myrinet.MaxPayload
@@ -359,11 +388,16 @@ func (e *Endpoint) completeSend(fragLen int) {
 	m.frag++
 	if m.frag == m.nfrags {
 		e.stats.MessagesSent++
-		e.outbox = e.outbox[1:]
+		*m = outMsg{} // drop the payload reference
+		e.outHead = e.outSlot(1)
+		e.outN--
+		if e.outN == 0 {
+			e.outHead = 0
+		}
 		if e.onCanSend != nil && e.CanSend() {
 			e.onCanSend()
 		}
-		if len(e.outbox) == 0 && len(e.flushWaiters) > 0 {
+		if e.outN == 0 && len(e.flushWaiters) > 0 {
 			waiters := e.flushWaiters
 			e.flushWaiters = nil
 			for _, fn := range waiters {
@@ -378,7 +412,7 @@ func (e *Endpoint) completeSend(fragLen int) {
 // all of them). If the process is descheduled first, fn fires after it is
 // rescheduled and the queue drains.
 func (e *Endpoint) Flush(fn func()) {
-	if len(e.outbox) == 0 && !e.pumping {
+	if e.outN == 0 && !e.pumping {
 		e.eng.Schedule(0, fn)
 		return
 	}
@@ -411,17 +445,23 @@ func (e *Endpoint) drain() {
 		cost += e.recvCost(e.ctx.RecvQ.At(i))
 	}
 	e.draining = true
-	e.cpu.Use(cost, func() {
-		e.draining = false
-		for i := 0; i < n; i++ {
-			got := e.nic.DequeueRecv(e.ctx)
-			if got == nil {
-				return // buffer was switched out from under a stale drain
-			}
-			e.consumePacket(got)
+	e.drainN = n
+	e.cpu.Use(cost, e.drainDoneFn)
+}
+
+// drainDone finishes the extraction whose host cost was just paid (the
+// batch size rode along in drainN; only one batch is in flight at a time).
+func (e *Endpoint) drainDone() {
+	e.draining = false
+	n := e.drainN
+	for i := 0; i < n; i++ {
+		got := e.nic.DequeueRecv(e.ctx)
+		if got == nil {
+			return // buffer was switched out from under a stale drain
 		}
-		e.drain()
-	})
+		e.consumePacket(got)
+	}
+	e.drain()
 }
 
 func (e *Endpoint) consumePacket(p *myrinet.Packet) {
@@ -504,15 +544,28 @@ func (e *Endpoint) sendRefill(peer int) {
 	if e.consumed[peer] == 0 {
 		return
 	}
-	e.cpu.Use(e.cfg.RefillOverhead, func() {
-		n := e.consumed[peer]
-		if n == 0 || !e.running || e.nic.Halted() {
-			return
-		}
-		e.consumed[peer] = 0
-		e.stats.RefillsSent++
-		e.nic.SendRefill(e.job, e.rank, peer, e.nodeOf[peer], n)
-	})
+	// The CPU resource grants in FIFO order, so the pending-peer queue and
+	// the grant callbacks pair up positionally — no closure needed.
+	e.refillQ = append(e.refillQ, peer)
+	e.cpu.Use(e.cfg.RefillOverhead, e.refillGrant)
+}
+
+// refillGranted runs when the host cost of the oldest pending refill has
+// been paid.
+func (e *Endpoint) refillGranted() {
+	peer := e.refillQ[e.refillHead]
+	e.refillHead++
+	if e.refillHead == len(e.refillQ) {
+		e.refillQ = e.refillQ[:0]
+		e.refillHead = 0
+	}
+	n := e.consumed[peer]
+	if n == 0 || !e.running || e.nic.Halted() {
+		return
+	}
+	e.consumed[peer] = 0
+	e.stats.RefillsSent++
+	e.nic.SendRefill(e.job, e.rank, peer, e.nodeOf[peer], n)
 }
 
 func (e *Endpoint) refillArrived(p *myrinet.Packet) {
@@ -529,10 +582,10 @@ func (e *Endpoint) C0() int { return e.cfg.C0 }
 // network's drop ledger to tell a loss-induced permanent stall (paper §2.2)
 // from an ordinary transient window closure.
 func (e *Endpoint) Stalled() (dst int, ok bool) {
-	if len(e.outbox) == 0 || e.pumping {
+	if e.outN == 0 || e.pumping {
 		return 0, false
 	}
-	m := &e.outbox[0]
+	m := &e.outbox[e.outHead]
 	if e.sendCredits[m.dst] > 0 {
 		return 0, false
 	}

@@ -82,11 +82,20 @@ func Allocate(policy Policy, totalSend, totalRecv, maxContexts, processors int) 
 		}
 		return a, nil
 	case Switched:
-		return Allocation{
+		a := Allocation{
 			SendSlots: totalSend,
 			RecvSlots: totalRecv,
 			C0:        totalRecv / processors,
-		}, nil
+		}
+		if a.C0 == 0 {
+			// C0 = Br/p rounds to zero: no process could ever send, and the
+			// FM would wedge silently (observed at 1024 peers with the
+			// paper's Br = 668). Reject the configuration instead.
+			return Allocation{}, fmt.Errorf(
+				"fm: switched credit split C0 = Br/p = %d/%d = 0 — machine too large for the receive buffer (p ≤ %d, or grow Br)",
+				totalRecv, processors, totalRecv)
+		}
+		return a, nil
 	default:
 		return Allocation{}, fmt.Errorf("fm: unknown policy %d", int(policy))
 	}

@@ -34,9 +34,25 @@ type phaseTracker struct {
 
 	heard   map[uint64]map[myrinet.NodeID]bool
 	local   map[uint64]bool
-	done    map[uint64]bool
 	onDone  map[uint64]func()
 	evicted map[myrinet.NodeID]bool
+
+	// Completed epochs are tracked as a watermark plus exceptions rather
+	// than an ever-growing set: epochs complete (nearly) in order, one per
+	// switch, so a per-epoch map entry retained forever would make the
+	// steady state allocate. Every epoch below doneLo is complete (valid
+	// once doneAny is set — the floor is anchored to the first completed
+	// epoch, since callers may start numbering anywhere); doneEx holds the
+	// out-of-order completions at or above the floor and is compacted into
+	// doneLo as the gap fills.
+	doneLo  uint64
+	doneAny bool
+	doneEx  map[uint64]bool
+
+	// setPool recycles the per-epoch heard sets: epochs open and close at
+	// every switch, so reusing the cleared map keeps the steady-state
+	// flush allocation-free.
+	setPool []map[myrinet.NodeID]bool
 }
 
 func newPhaseTracker(peers int) *phaseTracker {
@@ -44,7 +60,7 @@ func newPhaseTracker(peers int) *phaseTracker {
 		peers:   peers,
 		heard:   make(map[uint64]map[myrinet.NodeID]bool),
 		local:   make(map[uint64]bool),
-		done:    make(map[uint64]bool),
+		doneEx:  make(map[uint64]bool),
 		onDone:  make(map[uint64]func()),
 		evicted: make(map[myrinet.NodeID]bool),
 	}
@@ -67,12 +83,17 @@ func (t *phaseTracker) LocalTransition(epoch uint64, onDone func()) {
 // one from an evicted peer is stale and returns false (the caller counts it
 // and drops the packet).
 func (t *phaseTracker) Arrive(epoch uint64, from myrinet.NodeID) bool {
-	if t.done[epoch] || t.evicted[from] {
+	if t.Done(epoch) || t.evicted[from] {
 		return false
 	}
 	set := t.heard[epoch]
 	if set == nil {
-		set = make(map[myrinet.NodeID]bool)
+		if ln := len(t.setPool); ln > 0 {
+			set = t.setPool[ln-1]
+			t.setPool = t.setPool[:ln-1]
+		} else {
+			set = make(map[myrinet.NodeID]bool)
+		}
 		t.heard[epoch] = set
 	}
 	if set[from] {
@@ -106,20 +127,22 @@ func (t *phaseTracker) State(epoch uint64) (local bool, remote int) {
 }
 
 // Done reports whether the epoch's phase has completed.
-func (t *phaseTracker) Done(epoch uint64) bool { return t.done[epoch] }
+func (t *phaseTracker) Done(epoch uint64) bool {
+	return (t.doneAny && epoch < t.doneLo) || t.doneEx[epoch]
+}
 
 // Transitioned reports whether this node has made its own transition for
 // the epoch (including epochs already completed, whose per-epoch state has
 // been freed).
 func (t *phaseTracker) Transitioned(epoch uint64) bool {
-	return t.done[epoch] || t.local[epoch]
+	return t.Done(epoch) || t.local[epoch]
 }
 
 // ForceComplete completes an epoch's phase without the missing peers — the
 // recovery layer's last resort after the retransmission budget is spent.
 // It is a no-op before the local transition or after normal completion.
 func (t *phaseTracker) ForceComplete(epoch uint64) bool {
-	if t.done[epoch] || !t.local[epoch] {
+	if t.Done(epoch) || !t.local[epoch] {
 		return false
 	}
 	t.complete(epoch)
@@ -150,17 +173,30 @@ func (t *phaseTracker) Evict(peer myrinet.NodeID) {
 func (t *phaseTracker) Evicted(peer myrinet.NodeID) bool { return t.evicted[peer] }
 
 func (t *phaseTracker) check(epoch uint64) {
-	if t.done[epoch] || !t.local[epoch] || t.liveHeard(epoch) < t.peers {
+	if t.Done(epoch) || !t.local[epoch] || t.liveHeard(epoch) < t.peers {
 		return
 	}
 	t.complete(epoch)
 }
 
 func (t *phaseTracker) complete(epoch uint64) {
-	t.done[epoch] = true
+	if !t.doneAny {
+		t.doneAny = true
+		t.doneLo = epoch
+	}
+	t.doneEx[epoch] = true
+	for t.doneEx[t.doneLo] {
+		delete(t.doneEx, t.doneLo)
+		t.doneLo++
+	}
 	cb := t.onDone[epoch]
 	// Free the epoch's bookkeeping; epochs are never revisited (the done
-	// marker is retained so stragglers for old epochs stay detectable).
+	// watermark keeps stragglers for old epochs detectable without
+	// retaining per-epoch state).
+	if set := t.heard[epoch]; set != nil {
+		clear(set)
+		t.setPool = append(t.setPool, set)
+	}
 	delete(t.heard, epoch)
 	delete(t.local, epoch)
 	delete(t.onDone, epoch)

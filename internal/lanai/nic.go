@@ -209,7 +209,80 @@ type NIC struct {
 	depositFn func(any)
 	refillFn  func(any)
 
+	// opPool recycles the ctrlOp records the clean-path flush/release
+	// protocol schedules with (broadcast sends, tail transitions, control
+	// arrivals) — one op per event, freed when the event fires.
+	opPool []*ctrlOp
+
+	// relEpoch/relDone hold the one in-flight release completion so the
+	// clean path can use the prebuilt relCompleteFn instead of a closure
+	// per switch; an overlapping release falls back to a closure.
+	relEpoch      uint64
+	relDone       func()
+	relBusy       bool
+	relCompleteFn func()
+
 	stats Stats
+}
+
+// ctrlOp is one pooled flush-protocol action: a scheduled control-packet
+// send, a tail local transition, or a counted control arrival. The record
+// rides through the engine as the event argument, so the clean-path
+// protocol allocates no closures.
+type ctrlOp struct {
+	n     *NIC
+	t     *phaseTracker
+	typ   myrinet.PacketType
+	dst   myrinet.NodeID
+	epoch uint64
+	retx  bool
+	done  func()
+}
+
+// The shared event callbacks: one function value per action kind for the
+// whole package (the op carries all per-event state).
+var (
+	ctrlSendFn   = func(a any) { a.(*ctrlOp).fireSend() }
+	ctrlTailFn   = func(a any) { a.(*ctrlOp).fireTail() }
+	ctrlArriveFn = func(a any) { a.(*ctrlOp).fireArrive() }
+)
+
+func (n *NIC) getOp() *ctrlOp {
+	if ln := len(n.opPool); ln > 0 {
+		op := n.opPool[ln-1]
+		n.opPool = n.opPool[:ln-1]
+		*op = ctrlOp{n: n}
+		return op
+	}
+	return &ctrlOp{n: n}
+}
+
+func (n *NIC) putOp(op *ctrlOp) {
+	op.done = nil
+	n.opPool = append(n.opPool, op)
+}
+
+func (op *ctrlOp) fireSend() {
+	n := op.n
+	if op.typ == myrinet.Halt {
+		n.stats.HaltsSent++
+	} else {
+		n.stats.ReadysSent++
+	}
+	n.sendCtrl(op.typ, op.dst, op.epoch, false)
+	n.putOp(op)
+}
+
+func (op *ctrlOp) fireTail() {
+	n, t, epoch, done := op.n, op.t, op.epoch, op.done
+	n.putOp(op)
+	n.localTransition(t, epoch, done)
+}
+
+func (op *ctrlOp) fireArrive() {
+	n, t, epoch, src, retx := op.n, op.t, op.epoch, op.dst, op.retx
+	n.putOp(op)
+	n.ctrlArrive(t, epoch, src, retx)
 }
 
 // New creates a card attached to the network.
@@ -229,6 +302,7 @@ func New(eng *sim.Engine, net *myrinet.Network, mem *memmodel.Model, cfg Config)
 	n.kickFn = n.kickSender
 	n.depositFn = n.deposit
 	n.refillFn = n.refillArrived
+	n.relCompleteFn = n.releaseComplete
 	net.Attach(cfg.Node, n)
 	return n
 }
@@ -468,14 +542,13 @@ func (n *NIC) HaltNetwork(epoch uint64, onFlushed func()) {
 			continue
 		}
 		delay += n.cfg.CtlOverhead
-		n.eng.Schedule(delay, func() {
-			n.stats.HaltsSent++
-			n.sendCtrl(myrinet.Halt, dst, epoch, false)
-		})
+		op := n.getOp()
+		op.t, op.typ, op.dst, op.epoch = n.flush, myrinet.Halt, dst, epoch
+		n.eng.ScheduleArg(delay, ctrlSendFn, op)
 	}
-	n.eng.Schedule(delay, func() {
-		n.localTransition(n.flush, epoch, onFlushed)
-	})
+	op := n.getOp()
+	op.t, op.epoch, op.done = n.flush, epoch, onFlushed
+	n.eng.ScheduleArg(delay, ctrlTailFn, op)
 }
 
 // ReleaseNetwork implements the third stage: broadcast readiness to
@@ -483,22 +556,15 @@ func (n *NIC) HaltNetwork(epoch uint64, onFlushed func()) {
 // reported ready, clear the halt bit, restart the send scanner, and invoke
 // onReleased.
 func (n *NIC) ReleaseNetwork(epoch uint64, onReleased func()) {
-	complete := func() {
-		// The release stage must strictly follow flush completion for the
-		// same epoch: clearing the halt bit while data of the previous
-		// context could still be on the wire is exactly the overlap the
-		// three-stage protocol exists to prevent.
-		if !n.flush.Done(epoch) {
-			if n.OnViolation != nil {
-				n.OnViolation("flush-order",
-					fmt.Sprintf("node %d released epoch %d before its flush completed", n.cfg.Node, epoch))
-			}
-		}
-		n.haltBit = false
-		n.kickSender()
-		if onReleased != nil {
-			onReleased()
-		}
+	var complete func()
+	if !n.relBusy {
+		// One release in flight (the scheduler-driven steady state): stash
+		// its state and use the prebuilt completion callback.
+		n.relBusy = true
+		n.relEpoch, n.relDone = epoch, onReleased
+		complete = n.relCompleteFn
+	} else {
+		complete = func() { n.completeRelease(epoch, onReleased) }
 	}
 	if n.release.peers == 0 {
 		n.release.LocalTransition(epoch, complete)
@@ -511,14 +577,39 @@ func (n *NIC) ReleaseNetwork(epoch uint64, onReleased func()) {
 			continue
 		}
 		delay += n.cfg.CtlOverhead
-		n.eng.Schedule(delay, func() {
-			n.stats.ReadysSent++
-			n.sendCtrl(myrinet.Ready, dst, epoch, false)
-		})
+		op := n.getOp()
+		op.t, op.typ, op.dst, op.epoch = n.release, myrinet.Ready, dst, epoch
+		n.eng.ScheduleArg(delay, ctrlSendFn, op)
 	}
-	n.eng.Schedule(delay, func() {
-		n.localTransition(n.release, epoch, complete)
-	})
+	op := n.getOp()
+	op.t, op.epoch, op.done = n.release, epoch, complete
+	n.eng.ScheduleArg(delay, ctrlTailFn, op)
+}
+
+// releaseComplete resolves the stashed in-flight release.
+func (n *NIC) releaseComplete() {
+	epoch, done := n.relEpoch, n.relDone
+	n.relBusy, n.relDone = false, nil
+	n.completeRelease(epoch, done)
+}
+
+// completeRelease finishes stage 3 once every peer has reported ready. The
+// release stage must strictly follow flush completion for the same epoch:
+// clearing the halt bit while data of the previous context could still be
+// on the wire is exactly the overlap the three-stage protocol exists to
+// prevent.
+func (n *NIC) completeRelease(epoch uint64, onReleased func()) {
+	if !n.flush.Done(epoch) {
+		if n.OnViolation != nil {
+			n.OnViolation("flush-order",
+				fmt.Sprintf("node %d released epoch %d before its flush completed", n.cfg.Node, epoch))
+		}
+	}
+	n.haltBit = false
+	n.kickSender()
+	if onReleased != nil {
+		onReleased()
+	}
 }
 
 // sendCtrl emits one flush-protocol control packet. Retransmissions and
@@ -636,13 +727,15 @@ func (n *NIC) HandlePacket(p *myrinet.Packet) {
 		// packet that preceded it on the wire has been fully deposited
 		// in its receive queue. The buffer switch that follows flush
 		// completion therefore sees complete queues.
-		epoch, src, retx := p.Epoch, p.Src, p.Frag == ctrlRetransmit
+		op := n.getOp()
+		op.t, op.epoch, op.dst, op.retx = n.flush, p.Epoch, p.Src, p.Frag == ctrlRetransmit
 		n.net.FreePacket(p)
-		n.recvEngine.Use(n.cfg.CtlOverhead, func() { n.ctrlArrive(n.flush, epoch, src, retx) })
+		n.recvEngine.UseArg(n.cfg.CtlOverhead, ctrlArriveFn, op)
 	case myrinet.Ready:
-		epoch, src, retx := p.Epoch, p.Src, p.Frag == ctrlRetransmit
+		op := n.getOp()
+		op.t, op.epoch, op.dst, op.retx = n.release, p.Epoch, p.Src, p.Frag == ctrlRetransmit
 		n.net.FreePacket(p)
-		n.recvEngine.Use(n.cfg.CtlOverhead, func() { n.ctrlArrive(n.release, epoch, src, retx) })
+		n.recvEngine.UseArg(n.cfg.CtlOverhead, ctrlArriveFn, op)
 	case myrinet.Ack, myrinet.Nack:
 		if n.OnControl != nil {
 			n.OnControl(p)

@@ -8,30 +8,41 @@ package lanai
 import "gangfm/internal/myrinet"
 
 // Queue is a fixed-capacity FIFO of packets occupying fixed-size slots, as
-// the FM queues do (capacity counts packet slots, not bytes).
+// the FM queues do (capacity counts packet slots, not bytes). It is a ring
+// over a fixed backing array: steady-state Enqueue/Dequeue never allocates
+// (the hardware queues are fixed SRAM regions, so neither does the card).
 type Queue struct {
-	cap  int
-	pkts []*myrinet.Packet
+	pkts []*myrinet.Packet // len(pkts) == capacity, fixed at construction
+	head int               // index of the oldest packet
+	n    int               // number of valid packets
 	// drops counts enqueue attempts rejected for lack of space.
 	drops uint64
 }
 
 // NewQueue returns a queue with capacity slots.
 func NewQueue(capacity int) *Queue {
-	return &Queue{cap: capacity}
+	return &Queue{pkts: make([]*myrinet.Packet, capacity)}
 }
 
 // Cap returns the slot capacity.
-func (q *Queue) Cap() int { return q.cap }
+func (q *Queue) Cap() int { return len(q.pkts) }
 
 // Len returns the number of valid packets currently queued.
-func (q *Queue) Len() int { return len(q.pkts) }
+func (q *Queue) Len() int { return q.n }
 
 // Full reports whether no slot is free.
-func (q *Queue) Full() bool { return len(q.pkts) >= q.cap }
+func (q *Queue) Full() bool { return q.n >= len(q.pkts) }
 
 // Drops returns the number of rejected enqueues.
 func (q *Queue) Drops() uint64 { return q.drops }
+
+func (q *Queue) slot(i int) int {
+	i += q.head
+	if i >= len(q.pkts) {
+		i -= len(q.pkts)
+	}
+	return i
+}
 
 // Enqueue appends p; it reports whether a slot was available.
 func (q *Queue) Enqueue(p *myrinet.Packet) bool {
@@ -39,62 +50,90 @@ func (q *Queue) Enqueue(p *myrinet.Packet) bool {
 		q.drops++
 		return false
 	}
-	q.pkts = append(q.pkts, p)
+	q.pkts[q.slot(q.n)] = p
+	q.n++
 	return true
 }
 
 // Dequeue removes and returns the oldest packet, or nil if empty.
 func (q *Queue) Dequeue() *myrinet.Packet {
-	if len(q.pkts) == 0 {
+	if q.n == 0 {
 		return nil
 	}
-	p := q.pkts[0]
-	q.pkts[0] = nil
-	q.pkts = q.pkts[1:]
+	p := q.pkts[q.head]
+	q.pkts[q.head] = nil
+	q.head = q.slot(1)
+	q.n--
+	if q.n == 0 {
+		q.head = 0
+	}
 	return p
 }
 
 // Peek returns the oldest packet without removing it, or nil.
 func (q *Queue) Peek() *myrinet.Packet {
-	if len(q.pkts) == 0 {
+	if q.n == 0 {
 		return nil
 	}
-	return q.pkts[0]
+	return q.pkts[q.head]
 }
 
 // At returns the i-th oldest packet without removing it, or nil when out
 // of range. FM_extract inspects a batch of pending packets this way.
 func (q *Queue) At(i int) *myrinet.Packet {
-	if i < 0 || i >= len(q.pkts) {
+	if i < 0 || i >= q.n {
 		return nil
 	}
-	return q.pkts[i]
+	return q.pkts[q.slot(i)]
 }
 
 // Drain removes and returns all queued packets, oldest first. It is used
 // by the buffer switch to move queue contents to a backing store.
 func (q *Queue) Drain() []*myrinet.Packet {
-	out := q.pkts
-	q.pkts = nil
-	return out
+	return q.DrainTo(nil)
+}
+
+// DrainTo removes all queued packets, oldest first, appending them to
+// dst[:0] and returning the result. Passing a store's previous slice lets
+// the buffer switch reuse its backing array instead of allocating one per
+// switch.
+func (q *Queue) DrainTo(dst []*myrinet.Packet) []*myrinet.Packet {
+	dst = dst[:0]
+	for i := 0; i < q.n; i++ {
+		s := q.slot(i)
+		dst = append(dst, q.pkts[s])
+		q.pkts[s] = nil
+	}
+	q.head, q.n = 0, 0
+	return dst
+}
+
+// Clear discards all queued packets without returning them.
+func (q *Queue) Clear() {
+	for i := 0; i < q.n; i++ {
+		q.pkts[q.slot(i)] = nil
+	}
+	q.head, q.n = 0, 0
 }
 
 // Load refills the queue from a backing store, oldest first. It panics if
 // the packets exceed capacity, which would indicate a switch between
 // incompatible queue geometries.
 func (q *Queue) Load(pkts []*myrinet.Packet) {
-	if len(pkts) > q.cap {
+	if len(pkts) > len(q.pkts) {
 		panic("lanai: restoring more packets than queue capacity")
 	}
-	q.pkts = append(q.pkts[:0], pkts...)
+	q.Clear()
+	copy(q.pkts, pkts)
+	q.n = len(pkts)
 }
 
 // ValidBytes returns the total wire bytes of queued packets — what the
 // improved buffer-switch algorithm actually copies.
 func (q *Queue) ValidBytes() int {
 	n := 0
-	for _, p := range q.pkts {
-		n += p.WireSize()
+	for i := 0; i < q.n; i++ {
+		n += q.pkts[q.slot(i)].WireSize()
 	}
 	return n
 }

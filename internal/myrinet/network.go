@@ -194,10 +194,22 @@ func (n *Network) Lookahead() sim.Time {
 // FreePacket, keeping the steady-state send path allocation-free.
 func (n *Network) NewPacket() *Packet { return n.NewPacketFrom(0) }
 
+// poolIdx maps a node to its free-list bucket. Per-node pools exist so
+// concurrent shards never share one; an unsharded run executes on a single
+// engine, so every node shares bucket 0 — otherwise unidirectional traffic
+// allocates at the source forever while packets pile up in the
+// destination's pool.
+func (n *Network) poolIdx(id NodeID) NodeID {
+	if n.engs == nil {
+		return 0
+	}
+	return id
+}
+
 // NewPacketFrom is NewPacket drawing from node src's free list — the form
 // NIC send paths use so that concurrent shards never share a pool.
 func (n *Network) NewPacketFrom(src NodeID) *Packet {
-	pool := &n.perNode[src].pool
+	pool := &n.perNode[n.poolIdx(src)].pool
 	if ln := len(*pool); ln > 0 {
 		p := (*pool)[ln-1]
 		*pool = (*pool)[:ln-1]
@@ -224,7 +236,7 @@ func (n *Network) freeTo(id NodeID, p *Packet) {
 		return
 	}
 	p.pooled = false
-	pool := &n.perNode[id].pool
+	pool := &n.perNode[n.poolIdx(id)].pool
 	*pool = append(*pool, p)
 }
 

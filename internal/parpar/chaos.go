@@ -95,14 +95,39 @@ func (c *Cluster) armAuditTick() {
 }
 
 // sortedProcs returns a node's processes in job-ID order, so audit reports
-// are emitted deterministically.
+// are emitted deterministically. The returned slice is the node's reusable
+// scratch (valid until the next call); insertion sort keeps the audit loop
+// free of sort.Slice's reflection allocations — a node holds at most Slots
+// processes.
 func (n *Node) sortedProcs() []*Proc {
-	out := make([]*Proc, 0, len(n.procs))
+	out := n.procScratch[:0]
 	for _, p := range n.procs {
 		out = append(out, p)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].job.ID < out[j].job.ID })
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].job.ID < out[j-1].job.ID; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	n.procScratch = out
 	return out
+}
+
+// sortedJobIDs fills the cluster's scratch slice with the map's keys in
+// ascending order — the audit loop's allocation-free substitute for a
+// per-tick make + sort.Slice.
+func (c *Cluster) sortedJobIDs(jobs map[myrinet.JobID]*Job) []myrinet.JobID {
+	ids := c.audJobIDs[:0]
+	for id := range jobs {
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	c.audJobIDs = ids
+	return ids
 }
 
 // checkEndpoints runs the FM-level invariants on every live endpoint:
@@ -119,15 +144,17 @@ func (c *Cluster) checkEndpoints(now sim.Time, report func(invariant, detail str
 			// Receive-queue occupancy: flow control promises no source
 			// ever has more than C0 packets parked at a destination.
 			if ctx := ep.Context(); ctx != nil && ctx.Job == jobID && ep.C0() > 0 {
-				perSrc := make(map[int]int)
+				perSrc := c.audSrcCount
+				clear(perSrc)
 				for i := 0; i < ctx.RecvQ.Len(); i++ {
 					perSrc[ctx.RecvQ.At(i).SrcRank]++
 				}
-				srcs := make([]int, 0, len(perSrc))
+				srcs := c.audSrcs[:0]
 				for s := range perSrc {
 					srcs = append(srcs, s)
 				}
 				sort.Ints(srcs)
+				c.audSrcs = srcs
 				for _, s := range srcs {
 					if perSrc[s] > ep.C0() {
 						report("recv-occupancy", fmt.Sprintf(
@@ -169,12 +196,7 @@ func (c *Cluster) checkEndpoints(now sim.Time, report func(invariant, detail str
 // after one, while the backlog drains) are excused: a paused host explains
 // a frozen job without any protocol violation.
 func (c *Cluster) checkJobDelivery(now sim.Time, report func(invariant, detail string)) {
-	ids := make([]myrinet.JobID, 0, len(c.master.jobs))
-	for id := range c.master.jobs {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
+	for _, id := range c.sortedJobIDs(c.master.jobs) {
 		job := c.master.jobs[id]
 		if job.state != JobRunning {
 			continue
@@ -254,12 +276,7 @@ func (c *Cluster) checkRecovery(now sim.Time, report func(invariant, detail stri
 	sort.Ints(evicted)
 	for _, i := range evicted {
 		id := myrinet.NodeID(i)
-		ids := make([]myrinet.JobID, 0, len(m.jobs))
-		for jid := range m.jobs {
-			ids = append(ids, jid)
-		}
-		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
-		for _, jid := range ids {
+		for _, jid := range c.sortedJobIDs(m.jobs) {
 			for _, col := range m.jobs[jid].Placement.Cols {
 				if col == i {
 					report("eviction-consistency", fmt.Sprintf(
@@ -327,12 +344,7 @@ func (c *Cluster) checkMasterProgress(now sim.Time, report func(invariant, detai
 			"switch round %d stuck: %d/%d acks after %d cycles",
 			m.epoch, m.acks, m.needAcks, now-m.roundStart))
 	}
-	ids := make([]myrinet.JobID, 0, len(m.jobs))
-	for id := range m.jobs {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
+	for _, id := range c.sortedJobIDs(m.jobs) {
 		job := m.jobs[id]
 		if job.state == JobLoading && now-job.SubmitTime > budget {
 			report("launch-stall", fmt.Sprintf(

@@ -127,6 +127,49 @@ type Node struct {
 	swBusy  bool
 	swDone  bool
 	swStats core.SwitchStats
+
+	// Clean-path switch plumbing: the masterd issues one switch per node
+	// per round, so the pending ack callback and completion stats ride in
+	// these fields and the prebuilt swDoneFn/ack trampolines — a
+	// steady-state switch allocates no closures on the node side.
+	swAck    func(core.SwitchStats)
+	swDoneFn func(core.SwitchStats)
+	ackFn    func(core.SwitchStats)
+	ackStats core.SwitchStats
+
+	// procScratch backs sortedProcs between audit ticks.
+	procScratch []*Proc
+}
+
+// The shared node-side ack callbacks (the Node rides along as the event
+// argument): ackHop runs on the control network's lane and samples the
+// delivery latency there; ackFire is the masterd-side delivery.
+var (
+	nodeAckHopFn  = func(a any) { a.(*Node).ackHop() }
+	nodeAckFireFn = func(a any) { a.(*Node).ackFire() }
+)
+
+// deliverAck routes one switch acknowledgement to the masterd with the
+// same latency sampling and lane hops as ctrl.send, but closure-free.
+func (n *Node) deliverAck(s core.SwitchStats, ack func(core.SwitchStats)) {
+	n.ackStats, n.ackFn = s, ack
+	c := n.cluster.ctrl
+	if g := n.Eng.Group(); n.Eng == c.eng || g == nil || g.Serial() {
+		n.ackHop()
+		return
+	}
+	n.Eng.CrossArgAt(c.eng, n.Eng.Now(), nodeAckHopFn, n)
+}
+
+func (n *Node) ackHop() {
+	c := n.cluster.ctrl
+	c.deliverRoutedArg(-1, -1, c.delay(), nodeAckFireFn, n)
+}
+
+func (n *Node) ackFire() {
+	ack, s := n.ackFn, n.ackStats
+	n.ackFn = nil
+	ack(s)
 }
 
 // Cluster is the assembled system.
@@ -153,6 +196,13 @@ type Cluster struct {
 
 	prevProgress map[progressKey]uint64
 	auditTicking bool
+
+	// Audit-loop scratch, reused across ticks: the checks run every
+	// quantum for the life of the run, so per-tick maps and slices would
+	// dominate the steady-state allocation profile.
+	audSrcCount map[int]int
+	audSrcs     []int
+	audJobIDs   []myrinet.JobID
 }
 
 // New assembles a cluster.
@@ -222,6 +272,7 @@ func New(cfg Config) (*Cluster, error) {
 		cfg:          cfg,
 		rng:          sim.NewRand(cfg.Seed ^ 0xABCD),
 		prevProgress: make(map[progressKey]uint64),
+		audSrcCount:  make(map[int]int),
 	}
 	if group != nil {
 		engs := make([]*sim.Engine, cfg.Nodes)
@@ -253,10 +304,16 @@ func New(cfg Config) (*Cluster, error) {
 		if err := mgr.InitNode(); err != nil {
 			return nil, err
 		}
-		c.nodes = append(c.nodes, &Node{
+		n := &Node{
 			ID: myrinet.NodeID(i), NIC: nic, CPU: cpu, Mgr: mgr, Eng: nodeEng,
 			cluster: c, procs: make(map[myrinet.JobID]*Proc),
-		})
+		}
+		n.swDoneFn = func(s core.SwitchStats) {
+			ack := n.swAck
+			n.swAck = nil
+			n.deliverAck(s, ack)
+		}
+		c.nodes = append(c.nodes, n)
 	}
 	if group != nil {
 		c.ctrl.engOf = func(node int) *sim.Engine { return c.nodes[node].Eng }
@@ -416,11 +473,19 @@ func (n *Node) switchSlot(epoch uint64, job myrinet.JobID, ack func(core.SwitchS
 		}
 		n.swEpoch, n.swBusy, n.swDone = epoch, true, false
 	}
-	done := func(s core.SwitchStats) {
-		if n.cluster.cfg.Recovery != nil {
-			n.swBusy, n.swDone, n.swStats = false, true, s
+	var done func(core.SwitchStats)
+	if n.cluster.cfg.Recovery == nil && n.swAck == nil {
+		// Clean path: one switch per node per round, so the ack rides in
+		// the node's prebuilt completion chain — no closures per round.
+		n.swAck = ack
+		done = n.swDoneFn
+	} else {
+		done = func(s core.SwitchStats) {
+			if n.cluster.cfg.Recovery != nil {
+				n.swBusy, n.swDone, n.swStats = false, true, s
+			}
+			n.cluster.ctrl.send(n.Eng, func() { ack(s) })
 		}
-		n.cluster.ctrl.send(n.Eng, func() { ack(s) })
 	}
 	if job != myrinet.NoJob {
 		if _, known := n.procs[job]; known {

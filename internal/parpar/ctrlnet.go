@@ -97,6 +97,20 @@ func (c *ctrlNet) deliverRouted(seen, node int, d sim.Time, fn func()) {
 	c.eng.CrossAt(c.engFor(node), c.eng.Now()+d, fn)
 }
 
+// deliverRoutedArg is deliverRouted for closure-free callers: fn receives
+// arg at delivery. The hot per-round scheduler traffic uses this with
+// pooled argument records so a switch round allocates no closures.
+func (c *ctrlNet) deliverRoutedArg(seen, node int, d sim.Time, fn func(any), arg any) {
+	if c.intercept != nil {
+		extra, drop := c.intercept(c.eng.Now(), seen)
+		if drop {
+			return
+		}
+		d += extra
+	}
+	c.eng.CrossArgAt(c.engFor(node), c.eng.Now()+d, fn, arg)
+}
+
 // send delivers fn after one control-message latency. src is the engine
 // the caller is executing on.
 func (c *ctrlNet) send(src *sim.Engine, fn func()) {

@@ -49,10 +49,59 @@ type Masterd struct {
 	ackedBy      []bool
 	roundTargets []myrinet.JobID
 	ackWatch     sim.Event
+
+	// Clean-path round state, reused every rotation so the steady-state
+	// scheduler loop allocates nothing: targets is the per-node switch
+	// decision snapshot, swMsgs the per-node notification records the
+	// control network delivers (swArgs pre-boxes their pointers), and
+	// cleanAckFn/tickFn/quantumFn the prebuilt callbacks.
+	targets  []myrinet.JobID
+	swMsgs   []switchMsg
+	swArgs   []any
+	qPool    []*quantumMsg
+	cleanAck func(core.SwitchStats)
+	tickFn   func()
+}
+
+// switchMsg is one node's slot-switch notification for the current round.
+// The records live in Masterd.swMsgs and are rewritten per round on the
+// global lane before the deliveries are inserted — a node lane reads its
+// record exactly once, at delivery, and the next round cannot start (and
+// overwrite) until every node has acknowledged.
+type switchMsg struct {
+	m      *Masterd
+	node   int
+	epoch  uint64
+	target myrinet.JobID
+}
+
+func switchMsgFn(a any) {
+	s := a.(*switchMsg)
+	s.m.c.nodes[s.node].switchSlot(s.epoch, s.target, s.m.cleanAck)
+}
+
+// quantumMsg carries a round's quantum-elapsed check. Pooled per masterd;
+// scheduled and fired on the global lane only.
+type quantumMsg struct {
+	m     *Masterd
+	epoch uint64
+}
+
+func quantumFn(a any) {
+	q := a.(*quantumMsg)
+	m, epoch := q.m, q.epoch
+	m.qPool = append(m.qPool, q)
+	// A later round (started early by a job-ready kick) owns the pacing
+	// now; this round's timer is stale.
+	if m.epoch != epoch {
+		return
+	}
+	m.quantumUp = true
+	m.advance()
 }
 
 func newMasterd(c *Cluster) *Masterd {
-	return &Masterd{
+	m := &Masterd{
 		c:         c,
 		matrix:    gang.NewMatrixPolicy(c.cfg.Nodes, c.cfg.Slots, c.cfg.Packing),
 		jobs:      make(map[myrinet.JobID]*Job),
@@ -61,7 +110,27 @@ func newMasterd(c *Cluster) *Masterd {
 		dead:      make([]bool, c.cfg.Nodes),
 		evictedAt: make(map[int]sim.Time),
 		needAcks:  c.cfg.Nodes,
+		targets:   make([]myrinet.JobID, c.cfg.Nodes),
+		swMsgs:    make([]switchMsg, c.cfg.Nodes),
+		swArgs:    make([]any, c.cfg.Nodes),
 	}
+	for i := range m.swMsgs {
+		m.swMsgs[i].m = m
+		m.swMsgs[i].node = i
+		m.swArgs[i] = &m.swMsgs[i]
+	}
+	m.tickFn = m.tick
+	// The per-node switch acknowledgement: every ack callback of a clean
+	// round is identical (the stats argument is unused), so one shared
+	// function value serves all nodes of all rounds.
+	m.cleanAck = func(core.SwitchStats) {
+		m.acks++
+		if m.acks == len(m.c.nodes) {
+			m.inFlight = false
+		}
+		m.advance()
+	}
+	return m
 }
 
 // liveNodes counts the nodes not yet evicted.
@@ -269,7 +338,7 @@ func (m *Masterd) tick() {
 	if m.activated && row == m.lastRow {
 		// Single populated slot: nothing to switch; check again next
 		// quantum (or sooner, if a job-ready kick cancels the wait).
-		m.skipEv = m.c.Eng.Schedule(m.c.cfg.Quantum, m.tick)
+		m.skipEv = m.c.Eng.Schedule(m.c.cfg.Quantum, m.tickFn)
 		return
 	}
 	m.lastRow = row
@@ -287,7 +356,13 @@ func (m *Masterd) tick() {
 	// completed: before that, some nodes may not even have allocated its
 	// context, and binding it on a subset would let senders race ahead
 	// of receivers — exactly the packet loss the sync exists to prevent.
-	targets := make([]myrinet.JobID, len(m.c.nodes))
+	targets := m.targets
+	if m.c.cfg.Recovery != nil {
+		// The watchdog's re-sends read the snapshot for the whole round
+		// (and a stale re-send may outlive it), so the recovery path gets
+		// a fresh array per round.
+		targets = make([]myrinet.JobID, len(m.c.nodes))
+	}
 	for i := range targets {
 		targets[i] = myrinet.NoJob
 		if id := m.matrix.JobAt(row, i); id != myrinet.NoJob {
@@ -297,15 +372,15 @@ func (m *Masterd) tick() {
 		}
 	}
 	if m.c.cfg.Recovery == nil {
-		m.c.ctrl.serialBroadcast(len(m.c.nodes), m.c.cfg.CtrlSerialGap, func(i int) {
-			m.c.nodes[i].switchSlot(epoch, targets[i], func(core.SwitchStats) {
-				m.acks++
-				if m.acks == len(m.c.nodes) {
-					m.inFlight = false
-				}
-				m.advance()
-			})
-		})
+		// Closure-free serial broadcast: same latency sampling and
+		// insertion order as ctrl.serialBroadcast, with the per-node
+		// round state carried by the reusable switchMsg records.
+		for i := range m.c.nodes {
+			s := &m.swMsgs[i]
+			s.epoch, s.target = epoch, targets[i]
+			m.c.ctrl.deliverRoutedArg(i, i,
+				m.c.ctrl.delay()+sim.Time(i+1)*m.c.cfg.CtrlSerialGap, switchMsgFn, m.swArgs[i])
+		}
 	} else {
 		// Watchdog-supervised round: evicted nodes are skipped (keeping
 		// each survivor's original serialization slot), acknowledgements
@@ -329,15 +404,15 @@ func (m *Masterd) tick() {
 		}
 		m.armAckWatch(epoch, 0)
 	}
-	m.c.Eng.Schedule(m.c.cfg.Quantum, func() {
-		// A later round (started early by a job-ready kick) owns the
-		// pacing now; this round's timer is stale.
-		if m.epoch != epoch {
-			return
-		}
-		m.quantumUp = true
-		m.advance()
-	})
+	var q *quantumMsg
+	if ln := len(m.qPool); ln > 0 {
+		q = m.qPool[ln-1]
+		m.qPool = m.qPool[:ln-1]
+	} else {
+		q = &quantumMsg{m: m}
+	}
+	q.epoch = epoch
+	m.c.Eng.ScheduleArg(m.c.cfg.Quantum, quantumFn, q)
 }
 
 // sendSwitch hands one node its slot-switch notification for the round,

@@ -1,0 +1,83 @@
+package parpar
+
+import (
+	"testing"
+
+	"gangfm/internal/sim"
+)
+
+// TestCtrlNetRoutedDeliveryZeroAlloc pins the allocation-free contract of
+// the control network's hot delivery path: deliverRoutedArg with a
+// long-lived callback and a pointer (or nil) argument must not allocate
+// once the engine arena has warmed — it is what the masterd's per-round
+// switch broadcast and the nodes' ack returns ride on.
+func TestCtrlNetRoutedDeliveryZeroAlloc(t *testing.T) {
+	eng := sim.NewEngine()
+	c := newCtrlNet(eng, 10_000, 5_000, sim.NewRand(1))
+	fired := 0
+	fn := func(any) { fired++ }
+	allocs := testing.AllocsPerRun(100, func() {
+		c.deliverRoutedArg(-1, -1, c.delay(), fn, nil)
+		eng.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("routed delivery allocates %.2f objects per message, want 0", allocs)
+	}
+	if fired == 0 {
+		t.Fatal("no deliveries fired")
+	}
+}
+
+// TestMasterdRoundZeroAlloc measures a full steady-state rotation loop —
+// quantum timer, switch broadcast, three-stage switch on every node, ack
+// collection — on a warmed two-job cluster. The round must be entirely
+// closure-free: pooled switchMsg/quantumMsg records, prebuilt node
+// completion chains, pooled halt/ready control ops.
+func TestMasterdRoundZeroAlloc(t *testing.T) {
+	cfg := DefaultConfig(4)
+	cfg.Slots = 2
+	cfg.Quantum = 2_000_000
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"a", "b"} {
+		if _, err := c.Submit(idleLoopSpec(name, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm: launch both jobs and run several rotations so every pool
+	// reaches its high-water mark. Switch-history retention is inherently
+	// an amortized allocator (the record slice doubles every 2^k
+	// switches), so the measurement window's switch budget is reserved up
+	// front — everything else must be allocation-free on its own.
+	c.RunUntil(50_000_000)
+	for _, n := range c.nodes {
+		n.Mgr.ReserveHistory(256)
+	}
+	epoch := c.master.epoch
+	allocs := testing.AllocsPerRun(10, func() { c.RunFor(4 * cfg.Quantum) })
+	if c.master.epoch == epoch {
+		t.Fatal("no rounds ran during measurement")
+	}
+	if allocs != 0 {
+		t.Fatalf("steady-state rotation allocates %.2f objects per window, want 0", allocs)
+	}
+}
+
+// idleLoopSpec is a minimal never-finishing program: each rank re-arms a
+// compute timer forever, so rotations keep switching between live jobs
+// without any communication traffic muddying the measurement.
+func idleLoopSpec(name string, ranks int) JobSpec {
+	return JobSpec{
+		Name: name,
+		Size: ranks,
+		NewProgram: func(rank int) Program {
+			return ProgramFunc(func(p *Proc) {
+				var loop func()
+				loop = func() { p.Schedule(500_000, loop) }
+				loop()
+			})
+		},
+	}
+}

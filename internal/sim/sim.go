@@ -110,6 +110,9 @@ func (ev Event) Cancel() bool {
 	r.canceled = true
 	r.fn, r.afn, r.arg = nil, nil, nil
 	e.pending--
+	if g := e.group; g != nil && !g.lockstep && e.shard >= 0 {
+		g.noteCancel(e.shard)
+	}
 	return true
 }
 
@@ -227,6 +230,9 @@ func (e *Engine) schedule(t Time, fn func(), afn func(any), arg any) Event {
 	r.canceled = false
 	e.push(heapEnt{when: t, seq: seq, slot: slot})
 	e.pending++
+	if g := e.group; g != nil && !g.lockstep && e.shard >= 0 {
+		g.noteSchedule(e.shard, t)
+	}
 	return Event{eng: e, slot: slot, gen: r.gen, when: t}
 }
 

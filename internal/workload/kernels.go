@@ -138,18 +138,23 @@ func exchangeProgram(rank, ranks, phases int, dests []int, perDest, size int,
 				// with no dests) fall through and advance again.
 			}
 		}
+		// One compute-done callback for the whole program: phases are
+		// sequential, so the same function value serves every phase
+		// (allocating it inside startPhase would cost one closure per
+		// phase across the entire sweep).
+		phaseDone := func() {
+			computing = false
+			computeT += compute
+			kick()
+			maybeAdvance()
+		}
 		startPhase = func() {
 			if compute == 0 {
 				kick()
 				return
 			}
 			computing = true
-			p.Schedule(compute, func() {
-				computing = false
-				computeT += compute
-				kick()
-				maybeAdvance()
-			})
+			p.Schedule(compute, phaseDone)
 		}
 		p.EP.SetHandler(func(src, _ int, _ []byte) {
 			received++
@@ -252,7 +257,11 @@ func MasterWorker(name string, ranks, tasks, taskBytes int, compute sim.Time) pa
 					m := startMeter(p)
 					type send struct{ dst, size int }
 					var (
-						q           []send
+						// The master's send log has a known final length:
+						// one task or finish marker per worker kick plus
+						// one per completion. Sizing it up front keeps the
+						// steady state append-free.
+						q           = make([]send, 0, tasks+ranks-1)
 						qi          int
 						assigned    int
 						completions int
@@ -315,6 +324,15 @@ func MasterWorker(name string, ranks, tasks, taskBytes int, compute sim.Time) pa
 					computeT sim.Time
 				)
 				var kick func()
+				// One task-done callback for the worker's whole life: tasks
+				// are processed one at a time, so the same function value
+				// serves every task.
+				finishTask := func() {
+					computeT += compute
+					done++
+					pending++
+					kick()
+				}
 				p.EP.SetHandler(func(_, size int, _ []byte) {
 					received++
 					if size == mwCtrlSize {
@@ -324,12 +342,6 @@ func MasterWorker(name string, ranks, tasks, taskBytes int, compute sim.Time) pa
 								Start: start, End: end}
 						})
 						return
-					}
-					finishTask := func() {
-						computeT += compute
-						done++
-						pending++
-						kick()
 					}
 					if compute == 0 {
 						finishTask()
