@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: check vet build test race fuzz-smoke sched-smoke bench bench-smoke figures lint-hotpath
+.PHONY: check vet build test race fuzz-smoke sched-smoke churn-smoke bench bench-smoke figures lint-hotpath
 
 # The full CI gate: static checks, build, race-enabled tests, a short
-# fixed-seed chaos-fuzz campaign, and a scheduler-evaluation smoke run
+# fixed-seed chaos-fuzz campaign, and scheduler-evaluation smoke runs
 # (all deterministic, so safe to gate on).
-check: vet build race fuzz-smoke sched-smoke lint-hotpath
+check: vet build race fuzz-smoke sched-smoke churn-smoke lint-hotpath
 
 vet:
 	$(GO) vet ./...
@@ -33,6 +33,11 @@ fuzz-smoke:
 # policy and both credit schemes.
 sched-smoke:
 	$(GO) run ./cmd/gangsim sched -quick
+
+# Online-scheduling smoke: the gang-vs-batch-vs-fractional showdown under
+# live kills, resizes, and conservative backfill.
+churn-smoke:
+	$(GO) run ./cmd/gangsim churn -quick
 
 # Microbenchmarks with allocation reporting. BenchmarkEngineThroughput
 # must stay at 0 allocs/op (see DESIGN.md §6).

@@ -29,6 +29,13 @@ go run ./cmd/gangsim sched -quick > /tmp/sched-ci-a.txt
 go run ./cmd/gangsim sched -quick > /tmp/sched-ci-b.txt
 cmp /tmp/sched-ci-a.txt /tmp/sched-ci-b.txt
 
+# Online-scheduling smoke: the churn grid and its full decision logs are
+# also a pure function of the seed — run twice (the second time on the
+# sharded engine with 4 workers) and demand byte-identical output.
+go run ./cmd/gangsim churn -quick -log > /tmp/churn-ci-a.txt
+go run ./cmd/gangsim churn -quick -log -shards 4 -workers 4 > /tmp/churn-ci-b.txt
+cmp /tmp/churn-ci-a.txt /tmp/churn-ci-b.txt
+
 # Benchmark pipeline smoke: the report must build and serialize, and the
 # -compare path must parse it back and pass against itself re-measured
 # (allocs/event is deterministic, so self-comparison never regresses).

@@ -160,6 +160,7 @@ func runBench(args []string, out io.Writer) int {
 		{"schemes", false, func(p experiments.Params) { experiments.Schemes(p) }},
 		{"dyncos", false, func(p experiments.Params) { experiments.Responsiveness(p) }},
 		{"sched", false, func(p experiments.Params) { experiments.Sched(p) }},
+		{"sched_churn", false, func(p experiments.Params) { experiments.Churn(p) }},
 	}
 	experiments.TakeFiredCount() // drain any prior count
 	for _, f := range figures {

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"gangfm/internal/gang"
+	"gangfm/internal/schedd"
+	"gangfm/internal/schedeval"
+)
+
+// runChurn is the online-scheduling subcommand: one churn trace (arrivals
+// plus kill=/resize=/deadline= directives) served by the schedd daemon in
+// gang and batch mode and by the analytic fractional model. Output is a
+// per-mode metrics grid plus decision-log statistics; like sched, it
+// carries no wall-clock figures, so the same seed (or trace file) always
+// produces byte-identical tables — at any -shards/-workers setting.
+func runChurn(args []string, out io.Writer) int {
+	fs := flag.NewFlagSet("churn", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	seed := fs.Uint64("seed", 11, "trace-generator seed")
+	jobs := fs.Int("jobs", 28, "number of generated arrivals")
+	nodes := fs.Int("nodes", 8, "machine size")
+	slots := fs.Int("slots", 8, "gang matrix depth for the gang mode")
+	comm := fs.Float64("comm", 0.7, "communication intensity in [0,1]")
+	kill := fs.Float64("kill", 0.15, "fraction of jobs killed mid-run")
+	resize := fs.Float64("resize", 0.15, "fraction of jobs resized mid-run")
+	deadline := fs.Float64("deadline", 0.25, "fraction of jobs with deadlines")
+	policy := fs.String("policy", "buddy", "packing policy: first-fit|buddy|best-fit")
+	traceFile := fs.String("trace", "", "replay this trace file instead of generating one")
+	dumpTrace := fs.String("dump-trace", "", "also write the trace being evaluated to this file")
+	showLog := fs.Bool("log", false, "print the full decision log of every mode")
+	quick := fs.Bool("quick", false, "shrink the stream for a fast smoke run")
+	shards := fs.Int("shards", 0, "shard each cluster's engine into N event lanes (0 = unsharded)")
+	workers := fs.Int("workers", 0, "worker goroutines per sharded engine group (<=1 = lockstep)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: gangsim churn [flags]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	packing, ok := gang.PolicyByName(*policy)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "gangsim churn: unknown packing policy %q (want first-fit, buddy, or best-fit)\n", *policy)
+		return 2
+	}
+
+	var trace []schedeval.TraceJob
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gangsim churn: %v\n", err)
+			return 1
+		}
+		trace, err = schedeval.ParseTrace(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gangsim churn: %v\n", err)
+			return 1
+		}
+	} else {
+		gen := schedeval.DefaultGenConfig(*nodes)
+		gen.Seed = *seed
+		gen.Jobs = *jobs
+		gen.CommIntensity = *comm
+		gen.KillFraction = *kill
+		gen.ResizeFraction = *resize
+		gen.DeadlineFraction = *deadline
+		if *quick {
+			gen.Jobs = 12
+		}
+		var err error
+		trace, err = schedeval.Generate(gen)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gangsim churn: %v\n", err)
+			return 1
+		}
+	}
+	if *dumpTrace != "" {
+		f, err := os.Create(*dumpTrace)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gangsim churn: %v\n", err)
+			return 1
+		}
+		err = schedeval.FormatTrace(f, trace)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gangsim churn: %v\n", err)
+			return 1
+		}
+	}
+
+	cfg := schedd.DefaultConfig(*nodes)
+	cfg.Slots = *slots
+	cfg.Packing = packing
+	cfg.Trace = trace
+	cfg.Shards = *shards
+	cfg.Workers = *workers
+	results, err := schedd.Showdown(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gangsim churn: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(out, schedd.GridTable(results))
+	fmt.Fprintln(out, "(bsld = bounded slowdown over finished jobs; kill/evict/cens jobs are excluded from the means)")
+	fmt.Fprintln(out)
+	fmt.Fprintln(out, schedd.StatsTable(results))
+	if *showLog {
+		for _, r := range results {
+			fmt.Fprintf(out, "\n--- %s decision log ---\n%s", r.Mode, r.Log)
+		}
+	}
+	for _, r := range results {
+		if n := r.Log.Count(schedd.VerbCacheBad); n != 0 {
+			fmt.Fprintf(os.Stderr, "gangsim churn: %s run reported %d placement-cache violations\n", r.Mode, n)
+			return 1
+		}
+	}
+	return 0
+}

@@ -9,6 +9,7 @@
 //	gangsim fuzz [-seed S] [-runs N] [-shrink] [-trace] [-compare]
 //	gangsim bench [-quick] [-par N] [-o FILE]
 //	gangsim sched [-seed S] [-policy P] [-scheme S] [-trace FILE]
+//	gangsim churn [-seed S] [-kill F] [-resize F] [-deadline F] [-trace FILE]
 //
 // All runs are deterministic; -quick shrinks the sweeps for smoke runs,
 // and a fuzz failure replays exactly from its printed seed.
@@ -32,6 +33,7 @@ import (
 var subcommands = []struct{ name, desc string }{
 	{"all", "every paper experiment in sequence"},
 	{"bench", "run every figure under wall/event/alloc tracking (bench -h)"},
+	{"churn", "online scheduling under churn: gang vs batch vs fractional with kills, resizes, backfill (churn -h)"},
 	{"credits", "credit formulas C0 = Br/(n^2 p) vs Br/p (paper 2.2, 3.3)"},
 	{"dyncos", "ablation: gang vs dynamic coscheduling responsiveness (5)"},
 	{"fig5", "bandwidth vs msg size x #contexts, partitioned buffers"},
@@ -74,6 +76,9 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "sched" {
 		os.Exit(runSched(os.Args[2:], os.Stdout))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "churn" {
+		os.Exit(runChurn(os.Args[2:], os.Stdout))
 	}
 	quick := flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
 	par := flag.Int("par", runtime.GOMAXPROCS(0), "max concurrently simulated points")
@@ -194,6 +199,8 @@ performance:
 scheduling:
   sched     trace-driven scheduler evaluation: generated or file-based job
             streams under every packing policy x credit scheme (see sched -h)
+  churn     online scheduling under churn: live kills, resizes, deadlines,
+            conservative backfill; gang vs batch vs fractional (see churn -h)
 `)
 }
 

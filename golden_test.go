@@ -71,6 +71,10 @@ func TestGoldenFigures(t *testing.T) {
 		{"schemes.txt", func() string { return fmt.Sprint(experiments.SchemesTable(experiments.Schemes(p))) }},
 		{"dyncos.txt", func() string { return fmt.Sprint(experiments.ResponsivenessTable(experiments.Responsiveness(p))) }},
 		{"sched.txt", func() string { return fmt.Sprint(experiments.SchedTable(experiments.Sched(p))) }},
+		{"churn.txt", func() string {
+			rs := experiments.Churn(p)
+			return fmt.Sprint(experiments.ChurnGrid(rs)) + "\n" + fmt.Sprint(experiments.ChurnStats(rs))
+		}},
 	}
 	for _, tb := range tables {
 		tb := tb

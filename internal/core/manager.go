@@ -277,6 +277,12 @@ func (m *Manager) StoredPackets(job myrinet.JobID) (send, recv int) {
 	return len(pr.store.send), len(pr.store.recv)
 }
 
+// Contexts returns the number of communication contexts currently
+// allocated on this node (live InitJob minus EndJob) — the residency an
+// online scheduler's per-node cache tracks, and the leak detector for
+// kill-during-load races.
+func (m *Manager) Contexts() int { return len(m.procs) }
+
 // Current returns the job currently bound to the buffers, or NoJob.
 func (m *Manager) Current() myrinet.JobID {
 	if m.current == nil {
@@ -389,6 +395,15 @@ func (m *Manager) EndJob(job myrinet.JobID) error {
 			m.hwCtx.RecvQ.Clear()
 		}
 		m.current = nil
+	}
+	// A kill can land while a buffer switch is in flight (the masterd's
+	// kill ctrl races the rotation it triggered). If the dying proc is
+	// the switch's incoming side, detach it: binding it after its
+	// resources were released would re-register the dead job's identity
+	// and inject its stored packets post-mortem. The switch completes as
+	// an idle switch instead.
+	if m.sw.busy && m.sw.next == pr {
+		m.sw.next = nil
 	}
 	return nil
 }

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"gangfm/internal/metrics"
+	"gangfm/internal/schedd"
+	"gangfm/internal/schedeval"
+)
+
+// Churn runs the online-scheduling showdown: one seeded churn trace —
+// arrivals plus mid-run kill, resize, and deadline directives — served by
+// the schedd daemon in gang and batch mode and by the analytic fractional
+// model (the Casanova–Stillwell–Vivien comparison). The three runs share
+// one trace, so the grid isolates the serving discipline.
+func Churn(p Params) []*schedd.Result {
+	gen := schedeval.DefaultGenConfig(8)
+	gen.Seed = 11
+	gen.Jobs = 28
+	gen.KillFraction = 0.15
+	gen.ResizeFraction = 0.15
+	gen.DeadlineFraction = 0.25
+	if p.Quick {
+		gen.Jobs = 12
+	}
+	trace, err := schedeval.Generate(gen)
+	if err != nil {
+		panic(err)
+	}
+	cfg := schedd.DefaultConfig(8)
+	cfg.Trace = trace
+	cfg.Shards = p.Shards
+	cfg.Workers = p.Workers
+	rs, err := schedd.Showdown(cfg)
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range rs {
+		addFired(r.Events)
+	}
+	return rs
+}
+
+// ChurnGrid renders the per-mode response/slowdown/utilization grid.
+func ChurnGrid(rs []*schedd.Result) *metrics.Table { return schedd.GridTable(rs) }
+
+// ChurnStats renders the per-verb decision-log statistics.
+func ChurnStats(rs []*schedd.Result) *metrics.Table { return schedd.StatsTable(rs) }

@@ -116,6 +116,7 @@ type Endpoint struct {
 	nodeOf []myrinet.NodeID // rank -> node
 
 	running bool
+	killed  bool
 
 	sendCredits []int // per peer rank
 	consumed    []int // per peer rank, consumed since last refill sent
@@ -296,11 +297,22 @@ func (e *Endpoint) Send(dst int, size int, payload []byte) bool {
 // the next return to user level).
 func (e *Endpoint) Suspend() { e.running = false }
 
+// Kill models SIGKILL: the process will never run again. Unlike Suspend,
+// an operation already holding the CPU is abandoned rather than allowed to
+// finish — the job's communication contexts are being torn down node by
+// node, and a straggler packet injected after this node's queues were
+// released would punch a hole in a still-live peer's fragment stream (the
+// peer sees message n+1 while mid-reassembly of message n).
+func (e *Endpoint) Kill() {
+	e.running = false
+	e.killed = true
+}
+
 // Resume models SIGCONT: the process resumes pumping and draining, and
 // re-emits any refill that was deferred because the network was halted
 // when it came due.
 func (e *Endpoint) Resume() {
-	if e.running {
+	if e.running || e.killed {
 		return
 	}
 	e.running = true
@@ -354,10 +366,12 @@ func (e *Endpoint) pump() {
 }
 
 // completeSend finishes the injection whose host cost was just paid. It
-// runs even if the process was suspended mid-operation: the packet was
-// already being written when the signal arrived.
+// runs even if the process was suspended mid-operation — the packet was
+// already being written when the signal arrived — but not if it was
+// killed: a kill tears down the job's contexts, so the half-written
+// packet is abandoned instead of injected post-mortem.
 func (e *Endpoint) completeSend(fragLen int) {
-	if e.outN == 0 {
+	if e.outN == 0 || e.killed {
 		return
 	}
 	m := &e.outbox[e.outHead]

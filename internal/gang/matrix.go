@@ -31,6 +31,22 @@ type Matrix struct {
 	rows    [][]myrinet.JobID
 	jobs    map[myrinet.JobID]Placement
 	current int
+
+	// Aggregated occupancy caches, maintained incrementally by
+	// Place/Remove/Unify so placement queries are O(candidate cells)
+	// instead of re-scanning the whole matrix (the kubernetes
+	// schedulercache.NodeInfo pattern, applied to a slot table):
+	// colLoad[c] counts occupied cells in column c across all rows — the
+	// DHC controller's subtree load and the online scheduler's per-node
+	// residency; rowFree[r] counts free cells in row r, letting run
+	// searches skip rows that cannot possibly hold the job.
+	colLoad []int
+	rowFree []int
+
+	// auditCols is Audit's per-column recount scratch, kept on the matrix
+	// so the per-quantum audit tick stays allocation-free (a fresh
+	// variable-size make([]int, cols) would heap-allocate every call).
+	auditCols []int
 }
 
 // NewMatrix returns a matrix with the given number of node columns and the
@@ -56,6 +72,7 @@ func NewMatrixPolicy(cols, maxRows int, policy Policy) *Matrix {
 		policy:  policy,
 		jobs:    make(map[myrinet.JobID]Placement),
 		current: -1,
+		colLoad: make([]int, cols),
 	}
 }
 
@@ -115,17 +132,31 @@ func nextPow2(n int) int {
 }
 
 // blockLoad sums occupied cells over the block's columns, across all rows
-// — the DHC controller's subtree load.
+// — the DHC controller's subtree load. Served from the per-column cache:
+// O(width) regardless of the slot-table depth.
 func (m *Matrix) blockLoad(start, width int) int {
 	load := 0
-	for _, row := range m.rows {
-		for c := start; c < start+width; c++ {
-			if row[c] != myrinet.NoJob {
-				load++
-			}
-		}
+	for c := start; c < start+width; c++ {
+		load += m.colLoad[c]
 	}
 	return load
+}
+
+// ColLoad returns the number of occupied cells in column c across all
+// rows — the column's resident-process count. O(1) from the cache.
+func (m *Matrix) ColLoad(c int) int {
+	if c < 0 || c >= m.cols {
+		return 0
+	}
+	return m.colLoad[c]
+}
+
+// RowFree returns the number of free cells in row r. O(1) from the cache.
+func (m *Matrix) RowFree(r int) int {
+	if r < 0 || r >= len(m.rows) {
+		return 0
+	}
+	return m.rowFree[r]
 }
 
 // Place assigns a job of the given size using the packing policy. It
@@ -154,13 +185,16 @@ func (m *Matrix) Place(job myrinet.JobID, size int) (Placement, error) {
 		for c := range m.rows[len(m.rows)-1] {
 			m.rows[len(m.rows)-1][c] = myrinet.NoJob
 		}
+		m.rowFree = append(m.rowFree, m.cols)
 	}
 	if !m.freeIn(row, cols) {
 		panic(fmt.Sprintf("gang: policy %s proposed occupied cells row %d cols %v", m.policy.Name(), row, cols))
 	}
 	for _, c := range cols {
 		m.rows[row][c] = job
+		m.colLoad[c]++
 	}
+	m.rowFree[row] -= len(cols)
 	p := Placement{Job: job, Row: row, Cols: cols}
 	m.jobs[job] = p
 	return p, nil
@@ -185,7 +219,9 @@ func (m *Matrix) Remove(job myrinet.JobID) error {
 	}
 	for _, c := range p.Cols {
 		m.rows[p.Row][c] = myrinet.NoJob
+		m.colLoad[c]--
 	}
+	m.rowFree[p.Row] += len(p.Cols)
 	delete(m.jobs, job)
 	if m.policy.UnifyOnExit() {
 		m.Unify()
@@ -199,6 +235,7 @@ func (m *Matrix) trim() {
 	for len(m.rows) > 0 && m.rowEmpty(len(m.rows)-1) {
 		m.rows = m.rows[:len(m.rows)-1]
 	}
+	m.rowFree = m.rowFree[:len(m.rows)]
 	if m.current >= len(m.rows) {
 		m.current = len(m.rows) - 1
 	}
@@ -223,13 +260,15 @@ func (m *Matrix) Unify() int {
 				continue // visit each job once, at its leftmost cell
 			}
 			for lower := 0; lower < r; lower++ {
-				if !m.freeIn(lower, p.Cols) {
+				if m.rowFree[lower] < len(p.Cols) || !m.freeIn(lower, p.Cols) {
 					continue
 				}
 				for _, pc := range p.Cols {
 					m.rows[r][pc] = myrinet.NoJob
 					m.rows[lower][pc] = j
 				}
+				m.rowFree[r] += len(p.Cols)
+				m.rowFree[lower] -= len(p.Cols)
 				p.Row = lower
 				m.jobs[j] = p
 				moved++
@@ -244,27 +283,33 @@ func (m *Matrix) Unify() int {
 }
 
 func (m *Matrix) rowEmpty(r int) bool {
-	for _, j := range m.rows[r] {
-		if j != myrinet.NoJob {
-			return false
-		}
-	}
-	return true
+	return m.rowFree[r] == m.cols
 }
 
 // Audit checks the matrix's structural invariants and returns one message
 // per breach (nil when consistent): every placement's cells hold exactly
-// its job, every occupied cell belongs to a recorded placement, and no job
+// its job, every occupied cell belongs to a recorded placement, no job
 // appears in more than one row — the slot-exclusivity property gang
-// scheduling's communication guarantees rest on.
+// scheduling's communication guarantees rest on — and the incremental
+// occupancy caches agree with a full recount.
 func (m *Matrix) Audit() []string {
 	var bad []string
 	cells := make(map[myrinet.JobID]int)
+	if m.auditCols == nil {
+		m.auditCols = make([]int, m.cols)
+	}
+	colCount := m.auditCols
+	for c := range colCount {
+		colCount[c] = 0
+	}
 	for r, row := range m.rows {
+		free := 0
 		for c, j := range row {
 			if j == myrinet.NoJob {
+				free++
 				continue
 			}
+			colCount[c]++
 			cells[j]++
 			p, ok := m.jobs[j]
 			if !ok {
@@ -274,6 +319,14 @@ func (m *Matrix) Audit() []string {
 			if p.Row != r {
 				bad = append(bad, fmt.Sprintf("job %d occupies row %d but is placed in row %d", j, r, p.Row))
 			}
+		}
+		if m.rowFree[r] != free {
+			bad = append(bad, fmt.Sprintf("row %d cache says %d free cells, recount says %d", r, m.rowFree[r], free))
+		}
+	}
+	for c, n := range colCount {
+		if m.colLoad[c] != n {
+			bad = append(bad, fmt.Sprintf("column %d cache says load %d, recount says %d", c, m.colLoad[c], n))
 		}
 	}
 	for j, p := range m.jobs {

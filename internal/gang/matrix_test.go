@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"gangfm/internal/myrinet"
+	"gangfm/internal/sim"
 )
 
 func TestNextPow2(t *testing.T) {
@@ -262,5 +263,67 @@ func TestAuditCleanAndCorrupted(t *testing.T) {
 	bad := m.Audit()
 	if len(bad) == 0 {
 		t.Fatal("corrupted matrix audited clean")
+	}
+}
+
+// TestChurnQuickCheck drives every packing policy through seeded random
+// submit/kill/compact churn — the online scheduler's operation mix — and
+// after every mutation audits the full invariant set: no slot
+// double-booking, placements consistent, and the incremental occupancy
+// caches (colLoad/rowFree) agreeing with a recount. It also checks that
+// Unify still compacts: a second pass immediately after one never moves
+// anything further.
+func TestChurnQuickCheck(t *testing.T) {
+	for _, policy := range Policies() {
+		policy := policy
+		t.Run(policy.Name(), func(t *testing.T) {
+			rng := sim.NewRand(0xC0FFEE)
+			m := NewMatrixPolicy(8, 8, policy)
+			live := []myrinet.JobID{}
+			next := myrinet.JobID(1)
+			audit := func(step int, op string) {
+				t.Helper()
+				if bad := m.Audit(); len(bad) != 0 {
+					t.Fatalf("step %d (%s): %v", step, op, bad)
+				}
+			}
+			for step := 0; step < 2000; step++ {
+				switch {
+				case len(live) == 0 || rng.Bool(0.5):
+					size := 1 + rng.Intn(8)
+					if _, err := m.Place(next, size); err != nil {
+						// Slot table full is a legal outcome, never corruption.
+						audit(step, "place-reject")
+						continue
+					}
+					live = append(live, next)
+					next++
+					audit(step, "place")
+				case rng.Bool(0.2):
+					// Explicit compaction (the daemon's migration pass).
+					m.Unify()
+					audit(step, "unify")
+					if again := m.Unify(); again != 0 {
+						t.Fatalf("step %d: second Unify moved %d jobs — first pass did not compact", step, again)
+					}
+				default:
+					i := rng.Intn(len(live))
+					id := live[i]
+					live = append(live[:i], live[i+1:]...)
+					if err := m.Remove(id); err != nil {
+						t.Fatalf("step %d: remove %d: %v", step, id, err)
+					}
+					audit(step, "remove")
+				}
+			}
+			for _, id := range live {
+				if err := m.Remove(id); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if m.Rows() != 0 || m.Jobs() != 0 {
+				t.Fatalf("drained matrix not empty: %d rows, %d jobs", m.Rows(), m.Jobs())
+			}
+		})
 	}
 }

@@ -73,9 +73,13 @@ func (FirstFit) Name() string { return "first-fit" }
 // UnifyOnExit returns false.
 func (FirstFit) UnifyOnExit() bool { return false }
 
-// Propose returns the first row holding a wide-enough free run.
+// Propose returns the first row holding a wide-enough free run. Rows whose
+// cached free-cell count cannot cover the job are skipped without a scan.
 func (FirstFit) Propose(m *Matrix, size int) (int, []int) {
 	for r := range m.rows {
+		if m.RowFree(r) < size {
+			continue
+		}
 		if start := firstRun(m.rows[r], size); start >= 0 {
 			return r, colRange(start, size)
 		}
@@ -96,10 +100,14 @@ func (BestFit) Name() string { return "best-fit" }
 // UnifyOnExit returns true: departures trigger slot unification.
 func (BestFit) UnifyOnExit() bool { return true }
 
-// Propose returns the tightest-fitting free run.
+// Propose returns the tightest-fitting free run. Rows whose cached
+// free-cell count cannot cover the job are skipped without a scan.
 func (BestFit) Propose(m *Matrix, size int) (int, []int) {
 	bestRow, bestStart, bestLen := -1, -1, -1
 	for r, row := range m.rows {
+		if m.RowFree(r) < size {
+			continue
+		}
 		for start := 0; start < len(row); {
 			if row[start] != myrinet.NoJob {
 				start++

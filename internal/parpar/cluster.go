@@ -342,6 +342,35 @@ func (c *Cluster) Submit(spec JobSpec) (*Job, error) {
 	return job, err
 }
 
+// Kill terminates a live job voluntarily (operator kill or scheduler
+// resize), as opposed to the recovery layer's eviction kills: the job's
+// slots are reclaimed, its processes are stopped and their contexts
+// released on every node, and its completion callbacks fire with state
+// JobKilled — but no node is marked dead and the survivors keep rotating.
+func (c *Cluster) Kill(job *Job) error {
+	return c.master.killVoluntary(job)
+}
+
+// Resize restarts a job at a new size: kill the old incarnation (its
+// processes hold size-dependent state, so gang jobs are rigid within one
+// incarnation) and submit the replacement spec. Returns the new job.
+func (c *Cluster) Resize(job *Job, spec JobSpec) (*Job, error) {
+	if err := c.Kill(job); err != nil {
+		return nil, err
+	}
+	return c.Submit(spec)
+}
+
+// Compact runs an explicit slot-unification pass on the gang matrix —
+// the migration step an online scheduler wants after a kill or resize
+// opens holes — and returns the number of jobs moved. Row moves are pure
+// bookkeeping (columns, and therefore processes, never migrate), but a
+// move can land a suspended job in the active row, so a real switch is
+// forced when anything moved.
+func (c *Cluster) Compact() int {
+	return c.master.compact()
+}
+
 // Run processes events until the cluster goes quiescent (all jobs done and
 // the rotation stopped).
 func (c *Cluster) Run() {
@@ -406,6 +435,12 @@ func (c *Cluster) reliableSend(src *sim.Engine, dst int, done func() bool, fn fu
 // already receive), fork the process, and notify the masterd.
 func (n *Node) loadJob(job *Job, rank int) {
 	n.CPU.Use(n.cluster.cfg.InitJobCost, func() {
+		if job.state == JobDone || job.state == JobKilled {
+			// The job was killed (or, with recovery re-sends, finished)
+			// while this load message was in flight: allocating a context
+			// now would leak it, since the kill's cleanup already ran.
+			return
+		}
 		if _, dup := n.procs[job.ID]; dup {
 			// Re-sent load (recovery): the job is already initialized; the
 			// readiness notification has its own reliable delivery.
@@ -512,18 +547,22 @@ func (n *Node) endJob(job myrinet.JobID) {
 	delete(n.procs, job)
 }
 
-// killJob is the noded's handling of a recovery-layer job termination: the
-// job spanned an evicted node. Unlike endJob the process has not exited on
-// its own, so it is stopped first — the endpoint is suspended and the proc
-// marked killed, making any still-scheduled program activity inert —
-// before its communication resources are released.
+// killJob is the noded's handling of a job termination it did not ask
+// for: a recovery-layer eviction or a scheduler-initiated kill. Unlike
+// endJob the process has not exited on its own, so it is stopped first —
+// the endpoint is killed (not merely suspended: a suspended endpoint
+// finishes an in-flight send when its host cost completes, and that
+// packet would hit the wire after this node's queues were cleared,
+// corrupting a still-live peer's fragment stream) and the proc marked
+// killed, making any still-scheduled program activity inert — before its
+// communication resources are released.
 func (n *Node) killJob(job myrinet.JobID) {
 	p, ok := n.procs[job]
 	if !ok {
 		return
 	}
 	p.killed = true
-	p.EP.Suspend()
+	p.EP.Kill()
 	n.endJob(job)
 }
 

@@ -153,6 +153,22 @@ func (m *Masterd) Epoch() uint64 { return m.epoch }
 // Jobs returns the number of live jobs.
 func (m *Masterd) Jobs() int { return len(m.jobs) }
 
+// NodeDead reports whether the recovery layer has evicted node i.
+func (m *Masterd) NodeDead(i int) bool {
+	return i >= 0 && i < len(m.dead) && m.dead[i]
+}
+
+// EvictedNodes returns the evicted node indices in ascending order.
+func (m *Masterd) EvictedNodes() []int {
+	var out []int
+	for i, d := range m.dead {
+		if d {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
 // activeRow returns the currently scheduled row (-1 before the first
 // rotation).
 func (m *Masterd) activeRow() int {
@@ -518,6 +534,37 @@ func (m *Masterd) evictNode(i int) {
 		m.closeRound()
 	}
 	m.advance()
+}
+
+// killVoluntary terminates a live job on request (operator kill, scheduler
+// resize). It reuses the eviction machinery's killJob — matrix removal,
+// per-node process stop and context release, JobKilled completion
+// callbacks — without declaring any node dead, then lets the rotation
+// continue on the remaining jobs.
+func (m *Masterd) killVoluntary(job *Job) error {
+	if job == nil {
+		return fmt.Errorf("parpar: killing nil job")
+	}
+	if _, live := m.jobs[job.ID]; !live || job.state == JobDone || job.state == JobKilled {
+		return fmt.Errorf("parpar: job %d is not live", job.ID)
+	}
+	m.killJob(job)
+	m.advance()
+	return nil
+}
+
+// compact runs a slot-unification pass regardless of the packing policy's
+// UnifyOnExit preference and returns the number of jobs moved. A move can
+// put a suspended job into the active row, so the same forced-switch
+// pattern as rankDone applies when anything moved.
+func (m *Masterd) compact() int {
+	moved := m.matrix.Unify()
+	if moved > 0 {
+		m.activated = false
+		m.kickASAP = true
+		m.advance()
+	}
+	return moved
 }
 
 // killJob terminates a job that spanned an evicted node: it leaves the

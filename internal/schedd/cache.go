@@ -1,0 +1,104 @@
+package schedd
+
+import (
+	"fmt"
+
+	"gangfm/internal/gang"
+)
+
+// NodeInfo is the cached aggregate for one node (one matrix column): the
+// counters an admission decision needs, maintained incrementally on
+// placement events so queries never rescan the slot table — the
+// kubernetes schedulercache.NodeInfo pattern applied to a gang matrix.
+type NodeInfo struct {
+	// Free is the number of unoccupied slots in the node's column.
+	Free int
+	// Resident is the number of jobs with a process on the node.
+	Resident int
+}
+
+// Cache aggregates per-node occupancy for the daemon. It is written only
+// by the daemon's own placement/removal events and reconciled against the
+// matrix (the source of truth) by Audit — exactly the event-sourced
+// cache-vs-store split the scheduler pattern prescribes. Slot-to-slot
+// migration (Unify) never changes a job's columns, so compaction requires
+// no cache updates at all.
+type Cache struct {
+	slots     int
+	nodes     []NodeInfo
+	freeNodes int // count of nodes with Free > 0, the admission precheck
+}
+
+// NewCache returns an empty cache for a nodes-column, slots-deep matrix.
+func NewCache(nodes, slots int) *Cache {
+	c := &Cache{slots: slots, nodes: make([]NodeInfo, nodes), freeNodes: nodes}
+	for i := range c.nodes {
+		c.nodes[i].Free = slots
+	}
+	return c
+}
+
+// Node returns one node's cached aggregates.
+func (c *Cache) Node(i int) NodeInfo {
+	if i < 0 || i >= len(c.nodes) {
+		return NodeInfo{}
+	}
+	return c.nodes[i]
+}
+
+// FreeNodes returns how many nodes have at least one free slot — the
+// O(1) necessary condition for admitting a job of any size up to that
+// count (a placement needs that many distinct columns).
+func (c *Cache) FreeNodes() int { return c.freeNodes }
+
+// Place records a committed placement.
+func (c *Cache) Place(p gang.Placement) {
+	for _, col := range p.Cols {
+		n := &c.nodes[col]
+		n.Free--
+		n.Resident++
+		if n.Free == 0 {
+			c.freeNodes--
+		}
+	}
+}
+
+// Remove records a departure (completion, kill, or eviction).
+func (c *Cache) Remove(p gang.Placement) {
+	for _, col := range p.Cols {
+		n := &c.nodes[col]
+		if n.Free == 0 {
+			c.freeNodes++
+		}
+		n.Free++
+		n.Resident--
+	}
+}
+
+// Audit reconciles the cache against the matrix and returns one message
+// per divergence (nil when coherent). The matrix's own per-column load
+// cache is itself audited against a full recount by gang.Matrix.Audit,
+// so agreement here chains all the way to the raw slot table.
+func (c *Cache) Audit(m *gang.Matrix) []string {
+	var bad []string
+	if m.Cols() != len(c.nodes) {
+		return []string{fmt.Sprintf("cache tracks %d nodes, matrix has %d", len(c.nodes), m.Cols())}
+	}
+	free := 0
+	for i := range c.nodes {
+		load := m.ColLoad(i)
+		if got := c.nodes[i].Resident; got != load {
+			bad = append(bad, fmt.Sprintf("node %d cache resident=%d, matrix load=%d", i, got, load))
+		}
+		if got := c.nodes[i].Free; got != c.slots-load {
+			bad = append(bad, fmt.Sprintf("node %d cache free=%d, matrix says %d", i, got, c.slots-load))
+		}
+		if c.nodes[i].Free > 0 {
+			free++
+		}
+	}
+	if free != c.freeNodes {
+		bad = append(bad, fmt.Sprintf("cache freeNodes=%d, recount says %d", c.freeNodes, free))
+	}
+	return bad
+}

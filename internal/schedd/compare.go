@@ -1,0 +1,61 @@
+package schedd
+
+import (
+	"fmt"
+
+	"gangfm/internal/metrics"
+	"gangfm/internal/sim"
+)
+
+// Showdown runs the Casanova–Stillwell–Vivien comparison on one churn
+// trace: gang scheduling (the configured slot depth, real time slicing on
+// the full parpar stack), batch (Slots=1, run-to-completion), and
+// dynamic fractional sharing (analytic processor sharing). All three see
+// the same arrivals, kills, resizes, and deadlines.
+func Showdown(cfg Config) ([]*Result, error) {
+	gangd, err := New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("schedd: gang: %w", err)
+	}
+	if err := gangd.Run(); err != nil {
+		return nil, err
+	}
+	batchCfg := cfg
+	batchCfg.Slots = 1
+	batchd, err := New(batchCfg)
+	if err != nil {
+		return nil, fmt.Errorf("schedd: batch: %w", err)
+	}
+	if err := batchd.Run(); err != nil {
+		return nil, err
+	}
+	return []*Result{
+		gangd.Result("gang"),
+		batchd.Result("batch"),
+		Fractional(cfg),
+	}, nil
+}
+
+// ms renders cycles as milliseconds on the default clock.
+func ms(t float64) float64 {
+	return sim.DefaultClock.ToDuration(sim.Time(t)).Seconds() * 1e3
+}
+
+// GridTable renders the per-mode comparison grid: job fates, backfill and
+// migration activity, and the response/bounded-slowdown/utilization
+// numbers the showdown is about.
+func GridTable(rs []*Result) *metrics.Table {
+	t := metrics.NewTable(
+		"Gang vs batch vs fractional under churn",
+		"mode", "jobs", "done", "kill", "evict", "resz", "cens", "dlmiss",
+		"bfill", "migr", "mean_resp_ms", "mean_bsld", "max_bsld", "util",
+	)
+	for _, r := range rs {
+		t.AddRow(
+			r.Mode, r.Jobs, r.Finished, r.Killed, r.Evicted, r.Resized,
+			r.Censored, r.DlMiss, r.Backfills, r.Migrations,
+			ms(r.MeanResponse), r.MeanSlowdown, r.MaxSlowdown, r.Utilization,
+		)
+	}
+	return t
+}

@@ -1,0 +1,273 @@
+package schedd
+
+import (
+	"sort"
+
+	"gangfm/internal/metrics"
+	"gangfm/internal/schedeval"
+	"gangfm/internal/sim"
+)
+
+// Fractional runs the dynamic fractional resource-sharing mode of the
+// Casanova–Stillwell–Vivien comparison, analytically: every job is
+// admitted immediately onto its size's least-loaded nodes and all
+// co-resident jobs processor-share each node. There is no DES under it —
+// between churn events the model advances each job's remaining (nominal)
+// work at a closed-form rate, so the whole run costs O(events · jobs).
+//
+// The rate model is honest about what this repo simulates elsewhere: with
+// k co-resident jobs on a job's most-loaded node, its compute stretches
+// by k (CPU processor sharing) and its communication by k² (the NIC
+// buffer is split k ways, the paper's partitioned-credit argument — the
+// very overhead gang scheduling's switched credits avoid). A job whose
+// communication fraction is cf therefore progresses at
+//
+//	rate(k) = 1 / ((1-cf)·k + cf·k²)
+//
+// so fractional sharing looks great for compute-bound mixes and decays
+// for communication-bound ones, which is exactly the trade the showdown
+// is meant to expose.
+func Fractional(cfg Config) *Result {
+	type ftask struct {
+		idx  int
+		tj   schedeval.TraceJob
+		size int
+		cols []int
+		rem  float64 // remaining nominal work, cycles
+		cf   float64 // communication fraction of Nominal
+
+		active   bool
+		finished bool
+		killed   bool
+		resized  bool
+		dlMiss   bool
+		arrive   sim.Time
+		done     float64
+	}
+	tasks := make([]*ftask, len(cfg.Trace))
+	var lastArrive sim.Time
+	for i := range cfg.Trace {
+		tj := cfg.Trace[i]
+		tasks[i] = &ftask{idx: i, tj: tj, size: tj.Size, arrive: tj.Arrive}
+		if tj.Arrive > lastArrive {
+			lastArrive = tj.Arrive
+		}
+	}
+	quantum := cfg.Quantum
+	if quantum == 0 {
+		quantum = 4_000_000
+	}
+	horizon := cfg.Horizon
+	if horizon == 0 {
+		horizon = lastArrive + 10_000*quantum
+	}
+
+	// The discrete churn commands, time-ordered (ties: trace order, then
+	// arrive < kill < resize).
+	type fevent struct {
+		t    sim.Time
+		kind int // 0 arrive, 1 kill, 2 resize
+		task *ftask
+	}
+	var events []fevent
+	for _, t := range tasks {
+		events = append(events, fevent{t.tj.Arrive, 0, t})
+		if t.tj.Kill != 0 {
+			events = append(events, fevent{t.tj.Kill, 1, t})
+		}
+		if t.tj.ResizeTo != 0 {
+			events = append(events, fevent{t.tj.ResizeAt, 2, t})
+		}
+	}
+	sort.SliceStable(events, func(a, b int) bool {
+		if events[a].t != events[b].t {
+			return events[a].t < events[b].t
+		}
+		if events[a].task.idx != events[b].task.idx {
+			return events[a].task.idx < events[b].task.idx
+		}
+		return events[a].kind < events[b].kind
+	})
+
+	log := NewLog()
+	load := make([]int, cfg.Nodes) // co-resident jobs per node
+
+	// place puts a task on its size's least-loaded nodes (ties: lowest
+	// node id — deterministic) and starts its work clock.
+	nodeOrder := make([]int, cfg.Nodes)
+	place := func(t *ftask, now float64) {
+		for i := range nodeOrder {
+			nodeOrder[i] = i
+		}
+		sort.SliceStable(nodeOrder, func(a, b int) bool {
+			return load[nodeOrder[a]] < load[nodeOrder[b]]
+		})
+		t.cols = append([]int(nil), nodeOrder[:t.size]...)
+		sort.Ints(t.cols)
+		for _, c := range t.cols {
+			load[c]++
+		}
+		tj := t.tj
+		tj.Size = t.size
+		wall, comm := tj.NominalParts()
+		nominal := tj.Nominal()
+		t.rem = float64(nominal)
+		t.cf = 0
+		if nominal > 0 {
+			t.cf = float64(comm) / float64(wall+comm+100_000)
+		}
+		t.active = true
+		log.Add(sim.Time(now), VerbPlace, "job=%d size=%d col0=%d", t.idx, t.size, t.cols[0])
+	}
+	unplace := func(t *ftask) {
+		for _, c := range t.cols {
+			load[c]--
+		}
+		t.cols = nil
+		t.active = false
+	}
+	rate := func(t *ftask) float64 {
+		k := 1
+		for _, c := range t.cols {
+			if load[c] > k {
+				k = load[c]
+			}
+		}
+		fk := float64(k)
+		return 1 / ((1-t.cf)*fk + t.cf*fk*fk)
+	}
+
+	// advanceTo drains analytic completions up to the target time, then
+	// advances every survivor's remaining work to the target.
+	now := float64(0)
+	var advanceTo func(target float64)
+	advanceTo = func(target float64) {
+		for {
+			// Earliest completion at or before the target; ties keep the
+			// lowest trace index (scan order), for determinism.
+			var next *ftask
+			nextAt := target
+			for _, t := range tasks {
+				if !t.active {
+					continue
+				}
+				if at := now + t.rem/rate(t); at <= nextAt && (next == nil || at < nextAt) {
+					next, nextAt = t, at
+				}
+			}
+			if next == nil {
+				now = target
+				return
+			}
+			// Advance everyone to the completion instant, retire the
+			// finisher, recompute rates (loads changed), repeat.
+			dt := nextAt - now
+			for _, t := range tasks {
+				if t.active {
+					t.rem -= dt * rate(t)
+				}
+			}
+			now = nextAt
+			next.rem = 0
+			next.finished = true
+			next.done = now
+			unplace(next)
+			if next.tj.Deadline != 0 && now > float64(next.tj.Deadline) {
+				next.dlMiss = true
+				log.Add(sim.Time(now), VerbDone, "job=%d deadline_miss=true", next.idx)
+			} else {
+				log.Add(sim.Time(now), VerbDone, "job=%d", next.idx)
+			}
+		}
+	}
+
+	for _, ev := range events {
+		if sim.Time(ev.t) > horizon {
+			break
+		}
+		advanceTo(float64(ev.t))
+		t := ev.task
+		switch ev.kind {
+		case 0:
+			log.Add(ev.t, VerbSubmit, "job=%d size=%d", t.idx, t.size)
+			place(t, float64(ev.t))
+		case 1:
+			if t.finished || t.killed {
+				log.Add(ev.t, VerbKillLate, "job=%d", t.idx)
+				break
+			}
+			unplace(t)
+			t.killed = true
+			t.done = float64(ev.t)
+			log.Add(ev.t, VerbKill, "job=%d", t.idx)
+		case 2:
+			if t.finished || t.killed {
+				log.Add(ev.t, VerbResizeLate, "job=%d", t.idx)
+				break
+			}
+			// Restart at the new size, like the gang daemon's rigid
+			// incarnations: remaining work resets to the new nominal.
+			unplace(t)
+			t.size = t.tj.ResizeTo
+			t.resized = true
+			log.Add(ev.t, VerbResize, "job=%d to=%d", t.idx, t.size)
+			place(t, float64(ev.t))
+		}
+	}
+	advanceTo(float64(horizon))
+
+	r := &Result{Mode: "fractional", Jobs: len(tasks), Log: log}
+	bound := float64(cfg.SlowdownBound)
+	if bound <= 0 {
+		bound = 1
+	}
+	var responses, slowdowns []float64
+	var usefulWork, lastEnd float64
+	firstArrive := float64(tasks[0].arrive)
+	censored := 0
+	for _, t := range tasks {
+		if float64(t.arrive) < firstArrive {
+			firstArrive = float64(t.arrive)
+		}
+		switch {
+		case t.finished:
+			r.Finished++
+			resp := t.done - float64(t.arrive)
+			responses = append(responses, resp)
+			tj := t.tj
+			tj.Size = t.size
+			nominal := float64(tj.Nominal())
+			slowdowns = append(slowdowns, metrics.BoundedSlowdown(resp, nominal, bound))
+			usefulWork += float64(t.size) * nominal
+			if t.done > lastEnd {
+				lastEnd = t.done
+			}
+		case t.killed:
+			r.Killed++
+			if t.done > lastEnd {
+				lastEnd = t.done
+			}
+		default:
+			r.Censored++
+			censored++
+			if t.tj.Deadline != 0 && horizon > t.tj.Deadline {
+				t.dlMiss = true
+			}
+			lastEnd = float64(horizon)
+		}
+		if t.resized {
+			r.Resized++
+		}
+		if t.dlMiss {
+			r.DlMiss++
+		}
+	}
+	log.Add(horizon, VerbHorizon, "censored=%d cache_ok=true nodes_evicted=0", censored)
+	r.MeanResponse = metrics.Mean(responses)
+	r.MeanSlowdown = metrics.Mean(slowdowns)
+	r.MaxSlowdown = metrics.Max(slowdowns)
+	if span := lastEnd - firstArrive; span > 0 {
+		r.Utilization = usefulWork / (float64(cfg.Nodes) * span)
+	}
+	return r
+}

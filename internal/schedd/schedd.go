@@ -1,0 +1,566 @@
+// Package schedd is the online gang-scheduler daemon: an event-sourced
+// service that runs on the DES clock of a live parpar cluster. Commands
+// (submit, kill, resize) arrive mid-simulation from a churn trace; an
+// admission loop places jobs into the gang matrix through the existing
+// packing policies, guided by an aggregated per-node placement cache (the
+// kubernetes schedulercache.NodeInfo pattern) so admission prechecks are
+// O(nodes) instead of O(matrix); a kill or resize that opens a hole
+// triggers slot-to-slot migration (Unify) and conservative backfill; and
+// every decision is appended to a log that is byte-identical per seed —
+// the determinism contract every other layer of this repo honors.
+//
+// The same daemon serves two of the three comparison modes of the
+// Casanova–Stillwell–Vivien showdown (compare.go): gang scheduling (a
+// deep slot table, switched credits, real time slicing) and batch
+// (Slots=1, run-to-completion). The third, dynamic fractional resource
+// sharing, is modeled analytically in fractional.go.
+package schedd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gangfm/internal/chaos"
+	"gangfm/internal/core"
+	"gangfm/internal/fm"
+	"gangfm/internal/gang"
+	"gangfm/internal/metrics"
+	"gangfm/internal/myrinet"
+	"gangfm/internal/parpar"
+	"gangfm/internal/schedeval"
+	"gangfm/internal/sim"
+)
+
+// Config parameterizes one daemon run.
+type Config struct {
+	// Nodes and Slots shape the machine and its gang matrix; Slots=1 is
+	// the batch (run-to-completion) serving mode.
+	Nodes int
+	Slots int
+	// Quantum is the gang time slice.
+	Quantum sim.Time
+	// Scheme selects Partitioned or Switched buffer credits.
+	Scheme fm.Policy
+	// Mode is the buffer-switch algorithm used by the Switched scheme.
+	Mode core.CopyMode
+	// Packing is the gang-matrix packing policy (nil = buddy).
+	Packing gang.Policy
+	// Trace is the churn trace: arrivals plus optional kill=/resize=/
+	// deadline= directives.
+	Trace []schedeval.TraceJob
+	// Seed drives control-network jitter.
+	Seed uint64
+	// SlowdownBound is Feitelson's short-job bound, in cycles.
+	SlowdownBound sim.Time
+	// Horizon bounds the run; zero means last arrival + 10000 quanta.
+	// Jobs unfinished at the horizon are censored.
+	Horizon sim.Time
+	// BackfillSlack scales the conservative backfill estimate; zero means
+	// the default 2x. Larger is more conservative (fewer backfills).
+	BackfillSlack float64
+	// Chaos optionally installs a fault plan; Recovery enables the
+	// self-healing layer (required for evictions to resolve).
+	Chaos    *chaos.Plan
+	Recovery *parpar.Recovery
+	// Shards and Workers select the sharded engine group.
+	Shards  int
+	Workers int
+}
+
+// DefaultConfig mirrors schedeval's evaluation setup: a deep 8-row gang
+// matrix, switched credits with the improved copy, a 4M-cycle quantum.
+func DefaultConfig(nodes int) Config {
+	return Config{
+		Nodes:         nodes,
+		Slots:         8,
+		Quantum:       4_000_000,
+		Scheme:        fm.Switched,
+		Mode:          core.ValidOnly,
+		SlowdownBound: 2_000_000,
+	}
+}
+
+// task is the daemon's view of one trace job across its incarnations.
+type task struct {
+	idx  int
+	tj   schedeval.TraceJob
+	size int // current incarnation size (changes on resize)
+	job  *parpar.Job
+
+	queued   bool // waiting in the admission queue
+	placed   bool
+	placedAt sim.Time
+	est      sim.Time // estimated completion time while running
+
+	finished bool
+	done     sim.Time
+	killed   bool // daemon-initiated kill (trace kill= directive)
+	resized  bool // at least one resize happened
+	killing  bool // kill in progress (distinguishes from eviction)
+	resizing bool // resize kill in progress
+	evicted  bool // chaos eviction killed it
+	backfill bool // admitted by backfill, out of queue order
+	dlMiss   bool // finished after its deadline (or censored with one)
+}
+
+// Daemon is the online scheduler.
+type Daemon struct {
+	cfg     Config
+	cluster *parpar.Cluster
+	cache   *Cache
+	log     *Log
+
+	tasks []*task
+	queue []*task // admission order: arrivals FCFS, resizes re-enqueued
+
+	horizon sim.Time
+	slack   float64
+}
+
+// New builds the daemon and its cluster. The trace is validated against
+// the machine size.
+func New(cfg Config) (*Daemon, error) {
+	if len(cfg.Trace) == 0 {
+		return nil, fmt.Errorf("schedd: empty trace")
+	}
+	for i, j := range cfg.Trace {
+		if err := j.Validate(cfg.Nodes); err != nil {
+			return nil, fmt.Errorf("schedd: trace job %d: %w", i, err)
+		}
+	}
+	pcfg := parpar.DefaultConfig(cfg.Nodes)
+	pcfg.Slots = cfg.Slots
+	pcfg.Policy = cfg.Scheme
+	pcfg.Mode = cfg.Mode
+	pcfg.Packing = cfg.Packing
+	if cfg.Quantum > 0 {
+		pcfg.Quantum = cfg.Quantum
+	}
+	// Fast-simulation control-network parameters, as schedeval uses.
+	pcfg.CtrlJitter = 40_000
+	pcfg.CtrlSerialGap = 20_000
+	pcfg.ForkDelay = 50_000
+	if cfg.Seed != 0 {
+		pcfg.Seed = cfg.Seed
+	}
+	pcfg.Chaos = cfg.Chaos
+	pcfg.Recovery = cfg.Recovery
+	pcfg.Shards = cfg.Shards
+	pcfg.Workers = cfg.Workers
+	cluster, err := parpar.New(pcfg)
+	if err != nil {
+		return nil, err
+	}
+	slack := cfg.BackfillSlack
+	if slack <= 0 {
+		slack = 2
+	}
+	d := &Daemon{
+		cfg:     cfg,
+		cluster: cluster,
+		cache:   NewCache(cfg.Nodes, cfg.Slots),
+		log:     NewLog(),
+		slack:   slack,
+	}
+	return d, nil
+}
+
+// Cluster exposes the underlying parpar cluster.
+func (d *Daemon) Cluster() *parpar.Cluster { return d.cluster }
+
+// Cache exposes the placement cache (tests audit it against the matrix).
+func (d *Daemon) Cache() *Cache { return d.cache }
+
+// Log exposes the decision log.
+func (d *Daemon) Log() *Log { return d.log }
+
+// Run schedules every trace command on the DES clock and drives the
+// cluster to the horizon. It may be called once.
+func (d *Daemon) Run() error {
+	if d.tasks != nil {
+		return fmt.Errorf("schedd: Run called twice")
+	}
+	var lastArrive sim.Time
+	for i := range d.cfg.Trace {
+		tj := d.cfg.Trace[i]
+		if tj.Arrive > lastArrive {
+			lastArrive = tj.Arrive
+		}
+		t := &task{idx: i, tj: tj, size: tj.Size}
+		d.tasks = append(d.tasks, t)
+	}
+	d.horizon = d.cfg.Horizon
+	if d.horizon == 0 {
+		q := d.cfg.Quantum
+		if q == 0 {
+			q = 4_000_000
+		}
+		d.horizon = lastArrive + 10_000*q
+	}
+	eng := d.cluster.Eng
+	// Command events, all on the global lane. Arrival ties are broken by
+	// trace order because ScheduleAt is FIFO per timestamp.
+	order := make([]int, len(d.tasks))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return d.tasks[order[a]].tj.Arrive < d.tasks[order[b]].tj.Arrive
+	})
+	for _, i := range order {
+		t := d.tasks[i]
+		eng.ScheduleAt(t.tj.Arrive, func() { d.submit(t) })
+		if t.tj.Kill != 0 {
+			eng.ScheduleAt(t.tj.Kill, func() { d.kill(t) })
+		}
+		if t.tj.ResizeTo != 0 {
+			eng.ScheduleAt(t.tj.ResizeAt, func() { d.resize(t) })
+		}
+	}
+	d.cluster.RunUntil(d.horizon)
+	d.finishLog()
+	return nil
+}
+
+// specFor rebuilds the parpar spec for the task's current incarnation
+// size (NewProgram closures capture the size, so a resize needs a fresh
+// spec from the trace job).
+func (t *task) specFor() parpar.JobSpec {
+	tj := t.tj
+	tj.Size = t.size
+	return tj.Spec(fmt.Sprintf("j%d-%s", t.idx, tj.Kernel))
+}
+
+// estimate is the conservative completion estimate used by backfill: the
+// scheme-independent nominal work, multiplied by the slot-table depth
+// (time slicing stretches wall time by the number of co-scheduled rows)
+// and the configured slack.
+func (d *Daemon) estimate(t *task) sim.Time {
+	tj := t.tj
+	tj.Size = t.size
+	slots := d.cfg.Slots
+	if slots < 1 {
+		slots = 1
+	}
+	return sim.Time(d.slack * float64(tj.Nominal()) * float64(slots))
+}
+
+// submit handles an arrival command: log it, enqueue, drain.
+func (d *Daemon) submit(t *task) {
+	now := d.cluster.Eng.Now()
+	d.log.Add(now, VerbSubmit, "job=%d size=%d", t.idx, t.size)
+	t.queued = true
+	d.queue = append(d.queue, t)
+	d.drain()
+}
+
+// kill handles a kill command. A running job dies through the voluntary
+// termination path; a queued one is simply dequeued.
+func (d *Daemon) kill(t *task) {
+	now := d.cluster.Eng.Now()
+	switch {
+	case t.finished || t.killed || t.evicted:
+		d.log.Add(now, VerbKillLate, "job=%d", t.idx)
+	case t.queued:
+		d.dequeue(t)
+		t.killed = true
+		t.done = now
+		d.log.Add(now, VerbKill, "job=%d queued=true", t.idx)
+	case t.job != nil:
+		t.killing = true
+		if err := d.cluster.Kill(t.job); err != nil {
+			panic(fmt.Sprintf("schedd: kill job %d: %v", t.idx, err))
+		}
+		t.killing = false
+		t.killed = true
+		t.job = nil
+		t.done = now
+		d.log.Add(now, VerbKill, "job=%d", t.idx)
+		d.reclaim()
+	}
+}
+
+// resize handles a resize command: a queued task just changes size; a
+// running one is killed (the incarnation is rigid) and re-enqueued at the
+// new size, then the freed slots are compacted and backfilled.
+func (d *Daemon) resize(t *task) {
+	now := d.cluster.Eng.Now()
+	to := t.tj.ResizeTo
+	switch {
+	case t.finished || t.killed || t.evicted:
+		d.log.Add(now, VerbResizeLate, "job=%d", t.idx)
+		return
+	case t.queued:
+		t.size = to
+		t.resized = true
+		d.log.Add(now, VerbResize, "job=%d to=%d queued=true", t.idx, to)
+	case t.job != nil:
+		t.resizing = true
+		if err := d.cluster.Kill(t.job); err != nil {
+			panic(fmt.Sprintf("schedd: resize-kill job %d: %v", t.idx, err))
+		}
+		t.resizing = false
+		t.job = nil
+		t.placed = false
+		t.size = to
+		t.resized = true
+		t.queued = true
+		d.queue = append(d.queue, t)
+		d.log.Add(now, VerbResize, "job=%d to=%d", t.idx, to)
+		d.reclaim()
+	}
+	d.drain()
+}
+
+// reclaim runs after a kill/resize/eviction/completion opened a hole:
+// migrate survivors into earlier slots (so the hole is contiguous and the
+// rotation visits fewer rows), then drain the queue with backfill.
+func (d *Daemon) reclaim() {
+	if moved := d.cluster.Compact(); moved > 0 {
+		d.log.Add(d.cluster.Eng.Now(), VerbCompact, "moved=%d", moved)
+	}
+	d.drain()
+}
+
+// dequeue removes a task from the admission queue.
+func (d *Daemon) dequeue(t *task) {
+	for i, q := range d.queue {
+		if q == t {
+			d.queue = append(d.queue[:i], d.queue[i+1:]...)
+			break
+		}
+	}
+	t.queued = false
+}
+
+// drain is the admission loop: place queue-head tasks while they fit;
+// when the head blocks, conservatively backfill later tasks into the
+// hole. The cache's aggregate counters prune candidates that cannot
+// possibly fit without touching the matrix.
+func (d *Daemon) drain() {
+	now := d.cluster.Eng.Now()
+	for len(d.queue) > 0 {
+		head := d.queue[0]
+		if !d.tryPlace(head, false) {
+			break
+		}
+	}
+	if len(d.queue) <= 1 {
+		return
+	}
+	// Head is blocked. The shadow is the earliest estimated completion
+	// among running jobs — the soonest the head's prospects can improve —
+	// and a later candidate may jump the queue only if its own estimate
+	// says it clears out before then, so the head is never delayed by the
+	// backfill (conservative, in the EASY sense but with estimates).
+	shadow := sim.Time(0)
+	for _, t := range d.tasks {
+		if t.placed && !t.finished && t.job != nil {
+			if shadow == 0 || t.est < shadow {
+				shadow = t.est
+			}
+		}
+	}
+	if shadow == 0 || shadow <= now {
+		return
+	}
+	for _, t := range d.queue[1:] {
+		if now+d.estimate(t) > shadow {
+			continue
+		}
+		d.tryPlace(t, true)
+	}
+}
+
+// tryPlace attempts to admit one queued task. The cache precheck is a
+// necessary condition (enough nodes with a free slot anywhere); the
+// matrix's packing policy is the sufficiency check. Returns true if the
+// task was placed.
+func (d *Daemon) tryPlace(t *task, asBackfill bool) bool {
+	now := d.cluster.Eng.Now()
+	if d.cache.FreeNodes() < t.size {
+		d.log.Add(now, VerbPrune, "job=%d size=%d free_nodes=%d", t.idx, t.size, d.cache.FreeNodes())
+		return false
+	}
+	job, err := d.cluster.Submit(t.specFor())
+	if err != nil {
+		if strings.Contains(err.Error(), "slot table full") {
+			d.log.Add(now, VerbQueue, "job=%d size=%d", t.idx, t.size)
+			return false
+		}
+		panic(fmt.Sprintf("schedd: submit job %d: %v", t.idx, err))
+	}
+	d.dequeue(t)
+	t.job = job
+	t.placed = true
+	t.placedAt = now
+	t.est = now + d.estimate(t)
+	t.backfill = t.backfill || asBackfill
+	d.cache.Place(job.Placement)
+	verb := VerbPlace
+	if asBackfill {
+		verb = VerbBackfill
+	}
+	d.log.Add(now, verb, "job=%d size=%d row=%d col0=%d", t.idx, t.size,
+		job.Placement.Row, job.Placement.Cols[0])
+	job.OnDone(func(j *parpar.Job) { d.onDone(t, j) })
+	return true
+}
+
+// onDone is the completion callback for every incarnation: a natural
+// completion retires the task; a JobKilled completion is either one of
+// the daemon's own kills (kill/resize commands, flagged) or a chaos
+// eviction.
+func (d *Daemon) onDone(t *task, j *parpar.Job) {
+	if t.job != j {
+		return // a stale incarnation's callback
+	}
+	now := d.cluster.Eng.Now()
+	d.cache.Remove(j.Placement)
+	if j.State() == parpar.JobKilled {
+		if t.killing || t.resizing {
+			return // the command handler owns the bookkeeping and logging
+		}
+		t.evicted = true
+		t.done = now
+		t.job = nil
+		d.log.Add(now, VerbEvicted, "job=%d", t.idx)
+		d.reclaim()
+		return
+	}
+	t.finished = true
+	t.done = now
+	if t.tj.Deadline != 0 && now > t.tj.Deadline {
+		t.dlMiss = true
+		d.log.Add(now, VerbDone, "job=%d deadline_miss=true", t.idx)
+	} else {
+		d.log.Add(now, VerbDone, "job=%d", t.idx)
+	}
+	d.reclaim()
+}
+
+// finishLog appends the horizon summary: censored tasks and the cache
+// audit verdict.
+func (d *Daemon) finishLog() {
+	censored := 0
+	for _, t := range d.tasks {
+		if !t.finished && !t.killed && !t.evicted {
+			censored++
+			if t.tj.Deadline != 0 && d.horizon > t.tj.Deadline {
+				t.dlMiss = true
+			}
+		}
+	}
+	bad := d.cache.Audit(d.cluster.Master().Matrix())
+	for _, msg := range bad {
+		d.log.Add(d.horizon, VerbCacheBad, "%s", msg)
+	}
+	evicted := d.cluster.Master().EvictedNodes()
+	d.log.Add(d.horizon, VerbHorizon, "censored=%d cache_ok=%t nodes_evicted=%d",
+		censored, len(bad) == 0, len(evicted))
+}
+
+// Result aggregates a finished run for the comparison grid.
+type Result struct {
+	Mode string // "gang" or "batch"
+
+	Jobs     int
+	Finished int
+	Killed   int
+	Resized  int
+	Evicted  int
+	Censored int
+	DlMiss   int
+
+	Backfills  int
+	Migrations int // jobs moved by compaction
+
+	MeanResponse float64
+	MeanSlowdown float64
+	MaxSlowdown  float64
+	Utilization  float64
+
+	Log    *Log
+	Events uint64
+}
+
+// Result computes the run's aggregate metrics. Response and slowdown are
+// computed over finished jobs only; killed, evicted, and censored jobs
+// are reported in their own columns, not folded into the means (that is
+// the censoring-transparency rule schedeval's summary also follows).
+func (d *Daemon) Result(mode string) *Result {
+	r := &Result{
+		Mode:   mode,
+		Jobs:   len(d.tasks),
+		Log:    d.log,
+		Events: d.cluster.Fired(),
+	}
+	bound := float64(d.cfg.SlowdownBound)
+	if bound <= 0 {
+		bound = 1
+	}
+	var responses, slowdowns []float64
+	var usefulWork float64
+	var firstArrive, lastEnd sim.Time
+	for i, t := range d.tasks {
+		if i == 0 || t.tj.Arrive < firstArrive {
+			firstArrive = t.tj.Arrive
+		}
+		switch {
+		case t.finished:
+			r.Finished++
+			resp := float64(t.done - t.tj.Arrive)
+			responses = append(responses, resp)
+			tj := t.tj
+			tj.Size = t.size
+			nominal := tj.Nominal()
+			slowdowns = append(slowdowns, metrics.BoundedSlowdown(resp, float64(nominal), bound))
+			usefulWork += float64(t.size) * float64(nominal)
+			if t.done > lastEnd {
+				lastEnd = t.done
+			}
+		case t.killed:
+			r.Killed++
+			if t.done > lastEnd {
+				lastEnd = t.done
+			}
+		case t.evicted:
+			r.Evicted++
+			if t.done > lastEnd {
+				lastEnd = t.done
+			}
+		default:
+			r.Censored++
+			if d.horizon > lastEnd {
+				lastEnd = d.horizon
+			}
+		}
+		if t.resized {
+			r.Resized++
+		}
+		if t.dlMiss {
+			r.DlMiss++
+		}
+		if t.backfill {
+			r.Backfills++
+		}
+	}
+	r.Migrations = d.log.Sum(VerbCompact, "moved")
+	r.MeanResponse = metrics.Mean(responses)
+	r.MeanSlowdown = metrics.Mean(slowdowns)
+	r.MaxSlowdown = metrics.Max(slowdowns)
+	if span := lastEnd - firstArrive; span > 0 {
+		r.Utilization = usefulWork / (float64(d.cfg.Nodes) * float64(span))
+	}
+	return r
+}
+
+// JobID is a convenience for tests: the parpar job ID of task idx's
+// current incarnation, or NoJob.
+func (d *Daemon) JobID(idx int) myrinet.JobID {
+	if idx < 0 || idx >= len(d.tasks) || d.tasks[idx].job == nil {
+		return myrinet.NoJob
+	}
+	return d.tasks[idx].job.ID
+}

@@ -1,0 +1,405 @@
+package schedd
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"gangfm/internal/chaos"
+	"gangfm/internal/parpar"
+	"gangfm/internal/schedeval"
+	"gangfm/internal/sim"
+)
+
+// churnTrace generates the standard seeded churn workload.
+func churnTrace(t *testing.T, jobs int) []schedeval.TraceJob {
+	t.Helper()
+	g := schedeval.DefaultGenConfig(8)
+	g.Seed = 11
+	g.Jobs = jobs
+	g.KillFraction = 0.15
+	g.ResizeFraction = 0.15
+	g.DeadlineFraction = 0.25
+	trace, err := schedeval.Generate(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trace
+}
+
+// render folds a run's observable output into one string: the grid row
+// inputs plus the full decision log.
+func render(r *Result) string {
+	return fmt.Sprintf("%s jobs=%d done=%d kill=%d evict=%d resz=%d cens=%d dl=%d bf=%d migr=%d resp=%.3f bsld=%.3f/%.3f util=%.4f\n%s",
+		r.Mode, r.Jobs, r.Finished, r.Killed, r.Evicted, r.Resized, r.Censored,
+		r.DlMiss, r.Backfills, r.Migrations, r.MeanResponse, r.MeanSlowdown,
+		r.MaxSlowdown, r.Utilization, r.Log.String())
+}
+
+// TestDaemonDeterminism is the acceptance criterion's core: the same seed
+// must produce a byte-identical decision log and metrics — across repeated
+// runs and across sharded execution at workers 1, 2, and 4.
+func TestDaemonDeterminism(t *testing.T) {
+	trace := churnTrace(t, 14)
+	run := func(shards, workers int) string {
+		cfg := DefaultConfig(8)
+		cfg.Trace = trace
+		cfg.Shards = shards
+		cfg.Workers = workers
+		d, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return render(d.Result("gang"))
+	}
+	base := run(0, 0)
+	if again := run(0, 0); again != base {
+		t.Fatal("unsharded rerun diverged")
+	}
+	for _, workers := range []int{1, 2, 4} {
+		if got := run(4, workers); got != base {
+			t.Fatalf("shards=4 workers=%d diverged from unsharded run:\n--- base ---\n%s\n--- got ---\n%s",
+				workers, base, got)
+		}
+	}
+	if !strings.Contains(base, " place ") || !strings.Contains(base, " done ") {
+		t.Fatalf("log lacks basic decisions:\n%s", base)
+	}
+}
+
+// TestKillResizeChurn checks the command paths end to end on the seeded
+// trace: kills and resizes both happen, resized jobs complete at their new
+// size, and the cache stays coherent with the matrix (no cache-bad lines,
+// horizon reports cache_ok).
+func TestKillResizeChurn(t *testing.T) {
+	cfg := DefaultConfig(8)
+	cfg.Trace = churnTrace(t, 20)
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	r := d.Result("gang")
+	if r.Killed == 0 {
+		t.Error("trace has kill directives but none executed")
+	}
+	if r.Resized == 0 {
+		t.Error("trace has resize directives but none executed")
+	}
+	if r.Finished == 0 {
+		t.Error("no jobs finished")
+	}
+	if got := r.Log.Count(VerbCacheBad); got != 0 {
+		t.Errorf("%d cache coherence violations:\n%s", got, r.Log)
+	}
+	if bad := d.Cache().Audit(d.Cluster().Master().Matrix()); len(bad) != 0 {
+		t.Errorf("cache audit: %v", bad)
+	}
+	if !strings.Contains(r.Log.String(), "cache_ok=true") {
+		t.Error("horizon line does not report cache_ok=true")
+	}
+	if r.Finished+r.Killed+r.Evicted+r.Censored != r.Jobs {
+		t.Errorf("fates don't partition: %d+%d+%d+%d != %d",
+			r.Finished, r.Killed, r.Evicted, r.Censored, r.Jobs)
+	}
+}
+
+// TestKillMidMessageTeardown is a regression test for a fragment-stream
+// corruption in the kill path: the masterd delivers node-side kills with
+// jittered ctrl latencies, so one rank's queues are torn down while its
+// peers are still live and mid-message. A merely *suspended* endpoint
+// would finish an in-flight send after its own SendQ was cleared,
+// injecting message n+1 onto the wire with a fragment of message n
+// destroyed — the live peer's reassembly then panicked ("interleaved
+// fragments"). The 28-job seed-11 trace hits the window (job 9, a
+// 2048-byte-message all-to-all, is killed 788k cycles after placement,
+// mid-fragment-stream); smaller traces don't.
+func TestKillMidMessageTeardown(t *testing.T) {
+	cfg := DefaultConfig(8)
+	cfg.Trace = churnTrace(t, 28)
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	r := d.Result("gang")
+	if r.Killed == 0 {
+		t.Error("trace has kill directives but none executed")
+	}
+	if r.Finished+r.Killed+r.Evicted+r.Censored != r.Jobs {
+		t.Errorf("fates don't partition: %d+%d+%d+%d != %d",
+			r.Finished, r.Killed, r.Evicted, r.Censored, r.Jobs)
+	}
+	if bad := d.Cache().Audit(d.Cluster().Master().Matrix()); len(bad) != 0 {
+		t.Errorf("cache audit: %v", bad)
+	}
+}
+
+// TestBackfillConservative pins the backfill rule with a hand-built
+// scenario on a 4-node, 2-slot machine: two long jobs fill column space so
+// a spanning head blocks, a short narrow job may jump the queue (its
+// estimate clears before the shadow), and a long narrow job may not.
+func TestBackfillConservative(t *testing.T) {
+	long := func(arrive sim.Time, size int) schedeval.TraceJob {
+		return schedeval.TraceJob{Arrive: arrive, Size: size, Kernel: schedeval.KernelBSP,
+			Units: 5, Msgs: 4, MsgBytes: 512, Compute: 8_000_000}
+	}
+	short := func(arrive sim.Time, size int) schedeval.TraceJob {
+		return schedeval.TraceJob{Arrive: arrive, Size: size, Kernel: schedeval.KernelBSP,
+			Units: 1, Msgs: 1, MsgBytes: 64, Compute: 50_000}
+	}
+	cfg := DefaultConfig(4)
+	cfg.Slots = 2
+	cfg.Trace = []schedeval.TraceJob{
+		long(0, 4),        // row 0, all columns
+		long(100_000, 2),  // row 1, two columns
+		long(200_000, 4),  // head: blocked until both longs exit
+		short(300_000, 2), // short narrow: estimate clears the shadow -> backfill
+		long(400_000, 2),  // long narrow: estimate exceeds the shadow -> waits
+	}
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	r := d.Result("gang")
+	if r.Finished != len(cfg.Trace) {
+		t.Fatalf("only %d/%d finished:\n%s", r.Finished, len(cfg.Trace), r.Log)
+	}
+	logStr := r.Log.String()
+	if !strings.Contains(logStr, "backfill job=3") {
+		t.Errorf("short job 3 was not backfilled:\n%s", logStr)
+	}
+	if strings.Contains(logStr, "backfill job=4") {
+		t.Errorf("long job 4 was backfilled past the blocked head:\n%s", logStr)
+	}
+	if r.Backfills != 1 {
+		t.Errorf("backfills = %d, want 1", r.Backfills)
+	}
+	// Conservativeness: the backfilled job must not have delayed the head.
+	// Job 3 is admitted into job 1's row and exits before either long job,
+	// so job 2's placement time equals what a no-backfill run would give.
+	noBF := cfg
+	noBF.Trace = cfg.Trace[:3]
+	d2, err := New(noBF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	headPlaced := func(log *Log) sim.Time {
+		for _, line := range log.Lines() {
+			if strings.Contains(line, " place job=2 ") {
+				var at int64
+				if _, err := fmt.Sscanf(line, "t=%d", &at); err != nil {
+					t.Fatalf("unparseable log line %q: %v", line, err)
+				}
+				return sim.Time(at)
+			}
+		}
+		t.Fatalf("head job 2 never placed:\n%s", log)
+		return 0
+	}
+	// Backfill must never push the head later; earlier is fine (the short
+	// job perturbs rotation timing by a few control messages).
+	if with, without := headPlaced(r.Log), headPlaced(d2.Log()); with > without {
+		t.Errorf("backfill delayed the head: with=%d without=%d", with, without)
+	}
+}
+
+// TestChaosUnderChurn is the chaos-under-churn smoke: a NodeCrash mid-
+// churn on a recovered cluster must evict the crashed node's jobs (logged
+// as evicted, counted in the grid), while jobs on surviving nodes
+// complete — and the whole thing replays byte-identically.
+func TestChaosUnderChurn(t *testing.T) {
+	long := func(arrive sim.Time, size int) schedeval.TraceJob {
+		return schedeval.TraceJob{Arrive: arrive, Size: size, Kernel: schedeval.KernelBSP,
+			Units: 4, Msgs: 6, MsgBytes: 512, Compute: 2_000_000}
+	}
+	run := func() (*Result, []int) {
+		cfg := DefaultConfig(4)
+		cfg.Slots = 2
+		cfg.Quantum = 400_000
+		cfg.Trace = []schedeval.TraceJob{
+			long(0, 4),         // spans the doomed node -> evicted
+			long(100_000, 2),   // lands on nodes 0-1... placement decides
+			long(5_000_000, 2), // arrives after the crash settles
+		}
+		cfg.Horizon = 400_000_000
+		rec := parpar.DefaultRecovery(cfg.Quantum)
+		cfg.Recovery = &rec
+		cfg.Chaos = &chaos.Plan{Seed: 5, Faults: []chaos.Fault{
+			{Kind: chaos.NodeCrash, Node: 3, From: 150_000},
+		}}
+		d, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return d.Result("gang"), d.Cluster().Master().EvictedNodes()
+	}
+	r, evicted := run()
+	if len(evicted) == 0 {
+		t.Fatalf("no node evicted under NodeCrash:\n%s", r.Log)
+	}
+	if r.Evicted == 0 {
+		t.Fatalf("no job evicted, want the spanning job:\n%s", r.Log)
+	}
+	if r.Log.Count(VerbEvicted) != r.Evicted {
+		t.Errorf("evicted log count %d != grid count %d", r.Log.Count(VerbEvicted), r.Evicted)
+	}
+	if r.Finished == 0 {
+		t.Fatalf("no survivor completed on the degraded cluster:\n%s", r.Log)
+	}
+	r2, _ := run()
+	if render(r) != render(r2) {
+		t.Fatal("chaos-under-churn run not byte-identical across replays")
+	}
+}
+
+// TestFractionalKnownAnswer checks the analytic processor-sharing model
+// against closed-form answers. Two compute-only jobs sharing one node
+// follow the classic PS timeline: the shorter finishes at twice its work,
+// the longer at the sum of both.
+func TestFractionalKnownAnswer(t *testing.T) {
+	// Compute-only (size 1 => no messages => comm fraction 0).
+	j0 := schedeval.TraceJob{Arrive: 0, Size: 1, Kernel: schedeval.KernelBSP,
+		Units: 10, Msgs: 1, MsgBytes: 64, Compute: 1_000_000}
+	j1 := schedeval.TraceJob{Arrive: 0, Size: 1, Kernel: schedeval.KernelBSP,
+		Units: 30, Msgs: 1, MsgBytes: 64, Compute: 1_000_000}
+	n0, n1 := float64(j0.Nominal()), float64(j1.Nominal())
+	cfg := DefaultConfig(1)
+	cfg.Trace = []schedeval.TraceJob{j0, j1}
+	r := Fractional(cfg)
+	if r.Finished != 2 {
+		t.Fatalf("finished %d/2:\n%s", r.Finished, r.Log)
+	}
+	// PS on one CPU: short job sees rate 1/2 until it exits at 2*n0; the
+	// long one then runs alone and exits at n0 + n1.
+	wantMean := (2*n0 + n0 + n1) / 2
+	if got := r.MeanResponse; !near(got, wantMean, 1) {
+		t.Errorf("mean response %v, want %v", got, wantMean)
+	}
+
+	// A lone communication-heavy job runs at full rate: response = nominal.
+	comm := schedeval.TraceJob{Arrive: 0, Size: 2, Kernel: schedeval.KernelAllToAll,
+		Units: 4, Msgs: 20, MsgBytes: 2048, Compute: 10_000}
+	cfg2 := DefaultConfig(4)
+	cfg2.Trace = []schedeval.TraceJob{comm}
+	r2 := Fractional(cfg2)
+	if got, want := r2.MeanResponse, float64(comm.Nominal()); !near(got, want, 1) {
+		t.Errorf("lone comm job response %v, want nominal %v", got, want)
+	}
+
+	// Two identical comm-heavy jobs overlapping: with comm fraction cf and
+	// co-residency 2, each runs at 1/((1-cf)*2 + cf*4) — communication
+	// degrades quadratically (the split-credit effect).
+	cfg3 := DefaultConfig(2)
+	cfg3.Trace = []schedeval.TraceJob{comm, comm}
+	r3 := Fractional(cfg3)
+	wall, cparts := comm.NominalParts()
+	nom := float64(comm.Nominal())
+	cf := float64(cparts) / nom
+	_ = wall
+	want3 := nom * ((1-cf)*2 + cf*4)
+	if got := r3.MeanResponse; !near(got, want3, 1) {
+		t.Errorf("shared comm jobs response %v, want %v", got, want3)
+	}
+	if r3.MeanResponse <= r2.MeanResponse {
+		t.Error("co-residency did not degrade communication-bound jobs")
+	}
+}
+
+func near(got, want, tol float64) bool {
+	d := got - want
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}
+
+// TestShowdownGrid runs all three modes on the seeded churn trace and
+// checks the grid invariants: same jobs everywhere, every mode reports
+// bounded slowdown and utilization, fractional admits everything (no
+// queue), and the rendering carries all three rows.
+func TestShowdownGrid(t *testing.T) {
+	cfg := DefaultConfig(8)
+	cfg.Trace = churnTrace(t, 12)
+	rs, err := Showdown(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("got %d results, want 3", len(rs))
+	}
+	modes := []string{"gang", "batch", "fractional"}
+	for i, r := range rs {
+		if r.Mode != modes[i] {
+			t.Fatalf("mode[%d] = %q, want %q", i, r.Mode, modes[i])
+		}
+		if r.Jobs != len(cfg.Trace) {
+			t.Errorf("%s saw %d jobs, want %d", r.Mode, r.Jobs, len(cfg.Trace))
+		}
+		if r.Finished == 0 {
+			t.Errorf("%s finished nothing", r.Mode)
+		}
+		if r.MeanSlowdown < 1 && r.Finished > 0 {
+			t.Errorf("%s mean bounded slowdown %v < 1", r.Mode, r.MeanSlowdown)
+		}
+		if r.Utilization <= 0 || r.Utilization > 1.5 {
+			t.Errorf("%s utilization %v implausible", r.Mode, r.Utilization)
+		}
+	}
+	if rs[2].Log.Count(VerbQueue) != 0 || rs[2].Log.Count(VerbPrune) != 0 {
+		t.Error("fractional mode queued jobs; it must admit immediately")
+	}
+	grid := GridTable(rs).String()
+	for _, mode := range modes {
+		if !strings.Contains(grid, mode) {
+			t.Errorf("grid lacks %s row:\n%s", mode, grid)
+		}
+	}
+	stats := StatsTable(rs).String()
+	if !strings.Contains(stats, "backfill") || !strings.Contains(stats, "compact") {
+		t.Errorf("stats table lacks decision rows:\n%s", stats)
+	}
+	// The whole showdown is deterministic.
+	rs2, err := Showdown(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if GridTable(rs).String() != GridTable(rs2).String() {
+		t.Fatal("showdown grid not deterministic")
+	}
+	for i := range rs {
+		if !reflect.DeepEqual(rs[i].Log.Lines(), rs2[i].Log.Lines()) {
+			t.Fatalf("%s decision log not deterministic", rs[i].Mode)
+		}
+	}
+}
+
+// TestConfigValidation covers the constructor's error paths.
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(DefaultConfig(8)); err == nil {
+		t.Error("empty trace accepted")
+	}
+	cfg := DefaultConfig(8)
+	cfg.Trace = []schedeval.TraceJob{{Arrive: 0, Size: 99, Kernel: schedeval.KernelBSP,
+		Units: 1, Msgs: 1, MsgBytes: 64}}
+	if _, err := New(cfg); err == nil {
+		t.Error("oversized job accepted")
+	}
+}

@@ -41,12 +41,13 @@ func ms(t float64) float64 {
 func SummaryTable(rs []*Result) *metrics.Table {
 	t := metrics.NewTable(
 		"Trace-driven schedule evaluation",
-		"packing", "credits", "jobs", "done", "peak", "makespan_ms",
+		"packing", "credits", "jobs", "done", "cens", "peak", "makespan_ms",
 		"mean_resp_ms", "mean_bsld", "max_bsld", "util", "comm_frac", "switches",
 	)
 	for _, r := range rs {
 		t.AddRow(
-			r.Packing, r.Scheme.String(), len(r.Jobs), r.Finished, r.PeakConcurrent,
+			r.Packing, r.Scheme.String(), len(r.Jobs), r.Finished, r.Censored,
+			r.PeakConcurrent,
 			ms(float64(r.Makespan)), ms(r.MeanResponse),
 			r.MeanSlowdown, r.MaxSlowdown, r.Utilization, r.MeanCommFraction,
 			r.Switches,

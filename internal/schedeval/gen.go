@@ -23,6 +23,15 @@ type GenConfig struct {
 	// are: it shifts the mix toward more messages, bigger payloads, and
 	// less per-unit compute.
 	CommIntensity float64
+
+	// Churn fractions in [0, 1], all zero by default. When any is
+	// positive, a post-pass (continuing the same rng, so the base stream
+	// stays bit-identical when all are zero) marks roughly that share of
+	// jobs with a kill=, resize=, or deadline= directive. Kill and resize
+	// are mutually exclusive per job; deadlines combine with either.
+	KillFraction     float64
+	ResizeFraction   float64
+	DeadlineFraction float64
 }
 
 // DefaultGenConfig returns a workload of 40 jobs whose arrivals overlap
@@ -108,6 +117,57 @@ func Generate(cfg GenConfig) ([]TraceJob, error) {
 			return nil, err
 		}
 		jobs = append(jobs, j)
+	}
+	if cfg.KillFraction > 0 || cfg.ResizeFraction > 0 || cfg.DeadlineFraction > 0 {
+		for _, f := range []struct {
+			name string
+			frac float64
+		}{
+			{"kill", cfg.KillFraction}, {"resize", cfg.ResizeFraction}, {"deadline", cfg.DeadlineFraction},
+		} {
+			if f.frac < 0 || f.frac > 1 {
+				return nil, fmt.Errorf("schedeval: %s fraction %v outside [0,1]", f.name, f.frac)
+			}
+		}
+		for i := range jobs {
+			j := &jobs[i]
+			// Churn times scale with the job's own nominal so they land
+			// mid-run: a quarter nominal after arrival at the earliest
+			// (the job is usually placed by then), up to a few nominals
+			// later (time slicing stretches real response well past one
+			// nominal, so even the tail usually hits a live job).
+			churnAt := func() sim.Time {
+				n := int(j.Nominal())
+				return j.Arrive + sim.Time(n/4+1+rng.Intn(3*n+1))
+			}
+			switch {
+			case cfg.KillFraction > 0 && rng.Bool(cfg.KillFraction):
+				j.Kill = churnAt()
+			case cfg.ResizeFraction > 0 && rng.Bool(cfg.ResizeFraction):
+				lo := 1
+				if j.Kernel == KernelMasterWorker || j.Kernel == KernelAllToAll {
+					lo = 2
+				}
+				to := lo + rng.Intn(cfg.Nodes-lo+1)
+				if to == j.Size { // force a real size change when possible
+					if to < cfg.Nodes {
+						to++
+					} else if to > lo {
+						to--
+					}
+				}
+				if to != j.Size {
+					j.ResizeTo = to
+					j.ResizeAt = churnAt()
+				}
+			}
+			if cfg.DeadlineFraction > 0 && rng.Bool(cfg.DeadlineFraction) {
+				j.Deadline = j.Arrive + 10*j.Nominal() + sim.Time(rng.Intn(40_000_000))
+			}
+			if err := j.Validate(cfg.Nodes); err != nil {
+				return nil, err
+			}
+		}
 	}
 	return jobs, nil
 }

@@ -97,7 +97,11 @@ type Result struct {
 	Packing string
 	Jobs    []JobMetrics
 
-	Finished       int
+	Finished int
+	// Censored counts jobs still unfinished at the run deadline: their
+	// Done is clamped to the deadline, so their response times are lower
+	// bounds, not observations.
+	Censored       int
 	PeakConcurrent int
 	Makespan       sim.Time
 	MeanResponse   float64 // cycles
@@ -270,9 +274,11 @@ func Run(cfg Config) (*Result, error) {
 		} else if f.submitted {
 			m.Submit = f.submit
 			m.Done = deadline
+			res.Censored++
 		} else {
 			m.Submit = deadline
 			m.Done = deadline
+			res.Censored++
 		}
 		if end > lastEnd {
 			lastEnd = end

@@ -185,6 +185,159 @@ func TestChaosSmoke(t *testing.T) {
 	}
 }
 
+// TestChurnDirectivesRoundTrip covers the kill=/resize=/deadline= trace
+// extension: directives survive a format/parse cycle in any combination,
+// and directive-free jobs still format to the original 7-field lines.
+func TestChurnDirectivesRoundTrip(t *testing.T) {
+	jobs := []TraceJob{
+		{Arrive: 10, Size: 2, Kernel: KernelBSP, Units: 2, Msgs: 4, MsgBytes: 64, Compute: 1000},
+		{Arrive: 20, Size: 4, Kernel: KernelStencil, Units: 3, Msgs: 1, MsgBytes: 128, Compute: 2000,
+			Kill: 5_000_000},
+		{Arrive: 30, Size: 2, Kernel: KernelAllToAll, Units: 2, Msgs: 6, MsgBytes: 256, Compute: 500,
+			ResizeAt: 9_000_000, ResizeTo: 4, Deadline: 90_000_000},
+		{Arrive: 40, Size: 3, Kernel: KernelMasterWorker, Units: 6, Msgs: 1, MsgBytes: 64, Compute: 800,
+			Deadline: 70_000_000},
+	}
+	for i, j := range jobs {
+		if err := j.Validate(8); err != nil {
+			t.Fatalf("job %d invalid: %v", i, err)
+		}
+	}
+	var b strings.Builder
+	if err := FormatTrace(&b, jobs); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if got := len(strings.Fields(lines[1])); got != 7 {
+		t.Fatalf("directive-free job formatted with %d fields, want 7", got)
+	}
+	if !strings.Contains(lines[2], "kill=5000000") {
+		t.Fatalf("kill directive missing: %q", lines[2])
+	}
+	if !strings.Contains(lines[3], "resize=4@9000000") || !strings.Contains(lines[3], "deadline=90000000") {
+		t.Fatalf("resize/deadline directives missing: %q", lines[3])
+	}
+	back, err := ParseTrace(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(jobs, back) {
+		t.Fatalf("churn trace did not round-trip:\n%+v\n%+v", jobs, back)
+	}
+	for _, bad := range []string{
+		"1 2 bsp 1 1 64 0 kill",            // no value
+		"1 2 bsp 1 1 64 0 kill=x",          // bad number
+		"1 2 bsp 1 1 64 0 resize=4",        // missing @time
+		"1 2 bsp 1 1 64 0 frobnicate=1",    // unknown key
+		"1 2 bsp 1 1 64 0 deadline=-3",     // negative
+		"1 2 bsp 1 1 64 0 resize=4@x",      // bad resize time
+		"1 2 bsp 1 1 64 0 kill=1 extra -2", // trailing junk
+	} {
+		if _, err := ParseTrace(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseTrace(%q) accepted", bad)
+		}
+	}
+	// Churn-field validation.
+	base := TraceJob{Arrive: 100, Size: 2, Kernel: KernelBSP, Units: 1, Msgs: 1, MsgBytes: 64}
+	for name, mut := range map[string]func(*TraceJob){
+		"kill before arrival":     func(j *TraceJob) { j.Kill = 50 },
+		"deadline before arrival": func(j *TraceJob) { j.Deadline = 100 },
+		"resize without time":     func(j *TraceJob) { j.ResizeTo = 4 },
+		"resize without size":     func(j *TraceJob) { j.ResizeAt = 500 },
+		"resize to oversized":     func(j *TraceJob) { j.ResizeAt = 500; j.ResizeTo = 99 },
+	} {
+		j := base
+		mut(&j)
+		if err := j.Validate(8); err == nil {
+			t.Errorf("Validate accepted %s", name)
+		}
+	}
+}
+
+// TestGenerateChurnFractions checks the generator's churn post-pass: the
+// base stream (arrivals, sizes, kernels) is bit-identical with and without
+// churn fractions, roughly the requested share of jobs carries each
+// directive, and everything generated still validates.
+func TestGenerateChurnFractions(t *testing.T) {
+	base := DefaultGenConfig(8)
+	base.Jobs = 200
+	plain, err := Generate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	churned := base
+	churned.KillFraction = 0.2
+	churned.ResizeFraction = 0.2
+	churned.DeadlineFraction = 0.3
+	jobs, err := Generate(churned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kills, resizes, deadlines := 0, 0, 0
+	for i, j := range jobs {
+		stripped := j
+		stripped.Kill, stripped.ResizeAt, stripped.ResizeTo, stripped.Deadline = 0, 0, 0, 0
+		if !reflect.DeepEqual(stripped, plain[i]) {
+			t.Fatalf("churn post-pass perturbed base job %d: %+v vs %+v", i, stripped, plain[i])
+		}
+		if err := j.Validate(8); err != nil {
+			t.Fatalf("churned job %d invalid: %v", i, err)
+		}
+		if j.Kill != 0 {
+			kills++
+		}
+		if j.ResizeTo != 0 {
+			resizes++
+		}
+		if j.Deadline != 0 {
+			deadlines++
+		}
+	}
+	if kills == 0 || resizes == 0 || deadlines == 0 {
+		t.Fatalf("churn fractions produced kills=%d resizes=%d deadlines=%d, want all > 0",
+			kills, resizes, deadlines)
+	}
+	again, err := Generate(churned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(jobs, again) {
+		t.Fatal("churned generation not deterministic")
+	}
+}
+
+// TestCensoredReported pins satellite 3: jobs cut off by the run deadline
+// are counted in Result.Censored and surface in the summary table's cens
+// column instead of being silently folded into the response means.
+func TestCensoredReported(t *testing.T) {
+	cfg := DefaultConfig(8)
+	cfg.Trace = smallTrace(t, 10)
+	cfg.Deadline = 5_000_000 // far too short for ten jobs
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Censored == 0 {
+		t.Fatal("expected censored jobs under a 5M-cycle deadline")
+	}
+	if r.Censored+r.Finished != len(r.Jobs) {
+		t.Fatalf("censored %d + finished %d != %d jobs", r.Censored, r.Finished, len(r.Jobs))
+	}
+	rendered := SummaryTable([]*Result{r}).String()
+	if !strings.Contains(rendered, "cens") {
+		t.Fatalf("summary table lacks a cens column:\n%s", rendered)
+	}
+	// A full run censors nothing.
+	cfg.Deadline = 0
+	full, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Censored != 0 {
+		t.Fatalf("full run reports %d censored jobs, want 0", full.Censored)
+	}
+}
+
 func TestRunValidation(t *testing.T) {
 	cfg := DefaultConfig(8)
 	if _, err := Run(cfg); err == nil {

@@ -75,6 +75,18 @@ type TraceJob struct {
 	// Compute is the per-unit compute time in cycles (per phase,
 	// iteration, or task).
 	Compute sim.Time
+
+	// Churn directives, all optional (zero = absent), consumed by the
+	// online scheduler daemon (internal/schedd); the offline replayer
+	// ignores them. Kill terminates the job at the given absolute time.
+	// ResizeAt restarts the job at ResizeTo nodes at the given absolute
+	// time (gang jobs are rigid within one incarnation, so resize is a
+	// kill + resubmit). Deadline is the job's absolute response deadline;
+	// missing it is reported, not enforced.
+	Kill     sim.Time
+	ResizeAt sim.Time
+	ResizeTo int
+	Deadline sim.Time
 }
 
 // Spec builds the job's parpar spec.
@@ -103,6 +115,16 @@ func (j TraceJob) Spec(name string) parpar.JobSpec {
 // apples. The constants only scale the absolute numbers, never the
 // direction of a comparison.
 func (j TraceJob) Nominal() sim.Time {
+	wall, comm := j.NominalParts()
+	return wall + comm + 100_000
+}
+
+// NominalParts splits the Nominal anchor into its compute-wall and
+// communication components (Nominal = wall + comm + a fixed launch
+// charge). The split is what analytic contention models — the fractional
+// processor-sharing mode — use to decide how much of a job's work
+// degrades with co-residency.
+func (j TraceJob) NominalParts() (wall, comm sim.Time) {
 	var msgs, bytes int
 	switch j.Kernel {
 	case KernelBSP:
@@ -119,13 +141,13 @@ func (j TraceJob) Nominal() sim.Time {
 		msgs = j.Units * j.Msgs * (j.Size - 1)
 	}
 	bytes = msgs * j.MsgBytes
-	wall := sim.Time(j.Units) * j.Compute
+	wall = sim.Time(j.Units) * j.Compute
 	if j.Kernel == KernelMasterWorker && j.Size > 1 {
 		// Tasks run on the workers, ceil-divided among them.
 		perWorker := (j.Units + j.Size - 2) / (j.Size - 1)
 		wall = sim.Time(perWorker) * j.Compute
 	}
-	return wall + sim.Time(bytes)*3 + sim.Time(msgs)*2000 + 100_000
+	return wall, sim.Time(bytes)*3 + sim.Time(msgs)*2000
 }
 
 // Validate checks the job against the machine size.
@@ -153,14 +175,39 @@ func (j TraceJob) Validate(nodes int) error {
 	default:
 		return fmt.Errorf("schedeval: unknown kernel %d", int(j.Kernel))
 	}
+	if (j.ResizeAt != 0) != (j.ResizeTo != 0) {
+		return fmt.Errorf("schedeval: resize needs both a time and a size, got %d@%d",
+			j.ResizeTo, j.ResizeAt)
+	}
+	if j.ResizeTo != 0 {
+		if j.ResizeAt <= j.Arrive {
+			return fmt.Errorf("schedeval: resize time %d not after arrival %d", j.ResizeAt, j.Arrive)
+		}
+		// The post-resize incarnation must itself be a valid job.
+		resized := j
+		resized.Size = j.ResizeTo
+		resized.ResizeAt, resized.ResizeTo = 0, 0
+		resized.Kill, resized.Deadline = 0, 0
+		if err := resized.Validate(nodes); err != nil {
+			return fmt.Errorf("schedeval: resize target: %w", err)
+		}
+	}
+	if j.Kill != 0 && j.Kill <= j.Arrive {
+		return fmt.Errorf("schedeval: kill time %d not after arrival %d", j.Kill, j.Arrive)
+	}
+	if j.Deadline != 0 && j.Deadline <= j.Arrive {
+		return fmt.Errorf("schedeval: deadline %d not after arrival %d", j.Deadline, j.Arrive)
+	}
 	return nil
 }
 
 // ParseTrace reads the trace text format: one job per line as
 //
-//	arrive size kernel units msgs bytes compute
+//	arrive size kernel units msgs bytes compute [kill=T] [resize=N@T] [deadline=T]
 //
-// with '#' comments and blank lines ignored. Times are in cycles.
+// with '#' comments and blank lines ignored. Times are in cycles. The
+// trailing key=value churn directives are optional and may appear in any
+// order; traces without them parse exactly as before.
 func ParseTrace(r io.Reader) ([]TraceJob, error) {
 	var jobs []TraceJob
 	sc := bufio.NewScanner(r)
@@ -172,15 +219,15 @@ func ParseTrace(r io.Reader) ([]TraceJob, error) {
 			continue
 		}
 		f := strings.Fields(text)
-		if len(f) != 7 {
-			return nil, fmt.Errorf("schedeval: trace line %d: want 7 fields, got %d", line, len(f))
+		if len(f) < 7 {
+			return nil, fmt.Errorf("schedeval: trace line %d: want at least 7 fields, got %d", line, len(f))
 		}
 		kernel, ok := KernelByName(f[2])
 		if !ok {
 			return nil, fmt.Errorf("schedeval: trace line %d: unknown kernel %q", line, f[2])
 		}
 		nums := make([]uint64, 7)
-		for i, s := range f {
+		for i, s := range f[:7] {
 			if i == 2 {
 				continue
 			}
@@ -190,7 +237,7 @@ func ParseTrace(r io.Reader) ([]TraceJob, error) {
 			}
 			nums[i] = v
 		}
-		jobs = append(jobs, TraceJob{
+		j := TraceJob{
 			Arrive:   sim.Time(nums[0]),
 			Size:     int(nums[1]),
 			Kernel:   kernel,
@@ -198,7 +245,44 @@ func ParseTrace(r io.Reader) ([]TraceJob, error) {
 			Msgs:     int(nums[4]),
 			MsgBytes: int(nums[5]),
 			Compute:  sim.Time(nums[6]),
-		})
+		}
+		for _, tok := range f[7:] {
+			key, val, ok := strings.Cut(tok, "=")
+			if !ok {
+				return nil, fmt.Errorf("schedeval: trace line %d: bad directive %q (want key=value)", line, tok)
+			}
+			switch key {
+			case "kill":
+				v, err := strconv.ParseUint(val, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("schedeval: trace line %d: kill=%q: %v", line, val, err)
+				}
+				j.Kill = sim.Time(v)
+			case "deadline":
+				v, err := strconv.ParseUint(val, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("schedeval: trace line %d: deadline=%q: %v", line, val, err)
+				}
+				j.Deadline = sim.Time(v)
+			case "resize":
+				sz, at, ok := strings.Cut(val, "@")
+				if !ok {
+					return nil, fmt.Errorf("schedeval: trace line %d: resize=%q (want N@T)", line, val)
+				}
+				n, err := strconv.ParseUint(sz, 10, 32)
+				if err != nil {
+					return nil, fmt.Errorf("schedeval: trace line %d: resize size %q: %v", line, sz, err)
+				}
+				t, err := strconv.ParseUint(at, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("schedeval: trace line %d: resize time %q: %v", line, at, err)
+				}
+				j.ResizeTo, j.ResizeAt = int(n), sim.Time(t)
+			default:
+				return nil, fmt.Errorf("schedeval: trace line %d: unknown directive %q", line, key)
+			}
+		}
+		jobs = append(jobs, j)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
@@ -206,14 +290,27 @@ func ParseTrace(r io.Reader) ([]TraceJob, error) {
 	return jobs, nil
 }
 
-// FormatTrace writes jobs in the ParseTrace format.
+// FormatTrace writes jobs in the ParseTrace format. Churn directives are
+// emitted only when set, so churn-free traces round-trip to the original
+// 7-field format.
 func FormatTrace(w io.Writer, jobs []TraceJob) error {
-	if _, err := fmt.Fprintln(w, "# arrive size kernel units msgs bytes compute"); err != nil {
+	if _, err := fmt.Fprintln(w, "# arrive size kernel units msgs bytes compute [kill=T] [resize=N@T] [deadline=T]"); err != nil {
 		return err
 	}
 	for _, j := range jobs {
-		if _, err := fmt.Fprintf(w, "%d %d %s %d %d %d %d\n",
-			uint64(j.Arrive), j.Size, j.Kernel, j.Units, j.Msgs, j.MsgBytes, uint64(j.Compute)); err != nil {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "%d %d %s %d %d %d %d",
+			uint64(j.Arrive), j.Size, j.Kernel, j.Units, j.Msgs, j.MsgBytes, uint64(j.Compute))
+		if j.Kill != 0 {
+			fmt.Fprintf(&sb, " kill=%d", uint64(j.Kill))
+		}
+		if j.ResizeTo != 0 {
+			fmt.Fprintf(&sb, " resize=%d@%d", j.ResizeTo, uint64(j.ResizeAt))
+		}
+		if j.Deadline != 0 {
+			fmt.Fprintf(&sb, " deadline=%d", uint64(j.Deadline))
+		}
+		if _, err := fmt.Fprintln(w, sb.String()); err != nil {
 			return err
 		}
 	}
