@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: check vet build test race fuzz-smoke sched-smoke churn-smoke bench bench-smoke figures lint-hotpath
+.PHONY: check vet build test race fuzz-smoke sched-smoke churn-smoke churn-crash-smoke bench bench-smoke figures lint-hotpath
 
 # The full CI gate: static checks, build, race-enabled tests, a short
 # fixed-seed chaos-fuzz campaign, and scheduler-evaluation smoke runs
 # (all deterministic, so safe to gate on).
-check: vet build race fuzz-smoke sched-smoke churn-smoke lint-hotpath
+check: vet build race fuzz-smoke sched-smoke churn-smoke churn-crash-smoke lint-hotpath
 
 vet:
 	$(GO) vet ./...
@@ -38,6 +38,12 @@ sched-smoke:
 # live kills, resizes, and conservative backfill.
 churn-smoke:
 	$(GO) run ./cmd/gangsim churn -quick
+
+# Failure-aware smoke: the same showdown with fail-stop node crashes armed
+# — recovery evicts the dead nodes, the daemons requeue the killed jobs,
+# and the availability table is appended.
+churn-crash-smoke:
+	$(GO) run ./cmd/gangsim churn -quick -crash 0.35 -adaptive
 
 # Microbenchmarks with allocation reporting. BenchmarkEngineThroughput
 # must stay at 0 allocs/op (see DESIGN.md §6).

@@ -36,6 +36,14 @@ go run ./cmd/gangsim churn -quick -log > /tmp/churn-ci-a.txt
 go run ./cmd/gangsim churn -quick -log -shards 4 -workers 4 > /tmp/churn-ci-b.txt
 cmp /tmp/churn-ci-a.txt /tmp/churn-ci-b.txt
 
+# Failure-aware smoke: crashes armed on top of the churn stream. Crash
+# plans force the sharded engine into lockstep, so the availability table
+# and the full decision logs must also be byte-identical with the second
+# leg sharded.
+go run ./cmd/gangsim churn -quick -crash 0.35 -adaptive -log > /tmp/churn-crash-ci-a.txt
+go run ./cmd/gangsim churn -quick -crash 0.35 -adaptive -log -shards 4 -workers 4 > /tmp/churn-crash-ci-b.txt
+cmp /tmp/churn-crash-ci-a.txt /tmp/churn-crash-ci-b.txt
+
 # Benchmark pipeline smoke: the report must build and serialize, and the
 # -compare path must parse it back and pass against itself re-measured
 # (allocs/event is deterministic, so self-comparison never regresses).

@@ -161,6 +161,7 @@ func runBench(args []string, out io.Writer) int {
 		{"dyncos", false, func(p experiments.Params) { experiments.Responsiveness(p) }},
 		{"sched", false, func(p experiments.Params) { experiments.Sched(p) }},
 		{"sched_churn", false, func(p experiments.Params) { experiments.Churn(p) }},
+		{"sched_churn_crash", false, func(p experiments.Params) { experiments.ChurnCrash(p) }},
 	}
 	experiments.TakeFiredCount() // drain any prior count
 	for _, f := range figures {

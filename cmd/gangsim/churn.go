@@ -9,6 +9,7 @@ import (
 	"gangfm/internal/gang"
 	"gangfm/internal/schedd"
 	"gangfm/internal/schedeval"
+	"gangfm/internal/sim"
 )
 
 // runChurn is the online-scheduling subcommand: one churn trace (arrivals
@@ -17,6 +18,11 @@ import (
 // per-mode metrics grid plus decision-log statistics; like sched, it
 // carries no wall-clock figures, so the same seed (or trace file) always
 // produces byte-identical tables — at any -shards/-workers setting.
+//
+// With -crash (or crash node@T directives in the trace file) the run also
+// fail-stops nodes mid-stream: the recovery layer evicts them, the daemons
+// requeue their jobs under a retry budget, and an availability table is
+// appended to the output.
 func runChurn(args []string, out io.Writer) int {
 	fs := flag.NewFlagSet("churn", flag.ContinueOnError)
 	fs.SetOutput(os.Stderr)
@@ -28,6 +34,10 @@ func runChurn(args []string, out io.Writer) int {
 	kill := fs.Float64("kill", 0.15, "fraction of jobs killed mid-run")
 	resize := fs.Float64("resize", 0.15, "fraction of jobs resized mid-run")
 	deadline := fs.Float64("deadline", 0.25, "fraction of jobs with deadlines")
+	crash := fs.Float64("crash", 0, "per-node fail-stop probability in [0,1] (0 = no crashes)")
+	crashSeed := fs.Uint64("crash-seed", 7, "crash-sampler seed (independent of the job trace)")
+	adaptive := fs.Bool("adaptive", false, "use the EWMA-stretch backfill estimator instead of the static slots-deep one")
+	retries := fs.Int("retries", 0, "per-job requeue budget after crash-kills (0 = default of 3)")
 	policy := fs.String("policy", "buddy", "packing policy: first-fit|buddy|best-fit")
 	traceFile := fs.String("trace", "", "replay this trace file instead of generating one")
 	dumpTrace := fs.String("dump-trace", "", "also write the trace being evaluated to this file")
@@ -50,13 +60,14 @@ func runChurn(args []string, out io.Writer) int {
 	}
 
 	var trace []schedeval.TraceJob
+	var crashes []schedeval.Crash
 	if *traceFile != "" {
 		f, err := os.Open(*traceFile)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "gangsim churn: %v\n", err)
 			return 1
 		}
-		trace, err = schedeval.ParseTrace(f)
+		trace, crashes, err = schedeval.ParseTraceFull(f)
 		f.Close()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "gangsim churn: %v\n", err)
@@ -80,13 +91,27 @@ func runChurn(args []string, out io.Writer) int {
 			return 1
 		}
 	}
+	if *crash > 0 {
+		var lastArrive sim.Time
+		for _, tj := range trace {
+			if tj.Arrive > lastArrive {
+				lastArrive = tj.Arrive
+			}
+		}
+		sampled, err := schedeval.GenCrashes(*crashSeed, *nodes, *crash, lastArrive)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gangsim churn: %v\n", err)
+			return 1
+		}
+		crashes = append(crashes, sampled...)
+	}
 	if *dumpTrace != "" {
 		f, err := os.Create(*dumpTrace)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "gangsim churn: %v\n", err)
 			return 1
 		}
-		err = schedeval.FormatTrace(f, trace)
+		err = schedeval.FormatTraceFull(f, trace, crashes)
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}
@@ -100,6 +125,9 @@ func runChurn(args []string, out io.Writer) int {
 	cfg.Slots = *slots
 	cfg.Packing = packing
 	cfg.Trace = trace
+	cfg.Crashes = crashes
+	cfg.AdaptiveEstimate = *adaptive
+	cfg.RetryBudget = *retries
 	cfg.Shards = *shards
 	cfg.Workers = *workers
 	results, err := schedd.Showdown(cfg)
@@ -110,6 +138,11 @@ func runChurn(args []string, out io.Writer) int {
 	fmt.Fprintln(out, schedd.GridTable(results))
 	fmt.Fprintln(out, "(bsld = bounded slowdown over finished jobs; kill/evict/cens jobs are excluded from the means)")
 	fmt.Fprintln(out)
+	if len(crashes) > 0 {
+		fmt.Fprintln(out, schedd.AvailabilityTable(results))
+		fmt.Fprintln(out, "(goodput = useful work over surviving node-cycles; mean_ttr = crash-kill to re-placement)")
+		fmt.Fprintln(out)
+	}
 	fmt.Fprintln(out, schedd.StatsTable(results))
 	if *showLog {
 		for _, r := range results {

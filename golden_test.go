@@ -75,6 +75,12 @@ func TestGoldenFigures(t *testing.T) {
 			rs := experiments.Churn(p)
 			return fmt.Sprint(experiments.ChurnGrid(rs)) + "\n" + fmt.Sprint(experiments.ChurnStats(rs))
 		}},
+		{"churn_crash.txt", func() string {
+			rs := experiments.ChurnCrash(p)
+			return fmt.Sprint(experiments.ChurnGrid(rs)) + "\n" +
+				fmt.Sprint(experiments.ChurnAvailability(rs)) + "\n" +
+				fmt.Sprint(experiments.ChurnStats(rs))
+		}},
 	}
 	for _, tb := range tables {
 		tb := tb

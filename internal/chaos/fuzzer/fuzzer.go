@@ -45,6 +45,22 @@ type Config struct {
 	Shrink bool
 }
 
+// ChurnCmd is one mid-run scheduler command the fuzzer replays against a
+// live job — the online-scheduling churn (voluntary kill, resize) that the
+// recovery campaign runs *concurrently* with its fault plans, so crash
+// detection, eviction, and voluntary kills race the way they do under the
+// schedd daemon.
+type ChurnCmd struct {
+	// Job indexes Scenario.Jobs.
+	Job int
+	// At is the command's absolute virtual time.
+	At sim.Time
+	// ResizeTo == 0 means kill; otherwise restart the job as a compute
+	// kernel of that many ranks (gang jobs are rigid within an
+	// incarnation, so a resize is kill + resubmit).
+	ResizeTo int
+}
+
 // Scenario is one sampled cluster shape + job mix + fault plan. It is fully
 // determined by its Seed.
 type Scenario struct {
@@ -54,6 +70,8 @@ type Scenario struct {
 	Policy fm.Policy
 	Jobs   []parpar.JobSpec
 	Plan   chaos.Plan
+	// Churn are mid-run kill/resize commands (recovery campaign only).
+	Churn []ChurnCmd
 	// Recovery runs the cluster with the self-healing switch layer enabled
 	// (parpar.DefaultRecovery of the fuzz quantum).
 	Recovery bool
@@ -69,8 +87,12 @@ func (s Scenario) String() string {
 	if s.Recovery {
 		mode = ", recovery"
 	}
-	return fmt.Sprintf("seed %d: %d nodes, %d slots, %v, jobs [%s], %d fault(s)%s",
-		s.Seed, s.Nodes, s.Slots, s.Policy, strings.Join(names, " "), len(s.Plan.Faults), mode)
+	churn := ""
+	if len(s.Churn) > 0 {
+		churn = fmt.Sprintf(", %d churn cmd(s)", len(s.Churn))
+	}
+	return fmt.Sprintf("seed %d: %d nodes, %d slots, %v, jobs [%s], %d fault(s)%s%s",
+		s.Seed, s.Nodes, s.Slots, s.Policy, strings.Join(names, " "), len(s.Plan.Faults), churn, mode)
 }
 
 // RunResult is the outcome of executing one scenario.
@@ -204,7 +226,30 @@ func SampleRecovery(seed uint64) Scenario {
 	s := Sample(seed)
 	rng := sim.NewRand(seed ^ 0x5EC0E4)
 	s.Plan = sampleRecoveryPlan(rng, seed, s.Nodes)
+	// Churn commands draw from their own stream so arming them never
+	// perturbs the fault plan of the same seed.
+	s.Churn = sampleChurn(sim.NewRand(seed^0xC482), len(s.Jobs), s.Nodes)
 	return s
+}
+
+// sampleChurn draws 0..2 mid-run scheduler commands: kills and resizes
+// against random jobs, timed inside the first half of the horizon so the
+// command usually hits a live job and its aftermath (slot reclaim, fresh
+// placement) still races the fault plan.
+func sampleChurn(rng *sim.Rand, jobs, nodes int) []ChurnCmd {
+	var out []ChurnCmd
+	n := rng.Intn(3)
+	for i := 0; i < n; i++ {
+		cmd := ChurnCmd{
+			Job: rng.Intn(jobs),
+			At:  sim.Time(int(DefaultHorizon/8) + rng.Intn(int(DefaultHorizon)*3/8)),
+		}
+		if rng.Bool(0.4) {
+			cmd.ResizeTo = 1 + rng.Intn(nodes)
+		}
+		out = append(out, cmd)
+	}
+	return out
 }
 
 // sampleRecoveryPlan draws 1..3 recoverable faults. Loss and pause windows
@@ -296,6 +341,25 @@ func Execute(s Scenario, horizon sim.Time) (res RunResult) {
 			return res
 		}
 		jobs = append(jobs, job)
+	}
+	for _, cmd := range s.Churn {
+		cmd := cmd
+		c.Eng.ScheduleAt(cmd.At, func() {
+			job := jobs[cmd.Job]
+			if cmd.ResizeTo > 0 {
+				spec := workload.Compute(fmt.Sprintf("%s-r%d", job.Spec.Name, cmd.ResizeTo),
+					cmd.ResizeTo, sim.Time(300_000))
+				// A resize (or a late kill) may legitimately fail: the job
+				// already finished, or evictions shrank the machine below
+				// the new width. Both are scheduler-level outcomes, not
+				// protocol findings — the auditor judges the run.
+				if nj, err := c.Resize(job, spec); err == nil {
+					jobs[cmd.Job] = nj
+				}
+			} else {
+				_ = c.Kill(job)
+			}
+		})
 	}
 	c.RunUntil(horizon)
 	return res

@@ -174,3 +174,42 @@ func TestCompareLossKnownAnswer(t *testing.T) {
 		t.Fatalf("verdict rendering: %s", cmp)
 	}
 }
+
+// TestRecoveryCampaignChurnAtScale is the wide net behind the failure-aware
+// scheduling work: ≥100 recovery scenarios — now with live churn commands
+// (kills and resizes) layered over the fault plans — and none may end
+// unrecovered. Wedging the bare protocol is expected (that is the
+// campaign's coverage); a scenario that stays wedged WITH the recovery
+// layer armed is the bug this test exists to catch.
+func TestRecoveryCampaignChurnAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("120-seed recovery campaign is not short")
+	}
+	const runs = 120
+	rep := FuzzRecovery(Config{Seed: 1, Runs: runs}, nil)
+	if len(rep.Runs) != runs {
+		t.Fatalf("campaign ran %d/%d", len(rep.Runs), runs)
+	}
+	if rep.Wedged == 0 {
+		t.Fatal("no sampled plan wedged the bare protocol across the whole campaign")
+	}
+	if rep.Unrecovered != 0 {
+		for _, r := range rep.Runs {
+			if r.Unrecovered() {
+				t.Errorf("unrecovered: %s", r)
+			}
+		}
+		t.Fatalf("%d of %d scenarios stayed wedged with recovery enabled", rep.Unrecovered, runs)
+	}
+	// The campaign must actually exercise churn: a healthy share of the
+	// sampled scenarios carries kill/resize commands.
+	churned := 0
+	for seed := uint64(1); seed <= runs; seed++ {
+		if len(SampleRecovery(seed).Churn) > 0 {
+			churned++
+		}
+	}
+	if churned < runs/10 {
+		t.Fatalf("only %d of %d recovery scenarios sampled churn commands", churned, runs)
+	}
+}

@@ -23,6 +23,11 @@ type Placement struct {
 	Cols []int // the node columns assigned, ascending
 }
 
+// deadCell marks a cell in a killed column. It is distinct from both
+// myrinet.NoJob and every real job ID, so free-run scans treat dead cells
+// as permanently occupied and placement can never land on an evicted node.
+const deadCell myrinet.JobID = -2
+
 // Matrix is the gang-scheduling table.
 type Matrix struct {
 	cols    int
@@ -42,6 +47,16 @@ type Matrix struct {
 	// searches skip rows that cannot possibly hold the job.
 	colLoad []int
 	rowFree []int
+
+	// Column-shrink state (failure-aware scheduling): dead[c] marks a
+	// column whose node was evicted, live counts the surviving columns, and
+	// rowDeadUsed[r] counts cells in row r still occupied by a job on a
+	// dead column (non-zero only between KillColumn and the eviction of the
+	// spanning jobs). rowFree counts free *live* cells, so FreeNodes-style
+	// capacity questions answered from the caches reflect live capacity.
+	dead        []bool
+	live        int
+	rowDeadUsed []int
 
 	// auditCols is Audit's per-column recount scratch, kept on the matrix
 	// so the per-quantum audit tick stays allocation-free (a fresh
@@ -73,6 +88,8 @@ func NewMatrixPolicy(cols, maxRows int, policy Policy) *Matrix {
 		jobs:    make(map[myrinet.JobID]Placement),
 		current: -1,
 		colLoad: make([]int, cols),
+		dead:    make([]bool, cols),
+		live:    cols,
 	}
 }
 
@@ -81,6 +98,15 @@ func (m *Matrix) Policy() Policy { return m.policy }
 
 // Cols returns the number of node columns.
 func (m *Matrix) Cols() int { return m.cols }
+
+// LiveCols returns the number of surviving (non-killed) columns — the live
+// capacity of the machine.
+func (m *Matrix) LiveCols() int { return m.live }
+
+// ColDead reports whether column c has been killed.
+func (m *Matrix) ColDead(c int) bool {
+	return c >= 0 && c < m.cols && m.dead[c]
+}
 
 // Rows returns the number of allocated time slots.
 func (m *Matrix) Rows() int { return len(m.rows) }
@@ -98,12 +124,17 @@ func (m *Matrix) Placement(job myrinet.JobID) (Placement, bool) {
 	return p, ok
 }
 
-// JobAt returns the job occupying (row, col), or NoJob.
+// JobAt returns the job occupying (row, col), or NoJob. Dead cells read as
+// NoJob: nothing runs there, and callers must not mistake the sentinel for
+// a real job ID.
 func (m *Matrix) JobAt(row, col int) myrinet.JobID {
 	if row < 0 || row >= len(m.rows) || col < 0 || col >= m.cols {
 		return myrinet.NoJob
 	}
-	return m.rows[row][col]
+	if j := m.rows[row][col]; j != deadCell {
+		return j
+	}
+	return myrinet.NoJob
 }
 
 // RowJobs returns the distinct jobs scheduled in a row.
@@ -114,7 +145,7 @@ func (m *Matrix) RowJobs(row int) []myrinet.JobID {
 	seen := make(map[myrinet.JobID]bool)
 	var out []myrinet.JobID
 	for _, j := range m.rows[row] {
-		if j != myrinet.NoJob && !seen[j] {
+		if j != myrinet.NoJob && j != deadCell && !seen[j] {
 			seen[j] = true
 			out = append(out, j)
 		}
@@ -169,6 +200,9 @@ func (m *Matrix) Place(job myrinet.JobID, size int) (Placement, error) {
 	if size > m.cols {
 		return Placement{}, fmt.Errorf("gang: job %d of size %d exceeds %d nodes", job, size, m.cols)
 	}
+	if size > m.live {
+		return Placement{}, fmt.Errorf("gang: job %d of size %d exceeds %d live nodes", job, size, m.live)
+	}
 	if _, dup := m.jobs[job]; dup {
 		return Placement{}, fmt.Errorf("gang: job %d already placed", job)
 	}
@@ -181,11 +215,17 @@ func (m *Matrix) Place(job myrinet.JobID, size int) (Placement, error) {
 		if m.maxRows > 0 && len(m.rows) >= m.maxRows {
 			return Placement{}, fmt.Errorf("gang: slot table full (%d rows) placing job %d", m.maxRows, job)
 		}
-		m.rows = append(m.rows, make([]myrinet.JobID, m.cols))
-		for c := range m.rows[len(m.rows)-1] {
-			m.rows[len(m.rows)-1][c] = myrinet.NoJob
+		fresh := make([]myrinet.JobID, m.cols)
+		for c := range fresh {
+			if m.dead[c] {
+				fresh[c] = deadCell
+			} else {
+				fresh[c] = myrinet.NoJob
+			}
 		}
-		m.rowFree = append(m.rowFree, m.cols)
+		m.rows = append(m.rows, fresh)
+		m.rowFree = append(m.rowFree, m.live)
+		m.rowDeadUsed = append(m.rowDeadUsed, 0)
 	}
 	if !m.freeIn(row, cols) {
 		panic(fmt.Sprintf("gang: policy %s proposed occupied cells row %d cols %v", m.policy.Name(), row, cols))
@@ -218,10 +258,17 @@ func (m *Matrix) Remove(job myrinet.JobID) error {
 		return fmt.Errorf("gang: removing unplaced job %d", job)
 	}
 	for _, c := range p.Cols {
-		m.rows[p.Row][c] = myrinet.NoJob
+		if m.dead[c] {
+			// The column died under this job: the cell reverts to the dead
+			// sentinel, not to free capacity.
+			m.rows[p.Row][c] = deadCell
+			m.rowDeadUsed[p.Row]--
+		} else {
+			m.rows[p.Row][c] = myrinet.NoJob
+			m.rowFree[p.Row]++
+		}
 		m.colLoad[c]--
 	}
-	m.rowFree[p.Row] += len(p.Cols)
 	delete(m.jobs, job)
 	if m.policy.UnifyOnExit() {
 		m.Unify()
@@ -236,9 +283,52 @@ func (m *Matrix) trim() {
 		m.rows = m.rows[:len(m.rows)-1]
 	}
 	m.rowFree = m.rowFree[:len(m.rows)]
+	m.rowDeadUsed = m.rowDeadUsed[:len(m.rows)]
 	if m.current >= len(m.rows) {
 		m.current = len(m.rows) - 1
 	}
+}
+
+// KillColumn removes an evicted node's column from the live capacity:
+// free cells become dead sentinels (deducted from rowFree so run searches
+// and FreeNodes-style prechecks see live capacity only), and cells still
+// occupied are tallied in rowDeadUsed until the spanning jobs are killed.
+// The caller (masterd eviction) must kill those jobs afterwards; until
+// then their placements keep the matrix audit-consistent.
+func (m *Matrix) KillColumn(c int) error {
+	if c < 0 || c >= m.cols {
+		return fmt.Errorf("gang: kill of column %d outside [0,%d)", c, m.cols)
+	}
+	if m.dead[c] {
+		return fmt.Errorf("gang: column %d already dead", c)
+	}
+	m.dead[c] = true
+	m.live--
+	for r := range m.rows {
+		switch m.rows[r][c] {
+		case myrinet.NoJob:
+			m.rows[r][c] = deadCell
+			m.rowFree[r]--
+		case deadCell:
+			// unreachable: the column was live until now
+		default:
+			m.rowDeadUsed[r]++
+		}
+	}
+	m.trim()
+	return nil
+}
+
+// liveRange returns the lowest `size` live column indices, ascending. The
+// caller must have checked size <= m.live.
+func (m *Matrix) liveRange(size int) []int {
+	cols := make([]int, 0, size)
+	for c := 0; c < m.cols && len(cols) < size; c++ {
+		if !m.dead[c] {
+			cols = append(cols, c)
+		}
+	}
+	return cols
 }
 
 // Unify migrates jobs into earlier time slots: a job moves to the lowest
@@ -252,7 +342,7 @@ func (m *Matrix) Unify() int {
 	for r := 1; r < len(m.rows); r++ {
 		for c := 0; c < m.cols; c++ {
 			j := m.rows[r][c]
-			if j == myrinet.NoJob {
+			if j == myrinet.NoJob || j == deadCell {
 				continue
 			}
 			p := m.jobs[j]
@@ -283,7 +373,7 @@ func (m *Matrix) Unify() int {
 }
 
 func (m *Matrix) rowEmpty(r int) bool {
-	return m.rowFree[r] == m.cols
+	return m.rowFree[r] == m.live && m.rowDeadUsed[r] == 0
 }
 
 // Audit checks the matrix's structural invariants and returns one message
@@ -303,11 +393,24 @@ func (m *Matrix) Audit() []string {
 		colCount[c] = 0
 	}
 	for r, row := range m.rows {
-		free := 0
+		free, deadUsed := 0, 0
 		for c, j := range row {
+			if j == deadCell {
+				if !m.dead[c] {
+					bad = append(bad, fmt.Sprintf("cell (%d,%d) holds a dead sentinel in a live column", r, c))
+				}
+				continue
+			}
 			if j == myrinet.NoJob {
+				if m.dead[c] {
+					bad = append(bad, fmt.Sprintf("cell (%d,%d) reads free in dead column %d", r, c, c))
+					continue
+				}
 				free++
 				continue
+			}
+			if m.dead[c] {
+				deadUsed++
 			}
 			colCount[c]++
 			cells[j]++
@@ -323,11 +426,23 @@ func (m *Matrix) Audit() []string {
 		if m.rowFree[r] != free {
 			bad = append(bad, fmt.Sprintf("row %d cache says %d free cells, recount says %d", r, m.rowFree[r], free))
 		}
+		if m.rowDeadUsed[r] != deadUsed {
+			bad = append(bad, fmt.Sprintf("row %d cache says %d dead-occupied cells, recount says %d", r, m.rowDeadUsed[r], deadUsed))
+		}
 	}
 	for c, n := range colCount {
 		if m.colLoad[c] != n {
 			bad = append(bad, fmt.Sprintf("column %d cache says load %d, recount says %d", c, m.colLoad[c], n))
 		}
+	}
+	liveCount := 0
+	for _, d := range m.dead {
+		if !d {
+			liveCount++
+		}
+	}
+	if liveCount != m.live {
+		bad = append(bad, fmt.Sprintf("live-column cache says %d, recount says %d", m.live, liveCount))
 	}
 	for j, p := range m.jobs {
 		if got := cells[j]; got != len(p.Cols) {

@@ -327,3 +327,198 @@ func TestChurnQuickCheck(t *testing.T) {
 		})
 	}
 }
+
+func TestKillColumnShrinksCapacity(t *testing.T) {
+	m := NewMatrix(8, 4)
+	if _, err := m.Place(1, 4); err != nil {
+		t.Fatal(err)
+	}
+	// Kill a free column: live capacity and the row-free cache both shrink.
+	if err := m.KillColumn(6); err != nil {
+		t.Fatal(err)
+	}
+	if m.LiveCols() != 7 || !m.ColDead(6) || m.ColDead(5) {
+		t.Fatalf("live=%d dead(6)=%v dead(5)=%v", m.LiveCols(), m.ColDead(6), m.ColDead(5))
+	}
+	if got := m.RowFree(0); got != 3 {
+		t.Fatalf("RowFree(0) = %d after killing a free column, want 3", got)
+	}
+	if m.JobAt(0, 6) != myrinet.NoJob {
+		t.Fatalf("dead cell reads as job %d", m.JobAt(0, 6))
+	}
+	// The full-machine precheck now counts live columns, not physical ones.
+	if _, err := m.Place(2, 8); err == nil {
+		t.Fatal("size-8 job placed on a 7-live-column machine")
+	}
+	if bad := m.Audit(); bad != nil {
+		t.Fatalf("audit after kill: %v", bad)
+	}
+}
+
+func TestKillColumnUnderJob(t *testing.T) {
+	m := NewMatrixPolicy(4, 4, FirstFit{})
+	p, err := m.Place(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill a column a job occupies: the cell is tallied as dead-occupied
+	// (the job still holds it) and the audit stays clean until the caller
+	// kills the spanning job, as the masterd eviction path does.
+	if err := m.KillColumn(2); err != nil {
+		t.Fatal(err)
+	}
+	if bad := m.Audit(); bad != nil {
+		t.Fatalf("audit between kill and job removal: %v", bad)
+	}
+	if m.JobAt(p.Row, 2) != 1 {
+		t.Fatalf("occupied dead cell lost its job: %d", m.JobAt(p.Row, 2))
+	}
+	if err := m.Remove(1); err != nil {
+		t.Fatal(err)
+	}
+	// The vacated dead cell must not return to free capacity.
+	if m.Rows() != 0 {
+		t.Fatalf("rows = %d after removing the only job, want 0 (trimmed)", m.Rows())
+	}
+	if _, err := m.Place(2, 4); err == nil {
+		t.Fatal("size-4 job placed on a 3-live-column machine")
+	}
+	q, err := m.Place(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range q.Cols {
+		if c == 2 {
+			t.Fatalf("placement %v landed on dead column 2", q.Cols)
+		}
+	}
+	if bad := m.Audit(); bad != nil {
+		t.Fatalf("audit after re-place: %v", bad)
+	}
+}
+
+func TestKillColumnErrors(t *testing.T) {
+	m := NewMatrix(4, 0)
+	if err := m.KillColumn(-1); err == nil {
+		t.Fatal("killed column -1")
+	}
+	if err := m.KillColumn(4); err == nil {
+		t.Fatal("killed column past the machine")
+	}
+	if err := m.KillColumn(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.KillColumn(1); err == nil {
+		t.Fatal("killed column 1 twice")
+	}
+}
+
+func TestPackersSkipDeadColumns(t *testing.T) {
+	for _, pol := range Policies() {
+		pol := pol
+		t.Run(pol.Name(), func(t *testing.T) {
+			m := NewMatrixPolicy(8, 8, pol)
+			for _, c := range []int{1, 4} {
+				if err := m.KillColumn(c); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for id := myrinet.JobID(1); id <= 6; id++ {
+				p, err := m.Place(id, 1+int(id)%4)
+				if err != nil {
+					t.Fatalf("job %d: %v", id, err)
+				}
+				for _, c := range p.Cols {
+					if m.ColDead(c) {
+						t.Fatalf("job %d placed on dead column %d (cols %v)", id, c, p.Cols)
+					}
+				}
+			}
+			if bad := m.Audit(); bad != nil {
+				t.Fatalf("audit: %v", bad)
+			}
+		})
+	}
+}
+
+// TestKillColumnChurnQuickCheck extends the churn property test with node
+// kills: random place/remove/unify traffic interleaved with column kills
+// (each followed by removing the spanning jobs, the masterd contract), with
+// a full audit after every step.
+func TestKillColumnChurnQuickCheck(t *testing.T) {
+	for _, pol := range Policies() {
+		pol := pol
+		t.Run(pol.Name(), func(t *testing.T) {
+			rng := sim.NewRand(23)
+			m := NewMatrixPolicy(8, 6, pol)
+			var live []myrinet.JobID
+			next := myrinet.JobID(1)
+			audit := func(step int, op string) {
+				if bad := m.Audit(); bad != nil {
+					t.Fatalf("step %d after %s: %v", step, op, bad)
+				}
+			}
+			for step := 0; step < 1500; step++ {
+				switch {
+				case m.LiveCols() > 2 && rng.Bool(0.02):
+					// Kill a live column, then kill its spanning jobs as the
+					// eviction path does.
+					c := rng.Intn(8)
+					for m.ColDead(c) {
+						c = (c + 1) % 8
+					}
+					if err := m.KillColumn(c); err != nil {
+						t.Fatalf("step %d: kill column %d: %v", step, c, err)
+					}
+					for i := 0; i < len(live); {
+						p, _ := m.Placement(live[i])
+						spans := false
+						for _, pc := range p.Cols {
+							if pc == c {
+								spans = true
+								break
+							}
+						}
+						if !spans {
+							i++
+							continue
+						}
+						if err := m.Remove(live[i]); err != nil {
+							t.Fatalf("step %d: remove spanning job %d: %v", step, live[i], err)
+						}
+						live = append(live[:i], live[i+1:]...)
+					}
+					audit(step, "kill-column")
+				case len(live) == 0 || rng.Bool(0.5):
+					size := 1 + rng.Intn(m.LiveCols())
+					if _, err := m.Place(next, size); err != nil {
+						audit(step, "place-reject")
+						continue
+					}
+					live = append(live, next)
+					next++
+					audit(step, "place")
+				case rng.Bool(0.2):
+					m.Unify()
+					audit(step, "unify")
+				default:
+					i := rng.Intn(len(live))
+					id := live[i]
+					live = append(live[:i], live[i+1:]...)
+					if err := m.Remove(id); err != nil {
+						t.Fatalf("step %d: remove %d: %v", step, id, err)
+					}
+					audit(step, "remove")
+				}
+			}
+			for _, id := range live {
+				if err := m.Remove(id); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if m.Jobs() != 0 {
+				t.Fatalf("drained matrix still holds %d jobs", m.Jobs())
+			}
+		})
+	}
+}

@@ -33,7 +33,12 @@ func (Buddy) Name() string { return "buddy" }
 // UnifyOnExit returns false: DHC relies on block alignment, not packing.
 func (Buddy) UnifyOnExit() bool { return false }
 
-// Propose implements the two DHC steps.
+// Propose implements the two DHC steps. Blocks that lost columns to node
+// eviction compete only if enough live columns survive; a job then takes
+// the leftmost live cells of the block. When no aligned block can hold the
+// job (the shrink broke every buddy), alignment is abandoned and the job
+// takes the machine's lowest live columns — degraded-mode placement beats
+// wedging the queue.
 func (Buddy) Propose(m *Matrix, size int) (int, []int) {
 	// Step 1: pick the least-loaded aligned block of the buddy size.
 	width := nextPow2(size)
@@ -42,16 +47,32 @@ func (Buddy) Propose(m *Matrix, size int) (int, []int) {
 	}
 	bestStart, bestLoad := -1, -1
 	for start := 0; start+width <= m.cols; start += width {
+		liveIn := 0
+		for c := start; c < start+width; c++ {
+			if !m.dead[c] {
+				liveIn++
+			}
+		}
+		if liveIn < size {
+			continue
+		}
 		load := m.blockLoad(start, width)
 		if bestStart < 0 || load < bestLoad {
 			bestStart, bestLoad = start, load
 		}
 	}
-	// Step 2: the leftmost `size` columns of the chosen block, in the
+	// Step 2: the leftmost `size` live columns of the chosen block, in the
 	// first row where they are all free.
-	cols := make([]int, size)
-	for i := range cols {
-		cols[i] = bestStart + i
+	var cols []int
+	if bestStart < 0 {
+		cols = m.liveRange(size)
+	} else {
+		cols = make([]int, 0, size)
+		for c := bestStart; len(cols) < size; c++ {
+			if !m.dead[c] {
+				cols = append(cols, c)
+			}
+		}
 	}
 	for r := range m.rows {
 		if m.freeIn(r, cols) {
@@ -84,7 +105,7 @@ func (FirstFit) Propose(m *Matrix, size int) (int, []int) {
 			return r, colRange(start, size)
 		}
 	}
-	return len(m.rows), colRange(0, size)
+	return len(m.rows), m.liveRange(size)
 }
 
 // BestFit places each job in the tightest free run anywhere in the matrix
@@ -126,7 +147,7 @@ func (BestFit) Propose(m *Matrix, size int) (int, []int) {
 	if bestRow >= 0 {
 		return bestRow, colRange(bestStart, size)
 	}
-	return len(m.rows), colRange(0, size)
+	return len(m.rows), m.liveRange(size)
 }
 
 // Policies returns every packing policy, in comparison-table order.

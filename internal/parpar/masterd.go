@@ -49,6 +49,11 @@ type Masterd struct {
 	ackedBy      []bool
 	roundTargets []myrinet.JobID
 	ackWatch     sim.Event
+	// onEvict hooks fire when a node is declared dead — after its matrix
+	// column is killed, before the spanning jobs are — so a scheduler can
+	// shrink its own capacity caches before kill callbacks cascade into
+	// fresh placement decisions.
+	onEvict []func(node int)
 
 	// Clean-path round state, reused every rotation so the steady-state
 	// scheduler loop allocates nothing: targets is the per-node switch
@@ -167,6 +172,24 @@ func (m *Masterd) EvictedNodes() []int {
 		}
 	}
 	return out
+}
+
+// LiveNodes returns the number of nodes not yet evicted — the machine's
+// surviving capacity.
+func (m *Masterd) LiveNodes() int { return m.liveNodes() }
+
+// EvictedAt returns when node i was evicted; ok is false if it is alive.
+func (m *Masterd) EvictedAt(i int) (sim.Time, bool) {
+	t, ok := m.evictedAt[i]
+	return t, ok
+}
+
+// OnEvict registers a hook called whenever a node is declared dead. The
+// hook runs after the node's matrix column has been killed and before the
+// jobs spanning it are, so capacity queries from inside the hook (and from
+// the kill callbacks that follow) already see the shrunken machine.
+func (m *Masterd) OnEvict(fn func(node int)) {
+	m.onEvict = append(m.onEvict, fn)
 }
 
 // activeRow returns the currently scheduled row (-1 before the first
@@ -472,10 +495,19 @@ func (m *Masterd) ackFire(epoch uint64, attempt int) {
 	}
 	rec := m.c.cfg.Recovery
 	if attempt >= rec.AckRetries {
+		// Snapshot the silent set before the first eviction: evictNode can
+		// close the round and cascade into a fresh rotation (advance →
+		// tick), which resets ackedBy for the *new* round — reading it live
+		// here would mistake every healthy node for silent and evict the
+		// whole machine.
+		var evict []int
 		for i := range m.c.nodes {
 			if !m.dead[i] && !m.ackedBy[i] {
-				m.evictNode(i)
+				evict = append(evict, i)
 			}
+		}
+		for _, i := range evict {
+			m.evictNode(i)
 		}
 		return
 	}
@@ -500,6 +532,12 @@ func (m *Masterd) evictNode(i int) {
 	}
 	m.dead[i] = true
 	m.evictedAt[i] = m.c.Eng.Now()
+	// Shrink the matrix first: the column's free cells leave the capacity
+	// caches now, so any placement triggered from the kill callbacks below
+	// can no longer land on the dead node.
+	if err := m.matrix.KillColumn(i); err != nil {
+		panic(fmt.Sprintf("parpar: evicting node %d: %v", i, err))
+	}
 	id := myrinet.NodeID(i)
 	if m.inFlight {
 		if m.ackedBy[i] {
@@ -515,6 +553,9 @@ func (m *Masterd) evictNode(i int) {
 		node := node
 		m.c.reliableSend(m.c.Eng, j, func() bool { return !node.Mgr.InTopology(id) },
 			func() { node.evictPeer(id) })
+	}
+	for _, fn := range m.onEvict {
+		fn(i)
 	}
 	// Kill spanning jobs in ascending ID order for determinism.
 	ids := make([]myrinet.JobID, 0, len(m.jobs))

@@ -26,12 +26,14 @@ type NodeInfo struct {
 type Cache struct {
 	slots     int
 	nodes     []NodeInfo
-	freeNodes int // count of nodes with Free > 0, the admission precheck
+	freeNodes int    // count of live nodes with Free > 0, the admission precheck
+	dead      []bool // evicted nodes: Free pinned to 0, capacity gone for good
 }
 
 // NewCache returns an empty cache for a nodes-column, slots-deep matrix.
 func NewCache(nodes, slots int) *Cache {
-	c := &Cache{slots: slots, nodes: make([]NodeInfo, nodes), freeNodes: nodes}
+	c := &Cache{slots: slots, nodes: make([]NodeInfo, nodes), freeNodes: nodes,
+		dead: make([]bool, nodes)}
 	for i := range c.nodes {
 		c.nodes[i].Free = slots
 	}
@@ -63,16 +65,36 @@ func (c *Cache) Place(p gang.Placement) {
 	}
 }
 
-// Remove records a departure (completion, kill, or eviction).
+// Remove records a departure (completion, kill, or eviction). Slots on a
+// dead node do not return to the free pool — that capacity died with it.
 func (c *Cache) Remove(p gang.Placement) {
 	for _, col := range p.Cols {
 		n := &c.nodes[col]
+		if c.dead[col] {
+			n.Resident--
+			continue
+		}
 		if n.Free == 0 {
 			c.freeNodes++
 		}
 		n.Free++
 		n.Resident--
 	}
+}
+
+// KillNode marks a node evicted: its free slots leave the capacity pool
+// immediately, so FreeNodes answers with live capacity from this point on.
+// Resident counts drain as the spanning jobs are killed and Removed.
+func (c *Cache) KillNode(i int) {
+	if i < 0 || i >= len(c.nodes) || c.dead[i] {
+		return
+	}
+	c.dead[i] = true
+	n := &c.nodes[i]
+	if n.Free > 0 {
+		c.freeNodes--
+	}
+	n.Free = 0
 }
 
 // Audit reconciles the cache against the matrix and returns one message
@@ -90,8 +112,15 @@ func (c *Cache) Audit(m *gang.Matrix) []string {
 		if got := c.nodes[i].Resident; got != load {
 			bad = append(bad, fmt.Sprintf("node %d cache resident=%d, matrix load=%d", i, got, load))
 		}
-		if got := c.nodes[i].Free; got != c.slots-load {
-			bad = append(bad, fmt.Sprintf("node %d cache free=%d, matrix says %d", i, got, c.slots-load))
+		if c.dead[i] != m.ColDead(i) {
+			bad = append(bad, fmt.Sprintf("node %d cache dead=%t, matrix dead=%t", i, c.dead[i], m.ColDead(i)))
+		}
+		wantFree := c.slots - load
+		if c.dead[i] {
+			wantFree = 0 // a dead column holds no usable capacity
+		}
+		if got := c.nodes[i].Free; got != wantFree {
+			bad = append(bad, fmt.Sprintf("node %d cache free=%d, matrix says %d", i, got, wantFree))
 		}
 		if c.nodes[i].Free > 0 {
 			free++

@@ -41,6 +41,25 @@ func ms(t float64) float64 {
 	return sim.DefaultClock.ToDuration(sim.Time(t)).Seconds() * 1e3
 }
 
+// AvailabilityTable renders the failure-aware half of the showdown: per
+// mode, the goodput (useful work over the node-cycles that survived the
+// crashes), the requeue/gaveup activity, the mean time from crash-kill to
+// re-placement, and how much of the machine the dead nodes took with them.
+func AvailabilityTable(rs []*Result) *metrics.Table {
+	t := metrics.NewTable(
+		"Availability under node crashes",
+		"mode", "goodput", "done", "requeues", "rq_jobs", "gaveup", "cens",
+		"mean_ttr_ms", "nodes_lost", "cap_lost",
+	)
+	for _, r := range rs {
+		t.AddRow(
+			r.Mode, r.Goodput, r.Finished, r.Requeues, r.RequeuedJobs,
+			r.GaveUp, r.Censored, ms(r.MeanRequeue), r.NodesLost, r.CapacityLost,
+		)
+	}
+	return t
+}
+
 // GridTable renders the per-mode comparison grid: job fates, backfill and
 // migration activity, and the response/bounded-slowdown/utilization
 // numbers the showdown is about.

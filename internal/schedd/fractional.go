@@ -1,6 +1,7 @@
 package schedd
 
 import (
+	"fmt"
 	"sort"
 
 	"gangfm/internal/metrics"
@@ -43,6 +44,8 @@ func Fractional(cfg Config) *Result {
 		dlMiss   bool
 		arrive   sim.Time
 		done     float64
+		retries  int
+		gaveup   bool
 	}
 	tasks := make([]*ftask, len(cfg.Trace))
 	var lastArrive sim.Time
@@ -62,29 +65,39 @@ func Fractional(cfg Config) *Result {
 		horizon = lastArrive + 10_000*quantum
 	}
 
-	// The discrete churn commands, time-ordered (ties: trace order, then
-	// arrive < kill < resize).
+	// The discrete churn commands, time-ordered (ties: crashes first, then
+	// trace order, then arrive < kill < resize).
 	type fevent struct {
 		t    sim.Time
-		kind int // 0 arrive, 1 kill, 2 resize
+		kind int // 0 arrive, 1 kill, 2 resize, 3 node crash
 		task *ftask
+		node int
 	}
 	var events []fevent
 	for _, t := range tasks {
-		events = append(events, fevent{t.tj.Arrive, 0, t})
+		events = append(events, fevent{t: t.tj.Arrive, kind: 0, task: t})
 		if t.tj.Kill != 0 {
-			events = append(events, fevent{t.tj.Kill, 1, t})
+			events = append(events, fevent{t: t.tj.Kill, kind: 1, task: t})
 		}
 		if t.tj.ResizeTo != 0 {
-			events = append(events, fevent{t.tj.ResizeAt, 2, t})
+			events = append(events, fevent{t: t.tj.ResizeAt, kind: 2, task: t})
 		}
+	}
+	for _, cr := range cfg.Crashes {
+		events = append(events, fevent{t: cr.At, kind: 3, task: nil, node: cr.Node})
+	}
+	eventIdx := func(e fevent) int {
+		if e.task == nil {
+			return -1 // machine events order before any job's
+		}
+		return e.task.idx
 	}
 	sort.SliceStable(events, func(a, b int) bool {
 		if events[a].t != events[b].t {
 			return events[a].t < events[b].t
 		}
-		if events[a].task.idx != events[b].task.idx {
-			return events[a].task.idx < events[b].task.idx
+		if ai, bi := eventIdx(events[a]), eventIdx(events[b]); ai != bi {
+			return ai < bi
 		}
 		return events[a].kind < events[b].kind
 	})
@@ -92,12 +105,26 @@ func Fractional(cfg Config) *Result {
 	log := NewLog()
 	load := make([]int, cfg.Nodes) // co-resident jobs per node
 
-	// place puts a task on its size's least-loaded nodes (ties: lowest
-	// node id — deterministic) and starts its work clock.
-	nodeOrder := make([]int, cfg.Nodes)
+	// Failure state: dead nodes leave the placement pool permanently.
+	deadNode := make([]bool, cfg.Nodes)
+	deadAt := make(map[int]float64)
+	live := cfg.Nodes
+	budget := cfg.RetryBudget
+	if budget == 0 {
+		budget = 3
+	} else if budget < 0 {
+		budget = 0
+	}
+
+	// place puts a task on its size's least-loaded live nodes (ties:
+	// lowest node id — deterministic) and starts its work clock.
+	nodeOrder := make([]int, 0, cfg.Nodes)
 	place := func(t *ftask, now float64) {
-		for i := range nodeOrder {
-			nodeOrder[i] = i
+		nodeOrder = nodeOrder[:0]
+		for i := 0; i < cfg.Nodes; i++ {
+			if !deadNode[i] {
+				nodeOrder = append(nodeOrder, i)
+			}
 		}
 		sort.SliceStable(nodeOrder, func(a, b int) bool {
 			return load[nodeOrder[a]] < load[nodeOrder[b]]
@@ -181,6 +208,14 @@ func Fractional(cfg Config) *Result {
 		}
 	}
 
+	// giveUp retires a task the model abandons, mirroring the daemon's
+	// explicit gaveup reporting.
+	giveUp := func(t *ftask, at sim.Time, detail string) {
+		t.gaveup = true
+		t.done = float64(at)
+		log.Add(at, VerbGaveup, "job=%d %s", t.idx, detail)
+	}
+
 	for _, ev := range events {
 		if sim.Time(ev.t) > horizon {
 			break
@@ -190,9 +225,13 @@ func Fractional(cfg Config) *Result {
 		switch ev.kind {
 		case 0:
 			log.Add(ev.t, VerbSubmit, "job=%d size=%d", t.idx, t.size)
+			if t.size > live {
+				giveUp(t, ev.t, fmt.Sprintf("reason=capacity size=%d live=%d", t.size, live))
+				break
+			}
 			place(t, float64(ev.t))
 		case 1:
-			if t.finished || t.killed {
+			if t.finished || t.killed || t.gaveup {
 				log.Add(ev.t, VerbKillLate, "job=%d", t.idx)
 				break
 			}
@@ -201,7 +240,7 @@ func Fractional(cfg Config) *Result {
 			t.done = float64(ev.t)
 			log.Add(ev.t, VerbKill, "job=%d", t.idx)
 		case 2:
-			if t.finished || t.killed {
+			if t.finished || t.killed || t.gaveup {
 				log.Add(ev.t, VerbResizeLate, "job=%d", t.idx)
 				break
 			}
@@ -211,7 +250,50 @@ func Fractional(cfg Config) *Result {
 			t.size = t.tj.ResizeTo
 			t.resized = true
 			log.Add(ev.t, VerbResize, "job=%d to=%d", t.idx, t.size)
+			if t.size > live {
+				giveUp(t, ev.t, fmt.Sprintf("reason=capacity size=%d live=%d", t.size, live))
+				break
+			}
 			place(t, float64(ev.t))
+		case 3:
+			if deadNode[ev.node] {
+				break
+			}
+			deadNode[ev.node] = true
+			deadAt[ev.node] = float64(ev.t)
+			live--
+			log.Add(ev.t, VerbNodeDead, "node=%d live=%d", ev.node, live)
+			// Fractional sharing pays realistic failure costs too: jobs on
+			// the dead node lose their work and restart on the survivors
+			// (the PS pool admits immediately, so there is no backoff gap),
+			// under the same retry budget as the gang daemon.
+			for _, ft := range tasks {
+				if !ft.active {
+					continue
+				}
+				hit := false
+				for _, c := range ft.cols {
+					if c == ev.node {
+						hit = true
+						break
+					}
+				}
+				if !hit {
+					continue
+				}
+				unplace(ft)
+				log.Add(ev.t, VerbEvicted, "job=%d", ft.idx)
+				switch {
+				case ft.retries >= budget:
+					giveUp(ft, ev.t, fmt.Sprintf("reason=budget retries=%d", ft.retries))
+				case ft.size > live:
+					giveUp(ft, ev.t, fmt.Sprintf("reason=capacity size=%d live=%d", ft.size, live))
+				default:
+					ft.retries++
+					log.Add(ev.t, VerbRequeue, "job=%d retry=%d delay=0", ft.idx, ft.retries)
+					place(ft, float64(ev.t))
+				}
+			}
 		}
 	}
 	advanceTo(float64(horizon))
@@ -247,6 +329,12 @@ func Fractional(cfg Config) *Result {
 			if t.done > lastEnd {
 				lastEnd = t.done
 			}
+		case t.gaveup:
+			r.Evicted++
+			r.GaveUp++
+			if t.done > lastEnd {
+				lastEnd = t.done
+			}
 		default:
 			r.Censored++
 			censored++
@@ -261,13 +349,30 @@ func Fractional(cfg Config) *Result {
 		if t.dlMiss {
 			r.DlMiss++
 		}
+		if t.retries > 0 {
+			r.RequeuedJobs++
+			r.Requeues += t.retries
+		}
 	}
-	log.Add(horizon, VerbHorizon, "censored=%d cache_ok=true nodes_evicted=0", censored)
+	log.Add(horizon, VerbHorizon, "censored=%d cache_ok=true nodes_evicted=%d", censored, len(deadAt))
 	r.MeanResponse = metrics.Mean(responses)
 	r.MeanSlowdown = metrics.Mean(slowdowns)
 	r.MaxSlowdown = metrics.Max(slowdowns)
-	if span := lastEnd - firstArrive; span > 0 {
-		r.Utilization = usefulWork / (float64(cfg.Nodes) * span)
+	span := lastEnd - firstArrive
+	var lostCap float64
+	for _, at := range deadAt {
+		r.NodesLost++
+		if at < lastEnd {
+			lostCap += lastEnd - at
+		}
+	}
+	if span > 0 {
+		total := float64(cfg.Nodes) * span
+		r.Utilization = usefulWork / total
+		r.CapacityLost = lostCap / total
+		if surviving := total - lostCap; surviving > 0 {
+			r.Goodput = usefulWork / surviving
+		}
 	}
 	return r
 }

@@ -26,6 +26,9 @@ const (
 	VerbCompact
 	VerbDone
 	VerbEvicted
+	VerbRequeue
+	VerbGaveup
+	VerbNodeDead
 	VerbCacheBad
 	VerbHorizon
 	verbCount
@@ -33,7 +36,15 @@ const (
 
 var verbNames = [...]string{
 	"submit", "place", "backfill", "queue", "prune", "kill", "kill-late",
-	"resize", "resize-late", "compact", "done", "evicted", "cache-bad", "horizon",
+	"resize", "resize-late", "compact", "done", "evicted", "requeue", "gaveup",
+	"node-dead", "cache-bad", "horizon",
+}
+
+// failureVerb reports whether v only ever appears in failure-injected runs.
+// StatsTable hides these rows when every run's count is zero, so clean-path
+// decision tables render byte-identically to the pre-failure-aware layout.
+func failureVerb(v Verb) bool {
+	return v == VerbRequeue || v == VerbGaveup || v == VerbNodeDead
 }
 
 // String returns the verb's log name.
@@ -116,6 +127,18 @@ func StatsTable(rs []*Result) *metrics.Table {
 	}
 	t := metrics.NewTable("Decision-log statistics", cols...)
 	for v := Verb(0); v < verbCount; v++ {
+		if failureVerb(v) {
+			seen := false
+			for _, r := range rs {
+				if r.Log != nil && r.Log.Count(v) > 0 {
+					seen = true
+					break
+				}
+			}
+			if !seen {
+				continue
+			}
+		}
 		row := []any{v.String()}
 		for _, r := range rs {
 			if r.Log == nil {

@@ -59,10 +59,29 @@ type Config struct {
 	// BackfillSlack scales the conservative backfill estimate; zero means
 	// the default 2x. Larger is more conservative (fewer backfills).
 	BackfillSlack float64
+	// AdaptiveEstimate replaces the static slots-deep stretch in the
+	// backfill estimate with an observed per-kernel EWMA of response over
+	// nominal work, tightening as completions accumulate. Off by default:
+	// the clean-path goldens pin the static estimator.
+	AdaptiveEstimate bool
 	// Chaos optionally installs a fault plan; Recovery enables the
 	// self-healing layer (required for evictions to resolve).
 	Chaos    *chaos.Plan
 	Recovery *parpar.Recovery
+	// Crashes are fail-stop node crashes injected into the run (the
+	// crash=node@T trace directive / gangsim churn -crash path). They are
+	// appended to the chaos plan as NodeCrash faults; if no Recovery is
+	// configured, the default recovery budgets are armed so evictions
+	// actually resolve instead of wedging the rotation.
+	Crashes []schedeval.Crash
+	// RetryBudget caps how many times a crash-killed job is requeued
+	// before the daemon gives up on it. Zero means the default (3);
+	// negative means no retries.
+	RetryBudget int
+	// RequeueBackoff is the base delay before a crash-killed job re-enters
+	// the admission queue; it doubles per retry of the same job. Zero
+	// means one quantum.
+	RequeueBackoff sim.Time
 	// Shards and Workers select the sharded engine group.
 	Shards  int
 	Workers int
@@ -99,9 +118,19 @@ type task struct {
 	resized  bool // at least one resize happened
 	killing  bool // kill in progress (distinguishes from eviction)
 	resizing bool // resize kill in progress
-	evicted  bool // chaos eviction killed it
+	evicted  bool // chaos eviction killed it for good (no retries left)
 	backfill bool // admitted by backfill, out of queue order
 	dlMiss   bool // finished after its deadline (or censored with one)
+
+	// Requeue state (failure-aware scheduling): retries counts the
+	// crash-kill resubmissions so far, pending marks a requeue scheduled
+	// but not yet fired (its backoff window), crashAt stamps the kill that
+	// the next placement's time-to-requeue is measured from, and gaveup
+	// marks a terminal eviction the daemon explicitly abandoned.
+	retries int
+	pending bool
+	crashAt sim.Time
+	gaveup  bool
 }
 
 // Daemon is the online scheduler.
@@ -116,6 +145,19 @@ type Daemon struct {
 
 	horizon sim.Time
 	slack   float64
+
+	// Failure-aware state: retry budget and base backoff for crash-kill
+	// requeues, plus the time-to-requeue accumulators (crash kill to
+	// re-placement on surviving capacity).
+	budget     int
+	backoff    sim.Time
+	requeueSum sim.Time
+	requeueN   int
+
+	// Adaptive backfill estimator: per-kernel EWMA of observed stretch
+	// (wall response over nominal work) seeded lazily from completions.
+	adaptive bool
+	stretch  map[schedeval.Kernel]float64
 }
 
 // New builds the daemon and its cluster. The trace is validated against
@@ -127,6 +169,11 @@ func New(cfg Config) (*Daemon, error) {
 	for i, j := range cfg.Trace {
 		if err := j.Validate(cfg.Nodes); err != nil {
 			return nil, fmt.Errorf("schedd: trace job %d: %w", i, err)
+		}
+	}
+	for i, cr := range cfg.Crashes {
+		if err := cr.Validate(cfg.Nodes); err != nil {
+			return nil, fmt.Errorf("schedd: crash %d: %w", i, err)
 		}
 	}
 	pcfg := parpar.DefaultConfig(cfg.Nodes)
@@ -146,6 +193,26 @@ func New(cfg Config) (*Daemon, error) {
 	}
 	pcfg.Chaos = cfg.Chaos
 	pcfg.Recovery = cfg.Recovery
+	if len(cfg.Crashes) > 0 {
+		// Fold the crash schedule into the chaos plan (as fail-stop
+		// NodeCrash faults) without mutating the caller's plan, and arm the
+		// default recovery budgets if none were configured — a crash
+		// without recovery wedges the rotation instead of evicting.
+		plan := chaos.Plan{Seed: pcfg.Seed}
+		if cfg.Chaos != nil {
+			plan = *cfg.Chaos
+			plan.Faults = append([]chaos.Fault(nil), cfg.Chaos.Faults...)
+		}
+		for _, cr := range cfg.Crashes {
+			plan.Faults = append(plan.Faults,
+				chaos.Fault{Kind: chaos.NodeCrash, Node: cr.Node, From: cr.At})
+		}
+		pcfg.Chaos = &plan
+		if pcfg.Recovery == nil {
+			r := parpar.DefaultRecovery(pcfg.Quantum)
+			pcfg.Recovery = &r
+		}
+	}
 	pcfg.Shards = cfg.Shards
 	pcfg.Workers = cfg.Workers
 	cluster, err := parpar.New(pcfg)
@@ -156,13 +223,32 @@ func New(cfg Config) (*Daemon, error) {
 	if slack <= 0 {
 		slack = 2
 	}
-	d := &Daemon{
-		cfg:     cfg,
-		cluster: cluster,
-		cache:   NewCache(cfg.Nodes, cfg.Slots),
-		log:     NewLog(),
-		slack:   slack,
+	budget := cfg.RetryBudget
+	if budget == 0 {
+		budget = 3
+	} else if budget < 0 {
+		budget = 0
 	}
+	backoff := cfg.RequeueBackoff
+	if backoff <= 0 {
+		backoff = pcfg.Quantum
+	}
+	d := &Daemon{
+		cfg:      cfg,
+		cluster:  cluster,
+		cache:    NewCache(cfg.Nodes, cfg.Slots),
+		log:      NewLog(),
+		slack:    slack,
+		budget:   budget,
+		backoff:  backoff,
+		adaptive: cfg.AdaptiveEstimate,
+	}
+	if d.adaptive {
+		d.stretch = make(map[schedeval.Kernel]float64)
+	}
+	// Shrink our capacity caches the instant a node is declared dead —
+	// before the spanning jobs' kill callbacks can trigger new placements.
+	cluster.Master().OnEvict(d.onNodeDead)
 	return d, nil
 }
 
@@ -233,9 +319,12 @@ func (t *task) specFor() parpar.JobSpec {
 }
 
 // estimate is the conservative completion estimate used by backfill: the
-// scheme-independent nominal work, multiplied by the slot-table depth
-// (time slicing stretches wall time by the number of co-scheduled rows)
-// and the configured slack.
+// scheme-independent nominal work, multiplied by a stretch factor and the
+// configured slack. The static stretch is the slot-table depth (time
+// slicing stretches wall time by the number of co-scheduled rows); with
+// AdaptiveEstimate on, kernels that have completed at least once use the
+// observed EWMA stretch instead, which starts at the static worst case and
+// tightens toward the real response as completions accumulate.
 func (d *Daemon) estimate(t *task) sim.Time {
 	tj := t.tj
 	tj.Size = t.size
@@ -243,7 +332,42 @@ func (d *Daemon) estimate(t *task) sim.Time {
 	if slots < 1 {
 		slots = 1
 	}
-	return sim.Time(d.slack * float64(tj.Nominal()) * float64(slots))
+	stretch := float64(slots)
+	if d.adaptive {
+		if s, ok := d.stretch[tj.Kernel]; ok {
+			stretch = s
+		}
+	}
+	return sim.Time(d.slack * float64(tj.Nominal()) * stretch)
+}
+
+// observe feeds a natural completion into the adaptive estimator: the
+// incarnation's wall response over its nominal work is the realized
+// stretch for its kernel type.
+func (d *Daemon) observe(t *task, now sim.Time) {
+	if !d.adaptive {
+		return
+	}
+	tj := t.tj
+	tj.Size = t.size
+	nominal := float64(tj.Nominal())
+	if nominal <= 0 || now <= t.placedAt {
+		return
+	}
+	obs := float64(now-t.placedAt) / nominal
+	if old, ok := d.stretch[tj.Kernel]; ok {
+		d.stretch[tj.Kernel] = 0.5*old + 0.5*obs
+	} else {
+		d.stretch[tj.Kernel] = obs
+	}
+}
+
+// EstimatedStretch exposes the adaptive estimator's current stretch for a
+// kernel (tests assert the estimate tightens); ok is false before the
+// kernel's first completion or with the adaptive estimator off.
+func (d *Daemon) EstimatedStretch(k schedeval.Kernel) (float64, bool) {
+	s, ok := d.stretch[k]
+	return s, ok
 }
 
 // submit handles an arrival command: log it, enqueue, drain.
@@ -262,6 +386,13 @@ func (d *Daemon) kill(t *task) {
 	switch {
 	case t.finished || t.killed || t.evicted:
 		d.log.Add(now, VerbKillLate, "job=%d", t.idx)
+	case t.pending:
+		// Crash-killed, waiting out its requeue backoff: cancel the
+		// pending resubmission and retire the task.
+		t.pending = false
+		t.killed = true
+		t.done = now
+		d.log.Add(now, VerbKill, "job=%d pending=true", t.idx)
 	case t.queued:
 		d.dequeue(t)
 		t.killed = true
@@ -291,6 +422,12 @@ func (d *Daemon) resize(t *task) {
 	case t.finished || t.killed || t.evicted:
 		d.log.Add(now, VerbResizeLate, "job=%d", t.idx)
 		return
+	case t.pending:
+		// Crash-killed, waiting out its backoff: the resubmission will
+		// come back at the new size.
+		t.size = to
+		t.resized = true
+		d.log.Add(now, VerbResize, "job=%d to=%d pending=true", t.idx, to)
 	case t.queued:
 		t.size = to
 		t.resized = true
@@ -320,6 +457,58 @@ func (d *Daemon) reclaim() {
 	if moved := d.cluster.Compact(); moved > 0 {
 		d.log.Add(d.cluster.Eng.Now(), VerbCompact, "moved=%d", moved)
 	}
+	d.drain()
+}
+
+// onNodeDead is the masterd eviction hook: it fires after the dead node's
+// matrix column is killed and before the jobs spanning it are, so the
+// placement cache shrinks before any kill callback can cascade into a new
+// admission decision. Queued jobs larger than the surviving machine are
+// given up on the spot — they could otherwise wedge the queue head and
+// censor everything behind it.
+func (d *Daemon) onNodeDead(node int) {
+	now := d.cluster.Eng.Now()
+	d.cache.KillNode(node)
+	live := d.cluster.Master().Matrix().LiveCols()
+	d.log.Add(now, VerbNodeDead, "node=%d live=%d", node, live)
+	var doomed []*task
+	for _, t := range d.queue {
+		if t.size > live {
+			doomed = append(doomed, t)
+		}
+	}
+	for _, t := range doomed {
+		d.dequeue(t)
+		d.giveUp(t, now, fmt.Sprintf("reason=capacity size=%d live=%d", t.size, live))
+	}
+}
+
+// giveUp retires a task the daemon abandons: it counts as a terminal
+// eviction, reported in its own gaveup row, never folded into the means.
+func (d *Daemon) giveUp(t *task, now sim.Time, detail string) {
+	t.evicted = true
+	t.gaveup = true
+	t.pending = false
+	t.queued = false
+	t.done = now
+	d.log.Add(now, VerbGaveup, "job=%d %s", t.idx, detail)
+}
+
+// requeueFire ends a crash-killed task's backoff window: re-check the
+// surviving capacity (more nodes may have died while it waited), then
+// re-enter the admission queue in event order.
+func (d *Daemon) requeueFire(t *task) {
+	if !t.pending {
+		return // canceled by a kill command during the backoff
+	}
+	t.pending = false
+	now := d.cluster.Eng.Now()
+	if live := d.cluster.Master().Matrix().LiveCols(); t.size > live {
+		d.giveUp(t, now, fmt.Sprintf("reason=capacity size=%d live=%d", t.size, live))
+		return
+	}
+	t.queued = true
+	d.queue = append(d.queue, t)
 	d.drain()
 }
 
@@ -397,6 +586,12 @@ func (d *Daemon) tryPlace(t *task, asBackfill bool) bool {
 	t.placedAt = now
 	t.est = now + d.estimate(t)
 	t.backfill = t.backfill || asBackfill
+	if t.crashAt != 0 {
+		// Back on the matrix after a crash: close the availability gap.
+		d.requeueSum += now - t.crashAt
+		d.requeueN++
+		t.crashAt = 0
+	}
 	d.cache.Place(job.Placement)
 	verb := VerbPlace
 	if asBackfill {
@@ -422,13 +617,36 @@ func (d *Daemon) onDone(t *task, j *parpar.Job) {
 		if t.killing || t.resizing {
 			return // the command handler owns the bookkeeping and logging
 		}
-		t.evicted = true
-		t.done = now
+		// Crash-kill: a chaos eviction took the job down, not a command.
+		// Requeue it on surviving capacity if the retry budget and the
+		// shrunken machine allow; otherwise give up explicitly.
 		t.job = nil
+		t.placed = false
 		d.log.Add(now, VerbEvicted, "job=%d", t.idx)
+		live := d.cluster.Master().Matrix().LiveCols()
+		switch {
+		case t.retries >= d.budget:
+			t.evicted = true
+			t.gaveup = true
+			t.done = now
+			d.log.Add(now, VerbGaveup, "job=%d reason=budget retries=%d", t.idx, t.retries)
+		case t.size > live:
+			t.evicted = true
+			t.gaveup = true
+			t.done = now
+			d.log.Add(now, VerbGaveup, "job=%d reason=capacity size=%d live=%d", t.idx, t.size, live)
+		default:
+			t.retries++
+			t.pending = true
+			t.crashAt = now
+			delay := d.backoff << (t.retries - 1)
+			d.log.Add(now, VerbRequeue, "job=%d retry=%d delay=%d", t.idx, t.retries, uint64(delay))
+			d.cluster.Eng.ScheduleAt(now+delay, func() { d.requeueFire(t) })
+		}
 		d.reclaim()
 		return
 	}
+	d.observe(t, now)
 	t.finished = true
 	t.done = now
 	if t.tj.Deadline != 0 && now > t.tj.Deadline {
@@ -480,6 +698,23 @@ type Result struct {
 	MeanSlowdown float64
 	MaxSlowdown  float64
 	Utilization  float64
+
+	// Availability metrics (all zero on clean runs): Requeues counts
+	// crash-kill resubmissions, RequeuedJobs the distinct jobs that came
+	// back at least once, GaveUp the jobs the scheduler explicitly
+	// abandoned (retry budget exhausted or machine too small — a subset of
+	// Evicted). MeanRequeue is the mean cycles from crash-kill to
+	// re-placement on surviving capacity. NodesLost counts evicted nodes,
+	// CapacityLost the fraction of the machine's node-cycles they took
+	// with them, and Goodput the useful work over the node-cycles that
+	// actually survived (utilization of the live machine).
+	Requeues     int
+	RequeuedJobs int
+	GaveUp       int
+	MeanRequeue  float64
+	NodesLost    int
+	CapacityLost float64
+	Goodput      float64
 
 	Log    *Log
 	Events uint64
@@ -545,13 +780,37 @@ func (d *Daemon) Result(mode string) *Result {
 		if t.backfill {
 			r.Backfills++
 		}
+		if t.retries > 0 {
+			r.RequeuedJobs++
+			r.Requeues += t.retries
+		}
+		if t.gaveup {
+			r.GaveUp++
+		}
 	}
 	r.Migrations = d.log.Sum(VerbCompact, "moved")
 	r.MeanResponse = metrics.Mean(responses)
 	r.MeanSlowdown = metrics.Mean(slowdowns)
 	r.MaxSlowdown = metrics.Max(slowdowns)
-	if span := lastEnd - firstArrive; span > 0 {
-		r.Utilization = usefulWork / (float64(d.cfg.Nodes) * float64(span))
+	if d.requeueN > 0 {
+		r.MeanRequeue = float64(d.requeueSum) / float64(d.requeueN)
+	}
+	master := d.cluster.Master()
+	span := lastEnd - firstArrive
+	var lost float64
+	for _, n := range master.EvictedNodes() {
+		r.NodesLost++
+		if at, ok := master.EvictedAt(n); ok && at < lastEnd {
+			lost += float64(lastEnd - at)
+		}
+	}
+	if span > 0 {
+		total := float64(d.cfg.Nodes) * float64(span)
+		r.Utilization = usefulWork / total
+		r.CapacityLost = lost / total
+		if surviving := total - lost; surviving > 0 {
+			r.Goodput = usefulWork / surviving
+		}
 	}
 	return r
 }

@@ -227,7 +227,7 @@ func TestChaosUnderChurn(t *testing.T) {
 		return schedeval.TraceJob{Arrive: arrive, Size: size, Kernel: schedeval.KernelBSP,
 			Units: 4, Msgs: 6, MsgBytes: 512, Compute: 2_000_000}
 	}
-	run := func() (*Result, []int) {
+	run := func(shards, workers int) (*Result, []int) {
 		cfg := DefaultConfig(4)
 		cfg.Slots = 2
 		cfg.Quantum = 400_000
@@ -237,6 +237,8 @@ func TestChaosUnderChurn(t *testing.T) {
 			long(5_000_000, 2), // arrives after the crash settles
 		}
 		cfg.Horizon = 400_000_000
+		cfg.Shards = shards
+		cfg.Workers = workers
 		rec := parpar.DefaultRecovery(cfg.Quantum)
 		cfg.Recovery = &rec
 		cfg.Chaos = &chaos.Plan{Seed: 5, Faults: []chaos.Fault{
@@ -251,22 +253,52 @@ func TestChaosUnderChurn(t *testing.T) {
 		}
 		return d.Result("gang"), d.Cluster().Master().EvictedNodes()
 	}
-	r, evicted := run()
+	r, evicted := run(0, 0)
 	if len(evicted) == 0 {
 		t.Fatalf("no node evicted under NodeCrash:\n%s", r.Log)
 	}
-	if r.Evicted == 0 {
-		t.Fatalf("no job evicted, want the spanning job:\n%s", r.Log)
+	if got := r.Log.Count(VerbNodeDead); got != len(evicted) {
+		t.Errorf("node-dead log count %d != evicted nodes %d", got, len(evicted))
 	}
-	if r.Log.Count(VerbEvicted) != r.Evicted {
-		t.Errorf("evicted log count %d != grid count %d", r.Log.Count(VerbEvicted), r.Evicted)
+	if r.Evicted == 0 {
+		t.Fatalf("no job evicted, want the full-machine job:\n%s", r.Log)
+	}
+	// Terminal evictions are exactly the explicit gaveups, and every
+	// crash-kill was either requeued or given up — nothing silently lost.
+	if r.Evicted != r.GaveUp {
+		t.Errorf("evicted %d != gaveup %d: a crash-kill fate went unreported", r.Evicted, r.GaveUp)
+	}
+	if crashKills := r.Log.Count(VerbEvicted); crashKills > r.Log.Count(VerbRequeue)+r.Log.Count(VerbGaveup) {
+		t.Errorf("%d crash-kills but only %d requeue + %d gaveup decisions",
+			crashKills, r.Log.Count(VerbRequeue), r.Log.Count(VerbGaveup))
+	}
+	// Zero jobs stuck in Loading on dead nodes: the spanning job requeued
+	// onto surviving capacity and finished, so nothing is censored.
+	if r.Censored != 0 {
+		t.Errorf("censored %d jobs, want 0 (requeue must drain them):\n%s", r.Censored, r.Log)
+	}
+	if r.RequeuedJobs == 0 {
+		t.Errorf("no job requeued, want the crash-killed small job:\n%s", r.Log)
 	}
 	if r.Finished == 0 {
 		t.Fatalf("no survivor completed on the degraded cluster:\n%s", r.Log)
 	}
-	r2, _ := run()
+	if r.NodesLost != len(evicted) || r.CapacityLost <= 0 || r.Goodput <= r.Utilization {
+		t.Errorf("availability metrics inconsistent: lost=%d cap=%.3f goodput=%.3f util=%.3f",
+			r.NodesLost, r.CapacityLost, r.Goodput, r.Utilization)
+	}
+	r2, _ := run(0, 0)
 	if render(r) != render(r2) {
 		t.Fatal("chaos-under-churn run not byte-identical across replays")
+	}
+	// An armed chaos plan forces the sharded group into lockstep, so the
+	// crash cascade — eviction order, requeue timing, every log line — must
+	// be byte-identical at any shard/worker setting.
+	for _, workers := range []int{1, 2, 4} {
+		sharded, _ := run(4, workers)
+		if render(r) != render(sharded) {
+			t.Fatalf("shards=4 workers=%d diverged from the unsharded crash run", workers)
+		}
 	}
 }
 
@@ -401,5 +433,143 @@ func TestConfigValidation(t *testing.T) {
 		Units: 1, Msgs: 1, MsgBytes: 64}}
 	if _, err := New(cfg); err == nil {
 		t.Error("oversized job accepted")
+	}
+}
+
+// TestAdaptiveEstimateTightens pins the EWMA backfill estimator: it starts
+// from the static slots-deep worst case, and once a kernel has completed,
+// the observed stretch — near 1 for jobs running alone — replaces it, so
+// the shadow estimate tightens toward the real response.
+func TestAdaptiveEstimateTightens(t *testing.T) {
+	var trace []schedeval.TraceJob
+	for i := 0; i < 6; i++ {
+		trace = append(trace, schedeval.TraceJob{
+			Arrive: sim.Time(1 + i*60_000_000), Size: 4, Kernel: schedeval.KernelBSP,
+			Units: 2, Msgs: 2, MsgBytes: 256, Compute: 2_000_000})
+	}
+	run := func(adaptive bool) *Daemon {
+		cfg := DefaultConfig(8)
+		cfg.Trace = trace
+		cfg.AdaptiveEstimate = adaptive
+		d, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if r := d.Result("gang"); r.Finished != len(trace) {
+			t.Fatalf("finished %d of %d jobs", r.Finished, len(trace))
+		}
+		return d
+	}
+	d := run(true)
+	s, ok := d.EstimatedStretch(schedeval.KernelBSP)
+	if !ok {
+		t.Fatal("no stretch observed after six completions")
+	}
+	static := float64(DefaultConfig(8).Slots)
+	if s <= 0 || s >= static/2 {
+		t.Fatalf("observed stretch %.3f did not tighten below the static %.0f", s, static)
+	}
+	if _, ok := d.EstimatedStretch(schedeval.KernelStencil); ok {
+		t.Fatal("stretch reported for a kernel that never completed")
+	}
+	if _, ok := run(false).EstimatedStretch(schedeval.KernelBSP); ok {
+		t.Fatal("stretch reported with the adaptive estimator off")
+	}
+}
+
+// crashedChurn runs the gang daemon over the seeded churn trace with
+// sampled fail-stop crashes armed.
+func crashedChurn(t *testing.T, retryBudget int) (*Daemon, int) {
+	t.Helper()
+	trace := churnTrace(t, 12)
+	var lastArrive sim.Time
+	for _, tj := range trace {
+		if tj.Arrive > lastArrive {
+			lastArrive = tj.Arrive
+		}
+	}
+	crashes, err := schedeval.GenCrashes(7, 8, 0.35, lastArrive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(crashes) == 0 {
+		t.Fatal("crash sampler produced no crashes")
+	}
+	cfg := DefaultConfig(8)
+	cfg.Trace = trace
+	cfg.Crashes = crashes
+	cfg.AdaptiveEstimate = true
+	cfg.RetryBudget = retryBudget
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return d, len(crashes)
+}
+
+// TestCrashRequeueRecovers is the tentpole acceptance check in test form:
+// under mid-run node crashes the gang daemon evicts the dead nodes, shrinks
+// its capacity view, and requeues the crash-killed jobs on the survivors —
+// nothing is left censored (stuck in Loading on a dead node) at the
+// horizon, and the placement cache stays coherent with the shrunken matrix.
+func TestCrashRequeueRecovers(t *testing.T) {
+	d, nCrashes := crashedChurn(t, 0)
+	r := d.Result("gang")
+	if r.NodesLost != nCrashes {
+		t.Fatalf("NodesLost = %d, want %d", r.NodesLost, nCrashes)
+	}
+	if got := d.Cluster().Master().LiveNodes(); got != 8-nCrashes {
+		t.Fatalf("LiveNodes = %d, want %d", got, 8-nCrashes)
+	}
+	if r.Requeues == 0 || r.RequeuedJobs == 0 {
+		t.Fatalf("crashes killed jobs but requeues=%d requeued_jobs=%d", r.Requeues, r.RequeuedJobs)
+	}
+	if r.Censored != 0 {
+		t.Fatalf("%d jobs censored at the horizon — stuck instead of requeued:\n%s", r.Censored, d.Log())
+	}
+	if r.MeanRequeue <= 0 {
+		t.Fatalf("MeanRequeue = %v with %d requeues", r.MeanRequeue, r.Requeues)
+	}
+	if r.CapacityLost <= 0 || r.Goodput <= 0 {
+		t.Fatalf("availability metrics not computed: cap_lost=%v goodput=%v", r.CapacityLost, r.Goodput)
+	}
+	if got := r.Log.Count(VerbRequeue); got != r.Requeues {
+		t.Fatalf("log has %d requeue lines, result says %d", got, r.Requeues)
+	}
+	if got := r.Log.Count(VerbCacheBad); got != 0 {
+		t.Fatalf("%d cache coherence violations:\n%s", got, r.Log)
+	}
+	if bad := d.Cache().Audit(d.Cluster().Master().Matrix()); len(bad) != 0 {
+		t.Fatalf("cache audit: %v", bad)
+	}
+	if r.Finished+r.Killed+r.Evicted+r.Censored != r.Jobs {
+		t.Fatalf("fates don't partition: %d+%d+%d+%d != %d",
+			r.Finished, r.Killed, r.Evicted, r.Censored, r.Jobs)
+	}
+}
+
+// TestCrashRetryBudgetExhausted pins the gaveup path: with a zero retry
+// budget (RetryBudget < 0) every crash-killed job is abandoned with
+// reason=budget instead of requeued.
+func TestCrashRetryBudgetExhausted(t *testing.T) {
+	d, _ := crashedChurn(t, -1)
+	r := d.Result("gang")
+	if r.Requeues != 0 {
+		t.Fatalf("zero budget but %d requeues", r.Requeues)
+	}
+	if r.GaveUp == 0 {
+		t.Fatal("zero budget and crash kills, but no job gave up")
+	}
+	if !strings.Contains(r.Log.String(), "reason=budget") {
+		t.Fatalf("gaveup lines lack reason=budget:\n%s", r.Log)
+	}
+	if r.Censored != 0 {
+		t.Fatalf("%d jobs censored — gaveup path left work stuck", r.Censored)
 	}
 }

@@ -37,17 +37,20 @@ func ms(t float64) float64 {
 
 // SummaryTable renders one row per run: the comparison the paper's n²
 // credit argument predicts (partitioned slowdowns blow up with competing
-// jobs; switched ones do not).
+// jobs; switched ones do not). The response and slowdown aggregates
+// cover finished jobs only; censored jobs get their count and their mean
+// deadline-clamped response (a lower bound) in their own columns.
 func SummaryTable(rs []*Result) *metrics.Table {
 	t := metrics.NewTable(
 		"Trace-driven schedule evaluation",
-		"packing", "credits", "jobs", "done", "cens", "peak", "makespan_ms",
-		"mean_resp_ms", "mean_bsld", "max_bsld", "util", "comm_frac", "switches",
+		"packing", "credits", "jobs", "done", "cens", "cens_resp_ms", "peak",
+		"makespan_ms", "mean_resp_ms", "mean_bsld", "max_bsld", "util",
+		"comm_frac", "switches",
 	)
 	for _, r := range rs {
 		t.AddRow(
 			r.Packing, r.Scheme.String(), len(r.Jobs), r.Finished, r.Censored,
-			r.PeakConcurrent,
+			ms(r.CensoredMeanResponse), r.PeakConcurrent,
 			ms(float64(r.Makespan)), ms(r.MeanResponse),
 			r.MeanSlowdown, r.MaxSlowdown, r.Utilization, r.MeanCommFraction,
 			r.Switches,

@@ -171,3 +171,38 @@ func Generate(cfg GenConfig) ([]TraceJob, error) {
 	}
 	return jobs, nil
 }
+
+// GenCrashes samples fail-stop node crashes for a failure-aware churn
+// campaign: each node crashes independently with probability fraction, at
+// a time uniform in [span/4, span). The RNG stream is derived from the
+// seed but separate from the job generator's, so arming crashes never
+// perturbs the job trace, and at least one node is always left alive.
+// Crashes come back in ascending node order (times are independent).
+func GenCrashes(seed uint64, nodes int, fraction float64, span sim.Time) ([]Crash, error) {
+	if fraction < 0 || fraction > 1 {
+		return nil, fmt.Errorf("schedeval: crash fraction %v outside [0,1]", fraction)
+	}
+	if nodes <= 0 || span <= 0 {
+		return nil, fmt.Errorf("schedeval: crash generator needs positive nodes and span")
+	}
+	if fraction == 0 {
+		return nil, nil
+	}
+	rng := sim.NewRand(seed ^ 0xC4A5_4ED0)
+	lo := span / 4
+	if lo < 1 {
+		lo = 1
+	}
+	var crashes []Crash
+	for n := 0; n < nodes; n++ {
+		if !rng.Bool(fraction) {
+			continue
+		}
+		if len(crashes) >= nodes-1 {
+			break // never take the whole machine down
+		}
+		at := lo + sim.Time(rng.Intn(int(span-lo)))
+		crashes = append(crashes, Crash{Node: n, At: at})
+	}
+	return crashes, nil
+}

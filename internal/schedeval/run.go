@@ -100,13 +100,20 @@ type Result struct {
 	Finished int
 	// Censored counts jobs still unfinished at the run deadline: their
 	// Done is clamped to the deadline, so their response times are lower
-	// bounds, not observations.
+	// bounds, not observations. They are excluded from MeanResponse and
+	// the slowdown aggregates (which cover finished jobs only) and
+	// reported separately through CensoredMeanResponse.
 	Censored       int
 	PeakConcurrent int
 	Makespan       sim.Time
-	MeanResponse   float64 // cycles
-	MeanSlowdown   float64
-	MaxSlowdown    float64
+	MeanResponse   float64 // cycles, finished jobs only
+	MeanSlowdown   float64 // finished jobs only
+	MaxSlowdown    float64 // finished jobs only
+	// CensoredMeanResponse is the mean deadline-clamped response of the
+	// censored jobs — a lower bound on what their true mean would be, kept
+	// out of MeanResponse so truncating a run earlier can never make the
+	// reported mean look better.
+	CensoredMeanResponse float64 // cycles
 	// Utilization is sum(size * nominal) over finished jobs divided by
 	// nodes * makespan — the fraction of the machine's node-cycles that
 	// went to (nominally accounted) useful work.
@@ -302,21 +309,26 @@ func Run(cfg Config) (*Result, error) {
 		if job := jobOf[i]; job != nil {
 			m.Switches = switchesOf[job.ID]
 		}
-		slowdowns = append(slowdowns, m.Slowdown)
 		if m.Finished {
+			slowdowns = append(slowdowns, m.Slowdown)
 			comms = append(comms, m.CommFraction)
 		}
 		res.Jobs = append(res.Jobs, m)
 	}
 	res.PeakConcurrent = peak
 	res.Makespan = lastEnd - firstArrive
-	var responses []float64
+	var responses, censResponses []float64
 	for _, m := range res.Jobs {
-		responses = append(responses, float64(m.Response))
+		if m.Finished {
+			responses = append(responses, float64(m.Response))
+		} else {
+			censResponses = append(censResponses, float64(m.Response))
+		}
 	}
 	res.MeanResponse = metrics.Mean(responses)
 	res.MeanSlowdown = metrics.Mean(slowdowns)
 	res.MaxSlowdown = metrics.Max(slowdowns)
+	res.CensoredMeanResponse = metrics.Mean(censResponses)
 	res.MeanCommFraction = metrics.Mean(comms)
 	if res.Makespan > 0 {
 		res.Utilization = usefulWork / (float64(cfg.Nodes) * float64(res.Makespan))

@@ -348,3 +348,92 @@ func TestRunValidation(t *testing.T) {
 		t.Fatal("oversized job accepted")
 	}
 }
+
+// TestGenCrashes pins the crash sampler: deterministic per seed, times in
+// the mid-run window [span/4, span), nodes ascending and in range, never
+// the whole machine, and an RNG stream independent of the job generator's.
+func TestGenCrashes(t *testing.T) {
+	const span = 40_000_000
+	crashes, err := GenCrashes(7, 8, 0.5, span)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(crashes) == 0 {
+		t.Fatal("fraction 0.5 over 8 nodes sampled no crashes")
+	}
+	if len(crashes) > 7 {
+		t.Fatalf("%d crashes would take the whole 8-node machine down", len(crashes))
+	}
+	for i, c := range crashes {
+		if err := c.Validate(8); err != nil {
+			t.Fatalf("crash %d: %v", i, err)
+		}
+		if c.At < span/4 || c.At >= span {
+			t.Fatalf("crash %d at %d outside [%d, %d)", i, c.At, span/4, span)
+		}
+		if i > 0 && crashes[i-1].Node >= c.Node {
+			t.Fatalf("crash nodes not ascending: %v", crashes)
+		}
+	}
+	again, err := GenCrashes(7, 8, 0.5, span)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(crashes, again) {
+		t.Fatal("crash sampling not deterministic")
+	}
+	if none, err := GenCrashes(7, 8, 0, span); err != nil || none != nil {
+		t.Fatalf("fraction 0: crashes=%v err=%v, want nil/nil", none, err)
+	}
+	for name, call := range map[string]func() ([]Crash, error){
+		"fraction > 1": func() ([]Crash, error) { return GenCrashes(7, 8, 1.5, span) },
+		"no nodes":     func() ([]Crash, error) { return GenCrashes(7, 0, 0.5, span) },
+		"no span":      func() ([]Crash, error) { return GenCrashes(7, 8, 0.5, 0) },
+	} {
+		if _, err := call(); err == nil {
+			t.Errorf("GenCrashes accepted %s", name)
+		}
+	}
+}
+
+// TestCrashDirectiveRoundTrip pins the crash trace syntax: FormatTraceFull
+// emits "crash node@T" lines that ParseTraceFull round-trips alongside the
+// job lines, while the offline ParseTrace — which cannot represent a dead
+// node — rejects any trace carrying one.
+func TestCrashDirectiveRoundTrip(t *testing.T) {
+	jobs := []TraceJob{
+		{Arrive: 10, Size: 2, Kernel: KernelBSP, Units: 2, Msgs: 4, MsgBytes: 64, Compute: 1000},
+		{Arrive: 20, Size: 4, Kernel: KernelStencil, Units: 3, Msgs: 1, MsgBytes: 128, Compute: 2000,
+			Kill: 5_000_000},
+	}
+	crashes := []Crash{{Node: 0, At: 9_000_000}, {Node: 5, At: 12_345_678}}
+	var b strings.Builder
+	if err := FormatTraceFull(&b, jobs, crashes); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "crash 5@12345678") {
+		t.Fatalf("crash directive missing:\n%s", b.String())
+	}
+	backJobs, backCrashes, err := ParseTraceFull(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(jobs, backJobs) || !reflect.DeepEqual(crashes, backCrashes) {
+		t.Fatalf("crash trace did not round-trip:\n%+v %+v\n%+v %+v",
+			jobs, crashes, backJobs, backCrashes)
+	}
+	if _, err := ParseTrace(strings.NewReader(b.String())); err == nil {
+		t.Fatal("ParseTrace accepted a trace with crash directives")
+	}
+	for _, bad := range []string{
+		"crash",             // no operand
+		"crash 1",           // missing @T
+		"crash x@5",         // bad node
+		"crash 1@x",         // bad time
+		"crash 1@5 trailer", // extra field
+	} {
+		if _, _, err := ParseTraceFull(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseTraceFull(%q) accepted", bad)
+		}
+	}
+}

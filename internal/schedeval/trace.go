@@ -89,6 +89,27 @@ type TraceJob struct {
 	Deadline sim.Time
 }
 
+// Crash is a machine-level trace directive: node Node fail-stops at
+// absolute time At. Crashes belong to the trace, not to any job — the
+// failure-aware churn path (internal/schedd) arms them as chaos NodeCrash
+// faults; the offline replayer cannot represent them and ParseTrace
+// rejects traces that carry any.
+type Crash struct {
+	Node int
+	At   sim.Time
+}
+
+// Validate checks the crash against the machine size.
+func (c Crash) Validate(nodes int) error {
+	if c.Node < 0 || c.Node >= nodes {
+		return fmt.Errorf("schedeval: crash node %d outside 0..%d", c.Node, nodes-1)
+	}
+	if c.At <= 0 {
+		return fmt.Errorf("schedeval: crash time %d must be positive", c.At)
+	}
+	return nil
+}
+
 // Spec builds the job's parpar spec.
 func (j TraceJob) Spec(name string) parpar.JobSpec {
 	switch j.Kernel {
@@ -207,9 +228,30 @@ func (j TraceJob) Validate(nodes int) error {
 //
 // with '#' comments and blank lines ignored. Times are in cycles. The
 // trailing key=value churn directives are optional and may appear in any
-// order; traces without them parse exactly as before.
+// order; traces without them parse exactly as before. Machine-level
+// crash=node@T lines are rejected here — they only make sense on the
+// failure-aware churn path, which parses with ParseTraceFull.
 func ParseTrace(r io.Reader) ([]TraceJob, error) {
+	jobs, crashes, err := ParseTraceFull(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(crashes) > 0 {
+		return nil, fmt.Errorf("schedeval: trace carries %d crash directives; they need the churn path (ParseTraceFull)", len(crashes))
+	}
+	return jobs, nil
+}
+
+// ParseTraceFull reads the trace text format including machine-level
+// crash directives, one per line as
+//
+//	crash node@T
+//
+// alongside the job lines ParseTrace documents. Crashes are returned in
+// file order.
+func ParseTraceFull(r io.Reader) ([]TraceJob, []Crash, error) {
 	var jobs []TraceJob
+	var crashes []Crash
 	sc := bufio.NewScanner(r)
 	line := 0
 	for sc.Scan() {
@@ -219,12 +261,31 @@ func ParseTrace(r io.Reader) ([]TraceJob, error) {
 			continue
 		}
 		f := strings.Fields(text)
+		if f[0] == "crash" {
+			if len(f) != 2 {
+				return nil, nil, fmt.Errorf("schedeval: trace line %d: want \"crash node@T\", got %d fields", line, len(f))
+			}
+			nodeStr, atStr, ok := strings.Cut(f[1], "@")
+			if !ok {
+				return nil, nil, fmt.Errorf("schedeval: trace line %d: crash %q (want node@T)", line, f[1])
+			}
+			node, err := strconv.ParseUint(nodeStr, 10, 32)
+			if err != nil {
+				return nil, nil, fmt.Errorf("schedeval: trace line %d: crash node %q: %v", line, nodeStr, err)
+			}
+			at, err := strconv.ParseUint(atStr, 10, 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("schedeval: trace line %d: crash time %q: %v", line, atStr, err)
+			}
+			crashes = append(crashes, Crash{Node: int(node), At: sim.Time(at)})
+			continue
+		}
 		if len(f) < 7 {
-			return nil, fmt.Errorf("schedeval: trace line %d: want at least 7 fields, got %d", line, len(f))
+			return nil, nil, fmt.Errorf("schedeval: trace line %d: want at least 7 fields, got %d", line, len(f))
 		}
 		kernel, ok := KernelByName(f[2])
 		if !ok {
-			return nil, fmt.Errorf("schedeval: trace line %d: unknown kernel %q", line, f[2])
+			return nil, nil, fmt.Errorf("schedeval: trace line %d: unknown kernel %q", line, f[2])
 		}
 		nums := make([]uint64, 7)
 		for i, s := range f[:7] {
@@ -233,7 +294,7 @@ func ParseTrace(r io.Reader) ([]TraceJob, error) {
 			}
 			v, err := strconv.ParseUint(s, 10, 64)
 			if err != nil {
-				return nil, fmt.Errorf("schedeval: trace line %d field %d: %v", line, i+1, err)
+				return nil, nil, fmt.Errorf("schedeval: trace line %d field %d: %v", line, i+1, err)
 			}
 			nums[i] = v
 		}
@@ -249,53 +310,65 @@ func ParseTrace(r io.Reader) ([]TraceJob, error) {
 		for _, tok := range f[7:] {
 			key, val, ok := strings.Cut(tok, "=")
 			if !ok {
-				return nil, fmt.Errorf("schedeval: trace line %d: bad directive %q (want key=value)", line, tok)
+				return nil, nil, fmt.Errorf("schedeval: trace line %d: bad directive %q (want key=value)", line, tok)
 			}
 			switch key {
 			case "kill":
 				v, err := strconv.ParseUint(val, 10, 64)
 				if err != nil {
-					return nil, fmt.Errorf("schedeval: trace line %d: kill=%q: %v", line, val, err)
+					return nil, nil, fmt.Errorf("schedeval: trace line %d: kill=%q: %v", line, val, err)
 				}
 				j.Kill = sim.Time(v)
 			case "deadline":
 				v, err := strconv.ParseUint(val, 10, 64)
 				if err != nil {
-					return nil, fmt.Errorf("schedeval: trace line %d: deadline=%q: %v", line, val, err)
+					return nil, nil, fmt.Errorf("schedeval: trace line %d: deadline=%q: %v", line, val, err)
 				}
 				j.Deadline = sim.Time(v)
 			case "resize":
 				sz, at, ok := strings.Cut(val, "@")
 				if !ok {
-					return nil, fmt.Errorf("schedeval: trace line %d: resize=%q (want N@T)", line, val)
+					return nil, nil, fmt.Errorf("schedeval: trace line %d: resize=%q (want N@T)", line, val)
 				}
 				n, err := strconv.ParseUint(sz, 10, 32)
 				if err != nil {
-					return nil, fmt.Errorf("schedeval: trace line %d: resize size %q: %v", line, sz, err)
+					return nil, nil, fmt.Errorf("schedeval: trace line %d: resize size %q: %v", line, sz, err)
 				}
 				t, err := strconv.ParseUint(at, 10, 64)
 				if err != nil {
-					return nil, fmt.Errorf("schedeval: trace line %d: resize time %q: %v", line, at, err)
+					return nil, nil, fmt.Errorf("schedeval: trace line %d: resize time %q: %v", line, at, err)
 				}
 				j.ResizeTo, j.ResizeAt = int(n), sim.Time(t)
 			default:
-				return nil, fmt.Errorf("schedeval: trace line %d: unknown directive %q", line, key)
+				return nil, nil, fmt.Errorf("schedeval: trace line %d: unknown directive %q", line, key)
 			}
 		}
 		jobs = append(jobs, j)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return jobs, nil
+	return jobs, crashes, nil
 }
 
 // FormatTrace writes jobs in the ParseTrace format. Churn directives are
 // emitted only when set, so churn-free traces round-trip to the original
 // 7-field format.
 func FormatTrace(w io.Writer, jobs []TraceJob) error {
+	return FormatTraceFull(w, jobs, nil)
+}
+
+// FormatTraceFull writes jobs plus machine-level crash directives, which
+// round-trip through ParseTraceFull. With no crashes the output is exactly
+// FormatTrace's.
+func FormatTraceFull(w io.Writer, jobs []TraceJob, crashes []Crash) error {
 	if _, err := fmt.Fprintln(w, "# arrive size kernel units msgs bytes compute [kill=T] [resize=N@T] [deadline=T]"); err != nil {
 		return err
+	}
+	for _, c := range crashes {
+		if _, err := fmt.Fprintf(w, "crash %d@%d\n", c.Node, uint64(c.At)); err != nil {
+			return err
+		}
 	}
 	for _, j := range jobs {
 		var sb strings.Builder

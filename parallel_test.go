@@ -55,6 +55,16 @@ func TestParallelEquivalenceFigures(t *testing.T) {
 		{"sched.txt", 4, func(p experiments.Params) string {
 			return fmt.Sprint(experiments.SchedTable(experiments.Sched(p)))
 		}},
+		// The crash showdown arms chaos plans, which force every cluster
+		// into lockstep regardless of the worker count — this row checks
+		// that promise end to end: eviction order, requeue backoff, and
+		// the availability table must be byte-identical at any setting.
+		{"churn_crash.txt", 4, func(p experiments.Params) string {
+			rs := experiments.ChurnCrash(p)
+			return fmt.Sprint(experiments.ChurnGrid(rs)) + "\n" +
+				fmt.Sprint(experiments.ChurnAvailability(rs)) + "\n" +
+				fmt.Sprint(experiments.ChurnStats(rs))
+		}},
 	}
 	for _, tb := range tables {
 		tb := tb
