@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: check vet build test race fuzz-smoke sched-smoke churn-smoke churn-crash-smoke bench bench-smoke figures lint-hotpath
+.PHONY: check vet build test race fuzz-smoke sched-smoke churn-smoke churn-crash-smoke repair-smoke bench bench-smoke figures lint-hotpath
 
 # The full CI gate: static checks, build, race-enabled tests, a short
 # fixed-seed chaos-fuzz campaign, and scheduler-evaluation smoke runs
 # (all deterministic, so safe to gate on).
-check: vet build race fuzz-smoke sched-smoke churn-smoke churn-crash-smoke lint-hotpath
+check: vet build race fuzz-smoke sched-smoke churn-smoke churn-crash-smoke repair-smoke lint-hotpath
 
 vet:
 	$(GO) vet ./...
@@ -44,6 +44,12 @@ churn-smoke:
 # and the availability table is appended.
 churn-crash-smoke:
 	$(GO) run ./cmd/gangsim churn -quick -crash 0.35 -adaptive
+
+# Repair smoke: the closed failure loop — crashes detected by heartbeat,
+# repaired nodes rejoining at rotation boundaries, and the availability
+# table growing its repaired-capacity and post-repair-goodput columns.
+repair-smoke:
+	$(GO) run ./cmd/gangsim churn -quick -crash 0.35 -repair 0.75 -adaptive
 
 # Microbenchmarks with allocation reporting. BenchmarkEngineThroughput
 # must stay at 0 allocs/op (see DESIGN.md §6).

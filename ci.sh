@@ -44,6 +44,13 @@ go run ./cmd/gangsim churn -quick -crash 0.35 -adaptive -log > /tmp/churn-crash-
 go run ./cmd/gangsim churn -quick -crash 0.35 -adaptive -log -shards 4 -workers 4 > /tmp/churn-crash-ci-b.txt
 cmp /tmp/churn-crash-ci-a.txt /tmp/churn-crash-ci-b.txt
 
+# Repair smoke: the closed failure loop — heartbeat detection plus node
+# rejoin on top of the crash machinery. Same lockstep promise, so the
+# second (sharded) leg must again be byte-identical.
+go run ./cmd/gangsim churn -quick -crash 0.35 -repair 0.75 -adaptive -log > /tmp/churn-repair-ci-a.txt
+go run ./cmd/gangsim churn -quick -crash 0.35 -repair 0.75 -adaptive -log -shards 4 -workers 4 > /tmp/churn-repair-ci-b.txt
+cmp /tmp/churn-repair-ci-a.txt /tmp/churn-repair-ci-b.txt
+
 # Benchmark pipeline smoke: the report must build and serialize, and the
 # -compare path must parse it back and pass against itself re-measured
 # (allocs/event is deterministic, so self-comparison never regresses).

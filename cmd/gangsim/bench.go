@@ -162,6 +162,7 @@ func runBench(args []string, out io.Writer) int {
 		{"sched", false, func(p experiments.Params) { experiments.Sched(p) }},
 		{"sched_churn", false, func(p experiments.Params) { experiments.Churn(p) }},
 		{"sched_churn_crash", false, func(p experiments.Params) { experiments.ChurnCrash(p) }},
+		{"sched_churn_repair", false, func(p experiments.Params) { experiments.ChurnRepair(p) }},
 	}
 	experiments.TakeFiredCount() // drain any prior count
 	for _, f := range figures {

@@ -36,6 +36,9 @@ func runChurn(args []string, out io.Writer) int {
 	deadline := fs.Float64("deadline", 0.25, "fraction of jobs with deadlines")
 	crash := fs.Float64("crash", 0, "per-node fail-stop probability in [0,1] (0 = no crashes)")
 	crashSeed := fs.Uint64("crash-seed", 7, "crash-sampler seed (independent of the job trace)")
+	repair := fs.Float64("repair", 0, "per-crash repair probability in [0,1] (0 = crashed nodes stay down)")
+	repairSeed := fs.Uint64("repair-seed", 13, "repair-sampler seed (independent of crashes and the job trace)")
+	mttr := fs.Int64("mttr", 0, "mean time to repair in cycles (0 = a quarter of the arrival span)")
 	adaptive := fs.Bool("adaptive", false, "use the EWMA-stretch backfill estimator instead of the static slots-deep one")
 	retries := fs.Int("retries", 0, "per-job requeue budget after crash-kills (0 = default of 3)")
 	policy := fs.String("policy", "buddy", "packing policy: first-fit|buddy|best-fit")
@@ -58,16 +61,35 @@ func runChurn(args []string, out io.Writer) int {
 		fmt.Fprintf(os.Stderr, "gangsim churn: unknown packing policy %q (want first-fit, buddy, or best-fit)\n", *policy)
 		return 2
 	}
+	// Flag-shape errors exit 2 like parse errors: they are usage mistakes,
+	// not run failures.
+	if *crash < 0 || *crash > 1 {
+		fmt.Fprintf(os.Stderr, "gangsim churn: -crash %v outside [0,1]\n", *crash)
+		return 2
+	}
+	if *repair < 0 || *repair > 1 {
+		fmt.Fprintf(os.Stderr, "gangsim churn: -repair %v outside [0,1]\n", *repair)
+		return 2
+	}
+	if *mttr < 0 {
+		fmt.Fprintf(os.Stderr, "gangsim churn: -mttr %d must be non-negative\n", *mttr)
+		return 2
+	}
+	if *repair > 0 && *crash == 0 && *traceFile == "" {
+		fmt.Fprintln(os.Stderr, "gangsim churn: -repair without -crash has nothing to repair")
+		return 2
+	}
 
 	var trace []schedeval.TraceJob
 	var crashes []schedeval.Crash
+	var repairs []schedeval.Repair
 	if *traceFile != "" {
 		f, err := os.Open(*traceFile)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "gangsim churn: %v\n", err)
 			return 1
 		}
-		trace, crashes, err = schedeval.ParseTraceFull(f)
+		trace, crashes, repairs, err = schedeval.ParseTraceFull(f)
 		f.Close()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "gangsim churn: %v\n", err)
@@ -104,6 +126,18 @@ func runChurn(args []string, out io.Writer) int {
 			return 1
 		}
 		crashes = append(crashes, sampled...)
+		if *repair > 0 {
+			window := *mttr
+			if window == 0 {
+				window = int64(lastArrive / 4)
+			}
+			sampledRep, err := schedeval.GenRepairs(*repairSeed, sampled, *repair, sim.Time(window))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "gangsim churn: %v\n", err)
+				return 1
+			}
+			repairs = append(repairs, sampledRep...)
+		}
 	}
 	if *dumpTrace != "" {
 		f, err := os.Create(*dumpTrace)
@@ -111,7 +145,7 @@ func runChurn(args []string, out io.Writer) int {
 			fmt.Fprintf(os.Stderr, "gangsim churn: %v\n", err)
 			return 1
 		}
-		err = schedeval.FormatTraceFull(f, trace, crashes)
+		err = schedeval.FormatTraceFull(f, trace, crashes, repairs)
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}
@@ -126,6 +160,7 @@ func runChurn(args []string, out io.Writer) int {
 	cfg.Packing = packing
 	cfg.Trace = trace
 	cfg.Crashes = crashes
+	cfg.Repairs = repairs
 	cfg.AdaptiveEstimate = *adaptive
 	cfg.RetryBudget = *retries
 	cfg.Shards = *shards
@@ -141,6 +176,9 @@ func runChurn(args []string, out io.Writer) int {
 	if len(crashes) > 0 {
 		fmt.Fprintln(out, schedd.AvailabilityTable(results))
 		fmt.Fprintln(out, "(goodput = useful work over surviving node-cycles; mean_ttr = crash-kill to re-placement)")
+		if len(repairs) > 0 {
+			fmt.Fprintln(out, "(cap_rep = fraction of lost node-cycles recovered by repair; post_gp = goodput after the first rejoin)")
+		}
 		fmt.Fprintln(out)
 	}
 	fmt.Fprintln(out, schedd.StatsTable(results))

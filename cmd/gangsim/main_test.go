@@ -196,11 +196,20 @@ func TestChurnTraceRoundTrip(t *testing.T) {
 	}
 }
 
-// TestChurnBadFlags: unknown policies and flags exit with a usage error.
+// TestChurnBadFlags: unknown policies, flags, and out-of-range failure
+// knobs exit with a usage error, not a panic and not a silent clamp.
 func TestChurnBadFlags(t *testing.T) {
 	for _, args := range [][]string{
 		{"-nope"},
 		{"-policy", "warp"},
+		{"-crash", "-0.1"},
+		{"-crash", "1.5"},
+		{"-crash", "0.5", "-repair", "-0.1"},
+		{"-crash", "0.5", "-repair", "2"},
+		{"-crash", "0.5", "-repair", "0.5", "-mttr", "-1"},
+		// A repair probability with no crash source (no -crash, no trace
+		// file) has nothing to repair — reject it rather than no-op.
+		{"-repair", "0.5"},
 	} {
 		var out strings.Builder
 		if code := runChurn(args, &out); code != 2 {

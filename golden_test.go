@@ -81,6 +81,12 @@ func TestGoldenFigures(t *testing.T) {
 				fmt.Sprint(experiments.ChurnAvailability(rs)) + "\n" +
 				fmt.Sprint(experiments.ChurnStats(rs))
 		}},
+		{"churn_repair.txt", func() string {
+			rs := experiments.ChurnRepair(p)
+			return fmt.Sprint(experiments.ChurnGrid(rs)) + "\n" +
+				fmt.Sprint(experiments.ChurnAvailability(rs)) + "\n" +
+				fmt.Sprint(experiments.ChurnStats(rs))
+		}},
 	}
 	for _, tb := range tables {
 		tb := tb

@@ -72,6 +72,15 @@ const (
 	// watchdog detects the silent node, evicts it, and kills the jobs
 	// spanning it so survivors keep rotating.
 	NodeCrash
+	// NodeRepair ends an earlier NodeCrash of the same node at time From:
+	// the operator swaps the board and the node boots a fresh incarnation
+	// (empty memory, new NIC state — nothing of the old incarnation
+	// survives). The injector unblocks the host CPU; everything above —
+	// re-registration with the masterd, the rotation rejoin, scheduler
+	// cache regrowth — is the recovery layer's job. Each repair must be
+	// preceded by a crash of its node, and crash/repair events for one
+	// node must alternate.
+	NodeRepair
 )
 
 // String names the fault kind.
@@ -99,6 +108,8 @@ func (k FaultKind) String() string {
 		return "node-slow"
 	case NodeCrash:
 		return "node-crash"
+	case NodeRepair:
+		return "node-repair"
 	default:
 		return fmt.Sprintf("FaultKind(%d)", int(k))
 	}
@@ -143,7 +154,7 @@ func (f Fault) String() string {
 		fmt.Fprintf(&b, "%d)", f.Until)
 	}
 	switch f.Kind {
-	case NodePause, NodeCrash:
+	case NodePause, NodeCrash, NodeRepair:
 		fmt.Fprintf(&b, " node=%d", f.Node)
 	case NodeSlow:
 		fmt.Fprintf(&b, " node=%d factor=%.2f", f.Node, f.Factor)
@@ -197,6 +208,31 @@ func (p Plan) Validate() error {
 			}
 			if f.Until != 0 {
 				return fmt.Errorf("chaos: fault %d (%s): crashes are permanent; Until must be unset", i, f.Kind)
+			}
+		case NodeRepair:
+			if f.Node < 0 {
+				return fmt.Errorf("chaos: fault %d (%s): repair needs a specific node", i, f.Kind)
+			}
+			if f.Until != 0 {
+				return fmt.Errorf("chaos: fault %d (%s): repairs are instantaneous; Until must be unset", i, f.Kind)
+			}
+			// A repair only makes sense on a node that is down at From:
+			// strictly more crashes than repairs must precede it.
+			crashes, repairs := 0, 0
+			for _, g := range p.Faults {
+				if g.Node != f.Node || g.From >= f.From {
+					continue
+				}
+				switch g.Kind {
+				case NodeCrash:
+					crashes++
+				case NodeRepair:
+					repairs++
+				}
+			}
+			if crashes <= repairs {
+				return fmt.Errorf("chaos: fault %d (%s): node %d is not down at %d (repairs must follow a crash of the same node)",
+					i, f.Kind, f.Node, f.From)
 			}
 		case DataLoss, DataDup, RefillLoss, HaltLoss, ReadyLoss, StoreCorrupt, CtrlLoss, CtrlDelay:
 			if f.Prob < 0 || f.Prob > 1 {

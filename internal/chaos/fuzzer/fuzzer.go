@@ -229,7 +229,30 @@ func SampleRecovery(seed uint64) Scenario {
 	// Churn commands draw from their own stream so arming them never
 	// perturbs the fault plan of the same seed.
 	s.Churn = sampleChurn(sim.NewRand(seed^0xC482), len(s.Jobs), s.Nodes)
+	// Repairs ride yet another independent stream (existing seeds keep
+	// their exact fault plans and churn): when the plan fail-stopped a
+	// node, sometimes boot a fresh incarnation later in the run, so the
+	// campaign also shakes the reboot/rejoin barrier against every loss
+	// and delay class.
+	sampleRepairs(sim.NewRand(seed^0x4E9A14), &s.Plan)
 	return s
+}
+
+// sampleRepairs appends, with probability 1/2 per fail-stop crash in the
+// plan, a NodeRepair of the same node 4..16 quanta after the crash. A
+// repair is only ever sampled against a crash that exists — a repair of a
+// live node is not a scenario the protocol defines.
+func sampleRepairs(rng *sim.Rand, plan *chaos.Plan) {
+	for _, f := range plan.Faults {
+		if f.Kind != chaos.NodeCrash || !rng.Bool(0.5) {
+			continue
+		}
+		plan.Faults = append(plan.Faults, chaos.Fault{
+			Kind: chaos.NodeRepair,
+			Node: f.Node,
+			From: f.From + quantum*sim.Time(4+rng.Intn(13)),
+		})
+	}
 }
 
 // sampleChurn draws 0..2 mid-run scheduler commands: kills and resizes

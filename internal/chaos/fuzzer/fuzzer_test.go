@@ -103,12 +103,17 @@ func TestSampleRecoveryRestricted(t *testing.T) {
 			t.Fatalf("seed %d: invalid recovery plan: %v", seed, err)
 		}
 		crashes := 0
+		crashAt := map[int]chaos.Fault{}
 		for _, f := range s.Plan.Faults {
 			switch f.Kind {
 			case chaos.DataLoss, chaos.DataDup, chaos.RefillLoss, chaos.StoreCorrupt:
 				t.Fatalf("seed %d: recovery sampler drew unguaranteed fault %s", seed, f.Kind)
 			case chaos.NodeCrash:
 				crashes++
+				crashAt[f.Node] = f
+			case chaos.NodeRepair:
+				// Instant event, like the crash it undoes — checked below
+				// against the crash list, once the whole plan is scanned.
 			default:
 				if f.Until == 0 {
 					t.Fatalf("seed %d: open-ended %s in a recovery plan", seed, f.Kind)
@@ -117,6 +122,18 @@ func TestSampleRecoveryRestricted(t *testing.T) {
 		}
 		if crashes > 1 {
 			t.Fatalf("seed %d: %d node crashes in one plan", seed, crashes)
+		}
+		for _, f := range s.Plan.Faults {
+			if f.Kind != chaos.NodeRepair {
+				continue
+			}
+			c, ok := crashAt[f.Node]
+			if !ok {
+				t.Fatalf("seed %d: repair of node %d with no crash of that node", seed, f.Node)
+			}
+			if f.From <= c.From {
+				t.Fatalf("seed %d: repair of node %d at %d precedes its crash at %d", seed, f.Node, f.From, c.From)
+			}
 		}
 	}
 }

@@ -197,6 +197,15 @@ func (in *Injector) ArmNode(node int, cpu *sim.Resource) {
 				in.record(NodeCrash, "node %d crashed (fail-stop)", node)
 				cpu.Block(crashHorizon)
 			})
+		case NodeRepair:
+			// The injector only ends the hardware fault (the CPU block);
+			// the cluster schedules the reboot/rejoin at the same instant,
+			// after this event in FIFO order, so the fresh incarnation
+			// boots on an unblocked CPU.
+			in.eng.ScheduleAt(f.From, func() {
+				in.record(NodeRepair, "node %d repaired (fresh incarnation boots)", node)
+				cpu.Unblock()
+			})
 		case NodeSlow:
 			period := (f.Until - f.From) / slowSliceTarget
 			if period < minSlowSlice {
@@ -220,15 +229,33 @@ func (in *Injector) ArmNode(node int, cpu *sim.Resource) {
 // CPUFaultActive reports whether a NodePause, NodeSlow or NodeCrash
 // window covers the node at time t. The delivery-stall auditor uses it to
 // excuse progress freezes that a CPU fault fully explains — a paused host
-// is slow, not protocol-broken. A crash is active from its From forever.
+// is slow, not protocol-broken. A crash is active from its From until the
+// earliest NodeRepair of the same node after it (forever when the plan
+// holds none).
 func (in *Injector) CPUFaultActive(node int, t sim.Time) bool {
 	for i := range in.plan.Faults {
 		f := &in.plan.Faults[i]
 		switch f.Kind {
-		case NodePause, NodeSlow, NodeCrash:
+		case NodePause, NodeSlow:
 			if f.active(t) && f.matchesNode(node) {
 				return true
 			}
+		case NodeCrash:
+			if f.active(t) && f.matchesNode(node) && !in.repairedBetween(f.Node, f.From, t) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// repairedBetween reports whether the plan repairs the node at some time in
+// (from, t] — i.e. whether a crash at from is over by t.
+func (in *Injector) repairedBetween(node int, from, t sim.Time) bool {
+	for i := range in.plan.Faults {
+		f := &in.plan.Faults[i]
+		if f.Kind == NodeRepair && f.Node == node && f.From > from && f.From <= t {
+			return true
 		}
 	}
 	return false

@@ -94,6 +94,65 @@ func ChurnCrash(p Params) []*schedd.Result {
 	return rs
 }
 
+// ChurnRepair closes the failure loop ChurnCrash opened: the same seeded
+// trace and the same seeded crashes, plus seeded repairs — most crashed
+// nodes come back after a sampled MTTR as fresh incarnations and rejoin the
+// gang at a rotation boundary. Arming repairs also arms the heartbeat (the
+// masterd pings every node each quantum), so batch mode — whose single
+// populated slot never broadcasts a switch and therefore never misses an
+// ack — finally detects its dead nodes instead of running blind. The
+// availability grid grows the repair columns: nodes readmitted, the
+// fraction of lost node-cycles the repairs recovered, and the goodput after
+// the first rejoin.
+func ChurnRepair(p Params) []*schedd.Result {
+	gen := schedeval.DefaultGenConfig(8)
+	gen.Seed = 11
+	gen.Jobs = 28
+	gen.KillFraction = 0.15
+	gen.ResizeFraction = 0.15
+	gen.DeadlineFraction = 0.25
+	if p.Quick {
+		gen.Jobs = 12
+	}
+	trace, err := schedeval.Generate(gen)
+	if err != nil {
+		panic(err)
+	}
+	var lastArrive sim.Time
+	for _, tj := range trace {
+		if tj.Arrive > lastArrive {
+			lastArrive = tj.Arrive
+		}
+	}
+	crashes, err := schedeval.GenCrashes(7, gen.Nodes, 0.35, lastArrive)
+	if err != nil {
+		panic(err)
+	}
+	// Repairs ride their own seed on top of the crash stream (the same
+	// crashes as ChurnCrash, so the two goldens differ only by the repair
+	// loop): 3 in 4 crashed nodes come back, after half to one-and-a-half
+	// times the quarter-span MTTR.
+	repairs, err := schedeval.GenRepairs(13, crashes, 0.75, lastArrive/4)
+	if err != nil {
+		panic(err)
+	}
+	cfg := schedd.DefaultConfig(8)
+	cfg.Trace = trace
+	cfg.Crashes = crashes
+	cfg.Repairs = repairs
+	cfg.AdaptiveEstimate = true
+	cfg.Shards = p.Shards
+	cfg.Workers = p.Workers
+	rs, err := schedd.Showdown(cfg)
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range rs {
+		addFired(r.Events)
+	}
+	return rs
+}
+
 // ChurnGrid renders the per-mode response/slowdown/utilization grid.
 func ChurnGrid(rs []*schedd.Result) *metrics.Table { return schedd.GridTable(rs) }
 

@@ -319,6 +319,36 @@ func (m *Matrix) KillColumn(c int) error {
 	return nil
 }
 
+// ReviveColumn returns a repaired node's column to the live capacity: the
+// dead sentinels flip back to free cells (credited to rowFree, so run
+// searches and FreeNodes-style prechecks immediately see the regrown
+// capacity) and the column counts toward live again. It is KillColumn's
+// inverse, legal only once the column is fully drained: the masterd must
+// have killed every job that spanned the node before the eviction (i.e.
+// rowDeadUsed holds no residue for this column — equivalently its colLoad
+// is zero).
+func (m *Matrix) ReviveColumn(c int) error {
+	if c < 0 || c >= m.cols {
+		return fmt.Errorf("gang: revive of column %d outside [0,%d)", c, m.cols)
+	}
+	if !m.dead[c] {
+		return fmt.Errorf("gang: column %d is not dead", c)
+	}
+	if m.colLoad[c] != 0 {
+		return fmt.Errorf("gang: column %d still holds %d undrained cells", c, m.colLoad[c])
+	}
+	m.dead[c] = false
+	m.live++
+	for r := range m.rows {
+		if m.rows[r][c] == deadCell {
+			m.rows[r][c] = myrinet.NoJob
+			m.rowFree[r]++
+		}
+	}
+	m.trim()
+	return nil
+}
+
 // liveRange returns the lowest `size` live column indices, ascending. The
 // caller must have checked size <= m.live.
 func (m *Matrix) liveRange(size int) []int {

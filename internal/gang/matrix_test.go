@@ -522,3 +522,156 @@ func TestKillColumnChurnQuickCheck(t *testing.T) {
 		})
 	}
 }
+
+func TestReviveColumnRestoresCapacity(t *testing.T) {
+	m := NewMatrix(8, 4)
+	if _, err := m.Place(1, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.KillColumn(6); err != nil {
+		t.Fatal(err)
+	}
+	// Revive the drained column: live capacity, the row-free cache, and the
+	// full-machine precheck must all see the regrown column immediately.
+	if err := m.ReviveColumn(6); err != nil {
+		t.Fatal(err)
+	}
+	if m.LiveCols() != 8 || m.ColDead(6) {
+		t.Fatalf("live=%d dead(6)=%v after revive", m.LiveCols(), m.ColDead(6))
+	}
+	if got := m.RowFree(0); got != 4 {
+		t.Fatalf("RowFree(0) = %d after revive, want 4", got)
+	}
+	if _, err := m.Place(2, 8); err != nil {
+		t.Fatalf("size-8 job rejected on a fully revived machine: %v", err)
+	}
+	if bad := m.Audit(); bad != nil {
+		t.Fatalf("audit after revive: %v", bad)
+	}
+}
+
+func TestReviveColumnErrors(t *testing.T) {
+	m := NewMatrixPolicy(4, 4, FirstFit{})
+	if err := m.ReviveColumn(-1); err == nil {
+		t.Fatal("revived column -1")
+	}
+	if err := m.ReviveColumn(4); err == nil {
+		t.Fatal("revived column past the machine")
+	}
+	if err := m.ReviveColumn(1); err == nil {
+		t.Fatal("revived a live column")
+	}
+	// A dead column still spanned by a job is not drained: revive must
+	// refuse until the masterd kills the spanning job (the admit contract).
+	if _, err := m.Place(1, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.KillColumn(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ReviveColumn(2); err == nil {
+		t.Fatal("revived a column with undrained cells")
+	}
+	if err := m.Remove(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ReviveColumn(2); err != nil {
+		t.Fatalf("revive after drain: %v", err)
+	}
+	if bad := m.Audit(); bad != nil {
+		t.Fatalf("audit: %v", bad)
+	}
+}
+
+// TestReviveColumnChurnQuickCheck closes the loop on the kill-column churn
+// property test: random place/remove/unify traffic interleaved with column
+// kills AND revivals of drained dead columns (the repair path's admit
+// contract), with a full audit after every step. Capacity lost to a kill
+// must be exactly recovered by the matching revive.
+func TestReviveColumnChurnQuickCheck(t *testing.T) {
+	for _, pol := range Policies() {
+		pol := pol
+		t.Run(pol.Name(), func(t *testing.T) {
+			rng := sim.NewRand(29)
+			m := NewMatrixPolicy(8, 6, pol)
+			var live []myrinet.JobID
+			next := myrinet.JobID(1)
+			audit := func(step int, op string) {
+				if bad := m.Audit(); bad != nil {
+					t.Fatalf("step %d after %s: %v", step, op, bad)
+				}
+			}
+			for step := 0; step < 1500; step++ {
+				switch {
+				case m.LiveCols() > 2 && rng.Bool(0.03):
+					c := rng.Intn(8)
+					for m.ColDead(c) {
+						c = (c + 1) % 8
+					}
+					if err := m.KillColumn(c); err != nil {
+						t.Fatalf("step %d: kill column %d: %v", step, c, err)
+					}
+					for i := 0; i < len(live); {
+						p, _ := m.Placement(live[i])
+						spans := false
+						for _, pc := range p.Cols {
+							if pc == c {
+								spans = true
+								break
+							}
+						}
+						if !spans {
+							i++
+							continue
+						}
+						if err := m.Remove(live[i]); err != nil {
+							t.Fatalf("step %d: remove spanning job %d: %v", step, live[i], err)
+						}
+						live = append(live[:i], live[i+1:]...)
+					}
+					audit(step, "kill-column")
+				case m.LiveCols() < 8 && rng.Bool(0.06):
+					// Revive one of the dead columns. Spanning jobs were
+					// killed at eviction time, so every dead column here is
+					// already drained and the revive must succeed.
+					c := rng.Intn(8)
+					for !m.ColDead(c) {
+						c = (c + 1) % 8
+					}
+					if err := m.ReviveColumn(c); err != nil {
+						t.Fatalf("step %d: revive column %d: %v", step, c, err)
+					}
+					audit(step, "revive-column")
+				case len(live) == 0 || rng.Bool(0.5):
+					size := 1 + rng.Intn(m.LiveCols())
+					if _, err := m.Place(next, size); err != nil {
+						audit(step, "place-reject")
+						continue
+					}
+					live = append(live, next)
+					next++
+					audit(step, "place")
+				case rng.Bool(0.2):
+					m.Unify()
+					audit(step, "unify")
+				default:
+					i := rng.Intn(len(live))
+					id := live[i]
+					live = append(live[:i], live[i+1:]...)
+					if err := m.Remove(id); err != nil {
+						t.Fatalf("step %d: remove %d: %v", step, id, err)
+					}
+					audit(step, "remove")
+				}
+			}
+			for _, id := range live {
+				if err := m.Remove(id); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if m.Jobs() != 0 {
+				t.Fatalf("drained matrix still holds %d jobs", m.Jobs())
+			}
+		})
+	}
+}

@@ -172,6 +172,19 @@ func (t *phaseTracker) Evict(peer myrinet.NodeID) {
 // Evicted reports whether the peer has been removed from the membership.
 func (t *phaseTracker) Evicted(peer myrinet.NodeID) bool { return t.evicted[peer] }
 
+// Join restores an evicted peer to the membership: future epochs expect its
+// reports again. The caller (the masterd rejoin barrier) guarantees no epoch
+// is open anywhere when joins are applied — growing the membership mid-epoch
+// could stall an epoch that was already satisfied — so Join touches only the
+// membership, never the open-epoch state.
+func (t *phaseTracker) Join(peer myrinet.NodeID) {
+	if !t.evicted[peer] {
+		return
+	}
+	delete(t.evicted, peer)
+	t.peers++
+}
+
 func (t *phaseTracker) check(epoch uint64) {
 	if t.Done(epoch) || !t.local[epoch] || t.liveHeard(epoch) < t.peers {
 		return

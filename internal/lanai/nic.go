@@ -349,6 +349,16 @@ func (n *NIC) EvictPeer(peer myrinet.NodeID) {
 	n.release.Evict(peer)
 }
 
+// JoinPeer restores an evicted peer to the card's membership view: a
+// repaired node's fresh incarnation will report in every future flush and
+// release phase, and broadcasts reach it again. The masterd's rejoin
+// barrier only applies joins between rotation rounds, when no flush or
+// release epoch is open on any card.
+func (n *NIC) JoinPeer(peer myrinet.NodeID) {
+	n.flush.Join(peer)
+	n.release.Join(peer)
+}
+
 // Halted reports the state of the halt bit.
 func (n *NIC) Halted() bool { return n.haltBit }
 

@@ -58,11 +58,23 @@ func (c *Cluster) armChaos() {
 	for _, n := range c.nodes {
 		if c.injector != nil {
 			c.injector.ArmNode(int(n.ID), n.CPU)
-			n.Mgr.OnStore = c.injector.StoreHook(int(n.ID))
 		}
-		n.NIC.OnDrop = func(p *myrinet.Packet, _ lanai.DropReason) { c.ledger.RecordDrop(p) }
-		n.NIC.OnViolation = c.auditor.Report
-		n.Mgr.Audit = c.auditor.Report
+		c.armNodeObservers(n)
+	}
+	// Repair events: the injector unblocks the host CPU at the fault time
+	// (armed above); the cluster schedules the fresh incarnation's boot and
+	// rejoin at the same instant, after the unblock in FIFO order. Without
+	// the recovery layer there is no membership to rejoin — the repair is
+	// then hardware-only and the stale incarnation simply stops being
+	// excused by the CPU-fault auditor.
+	if c.injector != nil && c.cfg.Recovery != nil {
+		for _, f := range c.cfg.Chaos.Faults {
+			if f.Kind != chaos.NodeRepair {
+				continue
+			}
+			node := f.Node
+			c.Eng.ScheduleAt(f.From, func() { c.repairNode(node) })
+		}
 	}
 
 	c.auditor.Register(c.checkEndpoints)
@@ -72,6 +84,21 @@ func (c *Cluster) armChaos() {
 	if c.cfg.Recovery != nil {
 		c.auditor.Register(c.checkRecovery)
 	}
+}
+
+// armNodeObservers wires one node incarnation's observer hooks: the
+// injector's store-corruption hook plus drop and violation reporting on
+// the card and manager. Called per node at construction and again at
+// every reboot — a fresh incarnation's card and manager start with nil
+// hooks. The injector's CPU faults are NOT re-armed: they bind to the
+// host CPU resource, which survives the reboot.
+func (c *Cluster) armNodeObservers(n *Node) {
+	if c.injector != nil {
+		n.Mgr.OnStore = c.injector.StoreHook(int(n.ID))
+	}
+	n.NIC.OnDrop = func(p *myrinet.Packet, _ lanai.DropReason) { c.ledger.RecordDrop(p) }
+	n.NIC.OnViolation = c.auditor.Report
+	n.Mgr.Audit = c.auditor.Report
 }
 
 // armAuditTick starts the per-quantum audit loop. The loop keeps itself

@@ -137,6 +137,17 @@ type Node struct {
 	ackFn    func(core.SwitchStats)
 	ackStats core.SwitchStats
 
+	// evictSeen[j] is the highest eviction generation of node j this noded
+	// has applied (a node's generation is its eviction count; the masterd
+	// stamps every membership update with it). The latch makes membership
+	// deliveries idempotent and order-free: a stale evict re-delivery after
+	// node j rejoined — the resend chain raced the admission — is detected
+	// as already-applied instead of pruning the live node, and a join that
+	// overtakes its eviction applies the prune first. It deliberately
+	// survives reboot: it is resend-dedup state about *peers'* lifecycles,
+	// not this incarnation's.
+	evictSeen []int
+
 	// procScratch backs sortedProcs between audit ticks.
 	procScratch []*Proc
 }
@@ -307,6 +318,7 @@ func New(cfg Config) (*Cluster, error) {
 		n := &Node{
 			ID: myrinet.NodeID(i), NIC: nic, CPU: cpu, Mgr: mgr, Eng: nodeEng,
 			cluster: c, procs: make(map[myrinet.JobID]*Proc),
+			evictSeen: make([]int, cfg.Nodes),
 		}
 		n.swDoneFn = func(s core.SwitchStats) {
 			ack := n.swAck
@@ -568,12 +580,124 @@ func (n *Node) killJob(job myrinet.JobID) {
 
 // evictPeer is the noded's handling of the masterd's membership update: a
 // node was declared failed. The card stops expecting it in flush/release
-// phases and COMM_remove_node drops it from the routing-table view.
-func (n *Node) evictPeer(id myrinet.NodeID) {
+// phases and COMM_remove_node drops it from the routing-table view. gen is
+// the eviction's generation stamp; a delivery at or below the applied
+// watermark is a stale retransmission and must not touch the membership —
+// without the latch, a resend racing the node's rejoin would prune the
+// freshly readmitted incarnation from this card's view for good.
+func (n *Node) evictPeer(id myrinet.NodeID, gen int) {
+	if gen <= n.evictSeen[id] {
+		return
+	}
+	n.evictSeen[id] = gen
 	n.NIC.EvictPeer(id)
 	if n.Mgr.InTopology(id) {
 		if err := n.Mgr.RemoveNode(id); err != nil {
 			panic(fmt.Sprintf("parpar: RemoveNode: %v", err))
 		}
 	}
+}
+
+// joinPeer is the noded's handling of the masterd's membership grow: a
+// repaired node is back. COMM_add_node restores it to the routing-table
+// view and the card expects its flush/release reports again; the noded
+// then confirms over the reliable path — the masterd admits the joiner
+// only after every survivor has confirmed. gen is the generation of the
+// eviction this admission heals: applying it first (a no-op when the evict
+// broadcast got here before the join, the normal order) collapses the
+// out-of-order case where the join overtakes a delayed eviction.
+func (n *Node) joinPeer(id myrinet.NodeID, gen int) {
+	n.evictPeer(id, gen)
+	if !n.Mgr.InTopology(id) {
+		if err := n.Mgr.AddNode(id); err != nil {
+			panic(fmt.Sprintf("parpar: AddNode: %v", err))
+		}
+		n.NIC.JoinPeer(id)
+	}
+	m := n.cluster.master
+	i, j := int(id), int(n.ID)
+	n.cluster.reliableSend(n.Eng, -1, func() bool { return m.joinAckSeen(i, j) },
+		func() { m.joinAcked(i, j) })
+}
+
+// heartbeatCost is the noded's host-CPU charge for answering a liveness
+// probe: the reply is issued only after the host CPU schedules the
+// daemon, so a fail-stopped node — whose CPU is blocked forever — never
+// answers. That silence is exactly what the masterd's miss budget turns
+// into an eviction; a merely paused or slowed node answers late and the
+// budget absorbs it.
+const heartbeatCost sim.Time = 2_000
+
+// heartbeat is the noded's handling of the masterd's liveness probe.
+func (n *Node) heartbeat(seq uint64) {
+	m := n.cluster.master
+	i := int(n.ID)
+	n.CPU.Use(heartbeatCost, func() {
+		n.cluster.reliableSend(n.Eng, -1, func() bool { return m.hbSeenAtLeast(i, seq) },
+			func() { m.hbReply(i, seq) })
+	})
+}
+
+// reboot builds the node's fresh incarnation after a repair: a new card
+// (attaching it replaces the dead incarnation's network handler), a new
+// manager whose full-topology view is pruned to the masterd's current
+// membership snapshot, and empty daemon state. The chaos observers are
+// re-wired exactly as construction did for the first incarnation; the
+// injector's CPU faults stay armed on the (now unblocked) host CPU, so a
+// later fault in the plan still hits the new incarnation.
+func (n *Node) reboot(deadPeers []myrinet.NodeID) {
+	c := n.cluster
+	nic := lanai.New(n.Eng, c.Net, c.Mem, lanai.DefaultConfig(n.ID))
+	if r := c.cfg.Recovery; r != nil {
+		nic.SetRecovery(lanai.Recovery{Timeout: r.NICTimeout, Retries: r.NICRetries})
+	}
+	mgr, err := core.NewManager(n.Eng, nic, n.CPU, c.Mem, core.Config{
+		Policy:      c.cfg.Policy,
+		Mode:        c.cfg.Mode,
+		MaxContexts: c.cfg.Slots,
+		Processors:  c.cfg.Nodes,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("parpar: rebooting node %d: %v", n.ID, err))
+	}
+	if err := mgr.InitNode(); err != nil {
+		panic(fmt.Sprintf("parpar: rebooting node %d: %v", n.ID, err))
+	}
+	n.NIC, n.Mgr = nic, mgr
+	for _, id := range deadPeers {
+		nic.EvictPeer(id)
+		if err := mgr.RemoveNode(id); err != nil {
+			panic(fmt.Sprintf("parpar: rebooting node %d: %v", n.ID, err))
+		}
+	}
+	n.procs = make(map[myrinet.JobID]*Proc)
+	n.swEpoch, n.swBusy, n.swDone = 0, false, false
+	n.swAck = nil
+	c.armNodeObservers(n)
+}
+
+// repairNode runs at a NodeRepair instant, right after the injector
+// unblocked the host CPU in the same event cascade. The masterd learns the
+// fresh incarnation exists immediately — from here on membership updates
+// reach the new card — and the reboot plus the rejoin request follow on
+// the node's own lane and the ctrl network.
+func (c *Cluster) repairNode(i int) {
+	m := c.master
+	m.nodeRebooted(i)
+	// Snapshot the dead set (minus the rebooting node itself) on the global
+	// lane: the fresh incarnation's topology must match the survivors'
+	// view, and any eviction after this instant is broadcast to rebooted
+	// incarnations too.
+	var deadPeers []myrinet.NodeID
+	for j, d := range m.dead {
+		if d && j != i {
+			deadPeers = append(deadPeers, myrinet.NodeID(j))
+		}
+	}
+	node := c.nodes[i]
+	c.Eng.CrossAt(node.Eng, c.Eng.Now(), func() {
+		node.reboot(deadPeers)
+		c.reliableSend(node.Eng, -1, func() bool { return m.rejoinRequested(i) },
+			func() { m.rejoinRequest(i) })
+	})
 }

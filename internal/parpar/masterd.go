@@ -54,6 +54,45 @@ type Masterd struct {
 	// shrink its own capacity caches before kill callbacks cascade into
 	// fresh placement decisions.
 	onEvict []func(node int)
+	// onRejoin hooks mirror onEvict for repair: they fire when a repaired
+	// node is admitted back, after its matrix column is revived, so a
+	// scheduler can re-expand its capacity caches before draining a
+	// backlog into the recovered node.
+	onRejoin []func(node int)
+
+	// Heartbeat state (dormant unless Recovery.HeartbeatEvery > 0): every
+	// interval the masterd pings each live node on the ctrl network and the
+	// noded answers over the reliable path. hbPending marks nodes whose
+	// latest ping is unanswered, hbMiss counts consecutive silent
+	// intervals, hbSeen is the newest sequence each node replied to.
+	hbTicking bool
+	hbSeq     uint64
+	hbPending []bool
+	hbMiss    []int
+	hbSeen    []uint64
+	hbFn      func()
+
+	// Rejoin protocol state. rebooted marks dead nodes whose fresh
+	// incarnation exists (set synchronously at the repair instant, so
+	// membership broadcasts reach the new card from then on); rejoinAsked
+	// marks nodes whose rejoin request has reached the masterd (the
+	// request's reliable-send done predicate). Nodes settle one at a time:
+	// joining is the index mid-admission (-1 when idle), and
+	// joinAckFrom/joinNeed track which survivors have confirmed re-adding
+	// it. While joining >= 0 the rotation cannot start a round, so no
+	// flush/release epoch is open anywhere when memberships grow.
+	rebooted    []bool
+	rejoinAsked []bool
+	rejoinQueue []int
+	joining     int
+	joinAckFrom []bool
+	joinNeed    int
+
+	// downs records every eviction as a [From,To) downtime window per node
+	// (To == 0 while the node is still down); a closed window is a
+	// completed rejoin. Unlike evictedAt, entries survive the rejoin, so
+	// availability accounting sees the full history.
+	downs map[int][]downWindow
 
 	// Clean-path round state, reused every rotation so the steady-state
 	// scheduler loop allocates nothing: targets is the per-node switch
@@ -107,17 +146,21 @@ func quantumFn(a any) {
 
 func newMasterd(c *Cluster) *Masterd {
 	m := &Masterd{
-		c:         c,
-		matrix:    gang.NewMatrixPolicy(c.cfg.Nodes, c.cfg.Slots, c.cfg.Packing),
-		jobs:      make(map[myrinet.JobID]*Job),
-		nextID:    1,
-		lastRow:   -1,
-		dead:      make([]bool, c.cfg.Nodes),
-		evictedAt: make(map[int]sim.Time),
-		needAcks:  c.cfg.Nodes,
-		targets:   make([]myrinet.JobID, c.cfg.Nodes),
-		swMsgs:    make([]switchMsg, c.cfg.Nodes),
-		swArgs:    make([]any, c.cfg.Nodes),
+		c:           c,
+		matrix:      gang.NewMatrixPolicy(c.cfg.Nodes, c.cfg.Slots, c.cfg.Packing),
+		jobs:        make(map[myrinet.JobID]*Job),
+		nextID:      1,
+		lastRow:     -1,
+		dead:        make([]bool, c.cfg.Nodes),
+		evictedAt:   make(map[int]sim.Time),
+		needAcks:    c.cfg.Nodes,
+		rebooted:    make([]bool, c.cfg.Nodes),
+		rejoinAsked: make([]bool, c.cfg.Nodes),
+		joining:     -1,
+		downs:       make(map[int][]downWindow),
+		targets:     make([]myrinet.JobID, c.cfg.Nodes),
+		swMsgs:      make([]switchMsg, c.cfg.Nodes),
+		swArgs:      make([]any, c.cfg.Nodes),
 	}
 	for i := range m.swMsgs {
 		m.swMsgs[i].m = m
@@ -238,6 +281,7 @@ func (m *Masterd) submit(spec JobSpec) (*Job, error) {
 		m.armLaunchWatch(job)
 	}
 	m.maybeTick()
+	m.armHeartbeat()
 	return job, nil
 }
 
@@ -362,7 +406,10 @@ func (m *Masterd) advance() {
 // once the quantum has elapsed AND every node has acknowledged switch
 // completion — the masterd never overlaps rotations.
 func (m *Masterd) tick() {
-	if m.inFlight {
+	if m.inFlight || m.joining >= 0 {
+		// A round in flight paces itself; a settling rejoin bars new rounds
+		// (growing the flush membership mid-epoch could stall an epoch that
+		// was already satisfied) and admitNode re-kicks the rotation.
 		return
 	}
 	m.kickASAP = false
@@ -471,10 +518,13 @@ func (m *Masterd) sendSwitch(epoch uint64, i int) {
 	})
 }
 
-// closeRound ends the in-flight rotation and disarms the watchdog.
+// closeRound ends the in-flight rotation and disarms the watchdog. The
+// round boundary is where queued rejoiners get their chance: the next
+// rotation cannot start until the admission barrier completes.
 func (m *Masterd) closeRound() {
 	m.inFlight = false
 	m.ackWatch.Cancel()
+	m.tryRejoin()
 }
 
 // armAckWatch schedules watchdog deadline number attempt for the round,
@@ -532,6 +582,7 @@ func (m *Masterd) evictNode(i int) {
 	}
 	m.dead[i] = true
 	m.evictedAt[i] = m.c.Eng.Now()
+	m.downs[i] = append(m.downs[i], downWindow{From: m.c.Eng.Now()})
 	// Shrink the matrix first: the column's free cells leave the capacity
 	// caches now, so any placement triggered from the kill callbacks below
 	// can no longer land on the dead node.
@@ -546,13 +597,27 @@ func (m *Masterd) evictNode(i int) {
 		m.ackedBy[i] = true // a late ack from the dead node must not count
 		m.needAcks--
 	}
+	if m.joining >= 0 && !m.joinAckFrom[i] {
+		// A dying survivor leaves the join quorum too: the admission must
+		// not wait on a confirmation that will never come.
+		m.joinAckFrom[i] = true
+		m.joinNeed--
+	}
+	// Membership update: every survivor — and every rebooted-but-unadmitted
+	// incarnation, whose topology view must stay current for its own
+	// admission — prunes the dead node. The broadcast carries the eviction's
+	// generation (this node's eviction count), and the re-send chain stops
+	// once the receiver has applied that generation — NOT when the node
+	// leaves the receiver's topology, which un-latches the moment a rejoin
+	// re-adds it and would let a stale resend prune the live incarnation.
+	gen := len(m.downs[i])
 	for j, node := range m.c.nodes {
-		if m.dead[j] {
+		if j == i || (m.dead[j] && !m.rebooted[j]) {
 			continue
 		}
 		node := node
-		m.c.reliableSend(m.c.Eng, j, func() bool { return !node.Mgr.InTopology(id) },
-			func() { node.evictPeer(id) })
+		m.c.reliableSend(m.c.Eng, j, func() bool { return node.evictSeen[id] >= gen },
+			func() { node.evictPeer(id, gen) })
 	}
 	for _, fn := range m.onEvict {
 		fn(i)
@@ -573,6 +638,9 @@ func (m *Masterd) evictNode(i int) {
 	}
 	if m.inFlight && m.acks >= m.needAcks {
 		m.closeRound()
+	}
+	if m.joining >= 0 && m.joinNeed <= 0 {
+		m.admitNode()
 	}
 	m.advance()
 }

@@ -50,6 +50,21 @@ type Recovery struct {
 	// AckRetries is how many watchdog re-sends a node may ignore; at the
 	// next deadline it is declared suspect and evicted.
 	AckRetries int
+
+	// HeartbeatEvery arms the masterd's liveness probe: every interval it
+	// pings each live node on the ctrl network and the noded replies over
+	// the reliable path. Zero (the default, including DefaultRecovery's)
+	// leaves the heartbeat off — the ack watchdog above already covers
+	// every mode that rotates. The heartbeat exists for the ack-less
+	// regimes: an idle rotation, or batch mode's single slot where the
+	// same-row skip means no switch is ever broadcast, so a fail-stop
+	// crash is otherwise undetectable.
+	HeartbeatEvery sim.Time
+	// HeartbeatMisses is how many consecutive intervals a node may stay
+	// silent before the masterd declares it dead and evicts it; detection
+	// latency is therefore ≈ (HeartbeatMisses+1)·HeartbeatEvery. Must be
+	// >= 1 when the heartbeat is armed.
+	HeartbeatMisses int
 }
 
 // DefaultRecovery returns the budgets described above for a quantum. The
@@ -79,12 +94,19 @@ func (r *Recovery) validate() error {
 	if r.NICRetries < 0 || r.CtrlRetries < 0 || r.AckRetries < 0 {
 		return errRecoveryRetries
 	}
+	if r.HeartbeatEvery < 0 {
+		return errRecoveryTimeout
+	}
+	if r.HeartbeatEvery > 0 && r.HeartbeatMisses < 1 {
+		return errHeartbeatMisses
+	}
 	return nil
 }
 
 var (
 	errRecoveryTimeout = recoveryErr("recovery timeouts must be positive")
 	errRecoveryRetries = recoveryErr("recovery retry counts must be non-negative")
+	errHeartbeatMisses = recoveryErr("an armed heartbeat needs a miss budget of at least 1")
 )
 
 type recoveryErr string

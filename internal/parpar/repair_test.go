@@ -1,0 +1,322 @@
+package parpar
+
+import (
+	"strings"
+	"testing"
+
+	"gangfm/internal/chaos"
+	"gangfm/internal/myrinet"
+	"gangfm/internal/sim"
+)
+
+// hbConfig is recoveredConfig with the heartbeat failure detector armed.
+// The interval is deliberately coarse relative to testConfig's small
+// quantum: the reply charges the host CPU, so the silence budget
+// (misses × interval) must exceed the longest contiguous CPU busy stretch
+// — program loads and switch copies — or a merely busy node reads as dead.
+// The schedd daemon gets the same margin for free from its 4M-cycle
+// quantum.
+func hbConfig(nodes int) Config {
+	cfg := recoveredConfig(nodes)
+	cfg.Recovery.HeartbeatEvery = 2 * cfg.Quantum
+	cfg.Recovery.HeartbeatMisses = 2
+	return cfg
+}
+
+// TestHeartbeatDetectsIdleCrash: a single populated slot never broadcasts
+// a switch, so the ack watchdog is blind to a fail-stop crash of a node no
+// job runs on — the regime batch mode lives in permanently. The heartbeat
+// must detect it anyway, within its miss budget, without disturbing the
+// running job.
+func TestHeartbeatDetectsIdleCrash(t *testing.T) {
+	const crashed, crashAt = 3, 50_000
+	cfg := hbConfig(4)
+	cfg.Slots = 1
+	cfg.Chaos = &chaos.Plan{Seed: 5, Faults: []chaos.Fault{
+		{Kind: chaos.NodeCrash, Node: crashed, From: crashAt},
+	}}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Long enough to outlive the miss budget: the probe loop self-terminates
+	// on a quiescent cluster, so a drained machine detects nothing (by design
+	// — there is nothing left to protect).
+	job, err := c.Submit(JobSpec{Name: "bystander", Size: 2, NewProgram: pingPong(2000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, col := range job.Placement.Cols {
+		if col == crashed {
+			t.Fatalf("placement assumption broken: job on %v spans node %d", job.Placement.Cols, crashed)
+		}
+	}
+	c.RunUntil(chaosHorizon)
+	if !c.master.dead[crashed] {
+		t.Fatal("heartbeat never declared the idle crashed node dead")
+	}
+	at, ok := c.master.FirstEvictedAt(crashed)
+	if !ok {
+		t.Fatal("no eviction recorded")
+	}
+	budget := sim.Time(cfg.Recovery.HeartbeatMisses+3) * cfg.Recovery.HeartbeatEvery
+	if at < crashAt || at > crashAt+budget {
+		t.Fatalf("detected at %d, want within (%d, %d]", at, crashAt, crashAt+budget)
+	}
+	if job.State() != JobDone {
+		t.Fatalf("bystander job is %v, want done; auditor: %s", job.State(), c.Auditor().Summary())
+	}
+	if !c.Auditor().Ok() {
+		t.Fatalf("heartbeat run reported violations: %s", c.Auditor().Summary())
+	}
+}
+
+// TestNoHeartbeatMissesIdleCrash is the control for the test above: the
+// identical crash with the heartbeat disarmed goes undetected forever —
+// nothing else in the protocol can see it. This pins that the heartbeat is
+// the detector, not a redundant layer over the ack watchdog.
+func TestNoHeartbeatMissesIdleCrash(t *testing.T) {
+	const crashed = 3
+	cfg := recoveredConfig(4)
+	cfg.Slots = 1
+	cfg.Chaos = &chaos.Plan{Seed: 5, Faults: []chaos.Fault{
+		{Kind: chaos.NodeCrash, Node: crashed, From: 50_000},
+	}}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := c.Submit(JobSpec{Name: "bystander", Size: 2, NewProgram: pingPong(200)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RunUntil(chaosHorizon)
+	if c.master.dead[crashed] {
+		t.Fatal("crash was detected with no heartbeat and no acks outstanding — by what?")
+	}
+	if job.State() != JobDone {
+		t.Fatalf("bystander job is %v, want done", job.State())
+	}
+}
+
+// TestRepairRejoinsAndRestoresCapacity: the full loop — a crash kills the
+// spanning job and shrinks the machine; the repair boots a fresh
+// incarnation that rejoins at a rotation boundary; afterwards every
+// survivor lists the node again, the matrix is back to full width, and a
+// machine-wide job (impossible on the degraded cluster) places and runs.
+func TestRepairRejoinsAndRestoresCapacity(t *testing.T) {
+	const crashed, repairAt = 0, 6_000_000
+	cfg := hbConfig(4)
+	cfg.Chaos = &chaos.Plan{Seed: 5, Faults: []chaos.Fault{
+		{Kind: chaos.NodeCrash, Node: crashed, From: 50_000},
+		{Kind: chaos.NodeRepair, Node: crashed, From: repairAt},
+	}}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doomed, err := c.Submit(JobSpec{Name: "doomed", Size: 2, NewProgram: pingPong(400)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	survivor, err := c.Submit(JobSpec{Name: "survivor", Size: 2, NewProgram: pingPong(2000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RunUntil(chaosHorizon)
+
+	if doomed.State() != JobKilled {
+		t.Fatalf("job spanning the crashed node is %v, want killed", doomed.State())
+	}
+	if survivor.State() != JobDone {
+		t.Fatalf("surviving job is %v, want done; auditor: %s", survivor.State(), c.Auditor().Summary())
+	}
+	m := c.master
+	if m.dead[crashed] {
+		t.Fatal("repaired node still marked dead after the horizon")
+	}
+	if got := m.Rejoins(crashed); got != 1 {
+		t.Fatalf("Rejoins(%d) = %d, want 1", crashed, got)
+	}
+	rj, ok := m.FirstRejoinAt()
+	if !ok || rj < repairAt {
+		t.Fatalf("first rejoin at %d (ok=%v), want after the repair instant %d", rj, ok, repairAt)
+	}
+	for i, n := range c.Nodes() {
+		if !n.Mgr.InTopology(myrinet.NodeID(crashed)) {
+			t.Fatalf("node %d does not list the rejoined node in its topology", i)
+		}
+	}
+	if got := m.matrix.LiveCols(); got != 4 {
+		t.Fatalf("live columns = %d after rejoin, want 4", got)
+	}
+	// The regrown capacity must be real: a job needing every node — which
+	// the 3-wide degraded machine rejected structurally — now places and
+	// completes, with ranks running on the fresh incarnation. A ring
+	// exchange makes every rank both send and receive, so the rejoined
+	// card's data path is exercised in both directions.
+	ring := func(size int) func(rank int) Program {
+		return func(rank int) Program {
+			return ProgramFunc(func(p *Proc) {
+				p.EP.SetHandler(func(_, _ int, _ []byte) { p.Done(1) })
+				p.EP.Send((rank+1)%size, 64, nil)
+			})
+		}
+	}
+	wide, err := c.Submit(JobSpec{Name: "wide", Size: 4, NewProgram: ring(4)})
+	if err != nil {
+		t.Fatalf("machine-wide job rejected after rejoin: %v", err)
+	}
+	c.RunUntil(2 * chaosHorizon)
+	if wide.State() != JobDone {
+		t.Fatalf("machine-wide job is %v, want done; auditor: %s", wide.State(), c.Auditor().Summary())
+	}
+	if !c.Auditor().Ok() {
+		t.Fatalf("repair run reported violations: %s", c.Auditor().Summary())
+	}
+}
+
+// TestRebootBeforeDetectionEvictsStaleIncarnation: when the repair lands
+// before the heartbeat's miss budget runs out (or with no heartbeat at
+// all), the rejoin request itself is the first sign of the crash. The
+// masterd must retire the stale incarnation — kill the spanning job,
+// shrink and regrow the column — before admitting the fresh one.
+func TestRebootBeforeDetectionEvictsStaleIncarnation(t *testing.T) {
+	const crashed = 0
+	cfg := recoveredConfig(4) // no heartbeat: detection only via the rejoin request
+	cfg.Chaos = &chaos.Plan{Seed: 5, Faults: []chaos.Fault{
+		{Kind: chaos.NodeCrash, Node: crashed, From: 50_000},
+		{Kind: chaos.NodeRepair, Node: crashed, From: 300_000},
+	}}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doomed, err := c.Submit(JobSpec{Name: "doomed", Size: 2, NewProgram: pingPong(400)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	survivor, err := c.Submit(JobSpec{Name: "survivor", Size: 2, NewProgram: pingPong(400)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RunUntil(chaosHorizon)
+	if doomed.State() != JobKilled {
+		t.Fatalf("job spanning the crashed node is %v, want killed", doomed.State())
+	}
+	if survivor.State() != JobDone {
+		t.Fatalf("surviving job is %v, want done; auditor: %s", survivor.State(), c.Auditor().Summary())
+	}
+	m := c.master
+	if len(m.downs[crashed]) != 1 || m.Rejoins(crashed) != 1 {
+		t.Fatalf("downs=%d rejoins=%d, want one eviction and one rejoin", len(m.downs[crashed]), m.Rejoins(crashed))
+	}
+	if at, _ := m.FirstEvictedAt(crashed); at < 300_000 {
+		t.Fatalf("evicted at %d, want at/after the repair instant (the rejoin request is the detector)", at)
+	}
+	if !c.Auditor().Ok() {
+		t.Fatalf("run reported violations: %s", c.Auditor().Summary())
+	}
+}
+
+// TestEvictAndRejoinHookOrdering pins the hook contracts the scheduler
+// daemon builds on. OnEvict runs after KillColumn but before the spanning
+// jobs are killed: capacity queries inside the hook see the shrunken
+// machine while the doomed job is still inspectable. OnRejoin mirrors it
+// after ReviveColumn: the hook sees the node live again and the matrix at
+// full width, so a backlog drain triggered from inside the hook can place
+// onto the recovered capacity immediately.
+func TestEvictAndRejoinHookOrdering(t *testing.T) {
+	const crashed = 0
+	cfg := hbConfig(4)
+	cfg.Chaos = &chaos.Plan{Seed: 5, Faults: []chaos.Fault{
+		{Kind: chaos.NodeCrash, Node: crashed, From: 50_000},
+		{Kind: chaos.NodeRepair, Node: crashed, From: 6_000_000},
+	}}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doomed, err := c.Submit(JobSpec{Name: "doomed", Size: 2, NewProgram: pingPong(400)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(JobSpec{Name: "survivor", Size: 2, NewProgram: pingPong(400)}); err != nil {
+		t.Fatal(err)
+	}
+	m := c.master
+	var evicts, rejoins []int
+	m.OnEvict(func(node int) {
+		evicts = append(evicts, node)
+		if got := m.matrix.LiveCols(); got != 3 {
+			t.Errorf("OnEvict(%d): live columns = %d, want 3 (KillColumn must precede the hook)", node, got)
+		}
+		if doomed.State() == JobKilled {
+			t.Errorf("OnEvict(%d): spanning job already killed (kills must follow the hook)", node)
+		}
+		if _, live := m.jobs[doomed.ID]; !live {
+			t.Errorf("OnEvict(%d): spanning job already gone from the job table", node)
+		}
+	})
+	m.OnRejoin(func(node int) {
+		rejoins = append(rejoins, node)
+		if m.dead[node] {
+			t.Errorf("OnRejoin(%d): node still marked dead inside the hook", node)
+		}
+		if got := m.matrix.LiveCols(); got != 4 {
+			t.Errorf("OnRejoin(%d): live columns = %d, want 4 (ReviveColumn must precede the hook)", node, got)
+		}
+	})
+	c.RunUntil(chaosHorizon)
+	if len(evicts) != 1 || evicts[0] != crashed {
+		t.Fatalf("OnEvict fired for %v, want [%d]", evicts, crashed)
+	}
+	if len(rejoins) != 1 || rejoins[0] != crashed {
+		t.Fatalf("OnRejoin fired for %v, want [%d]", rejoins, crashed)
+	}
+	if doomed.State() != JobKilled {
+		t.Fatalf("spanning job is %v after the run, want killed", doomed.State())
+	}
+}
+
+// TestRepairDeterminism extends the recovery replay contract through the
+// repair loop: two runs of the same crash-plus-repair-plus-loss plan (with
+// the heartbeat armed) produce byte-identical injection traces, identical
+// verdicts, and identical rejoin instants.
+func TestRepairDeterminism(t *testing.T) {
+	run := func() ([]string, []chaos.Violation, sim.Time, int) {
+		cfg := hbConfig(4)
+		cfg.Chaos = &chaos.Plan{Seed: 31, Faults: []chaos.Fault{
+			{Kind: chaos.NodeCrash, Node: 0, From: 50_000},
+			{Kind: chaos.NodeRepair, Node: 0, From: 6_000_000},
+			{Kind: chaos.HaltLoss, Prob: 0.4, Node: -1},
+		}}
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Submit(JobSpec{Name: "doomed", Size: 2, NewProgram: pingPong(400)}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Submit(JobSpec{Name: "survivor", Size: 2, NewProgram: pingPong(400)}); err != nil {
+			t.Fatal(err)
+		}
+		c.RunUntil(chaosHorizon)
+		rj, _ := c.master.FirstRejoinAt()
+		return c.ChaosTrace(), c.Auditor().Violations(), rj, c.master.Rejoins(0)
+	}
+	t1, v1, r1, n1 := run()
+	t2, v2, r2, n2 := run()
+	if strings.Join(t1, "\n") != strings.Join(t2, "\n") {
+		t.Fatal("identical repair runs produced different injection traces")
+	}
+	if len(v1) != len(v2) {
+		t.Fatalf("violation counts differ: %d vs %d", len(v1), len(v2))
+	}
+	if r1 != r2 || n1 != n2 {
+		t.Fatalf("rejoin timelines differ: %d/%d vs %d/%d", r1, n1, r2, n2)
+	}
+	if n1 != 1 {
+		t.Fatalf("rejoins = %d, want 1", n1)
+	}
+}

@@ -97,6 +97,23 @@ func (c *Cache) KillNode(i int) {
 	n.Free = 0
 }
 
+// ReviveNode returns a repaired node's capacity to the pool. The fresh
+// incarnation's column was drained before eviction completed (every
+// spanning job was killed and Removed), so its full slot depth comes
+// back free; the subtraction keeps the invariant honest even if a
+// Remove is still owed.
+func (c *Cache) ReviveNode(i int) {
+	if i < 0 || i >= len(c.nodes) || !c.dead[i] {
+		return
+	}
+	c.dead[i] = false
+	n := &c.nodes[i]
+	n.Free = c.slots - n.Resident
+	if n.Free > 0 {
+		c.freeNodes++
+	}
+}
+
 // Audit reconciles the cache against the matrix and returns one message
 // per divergence (nil when coherent). The matrix's own per-column load
 // cache is itself audited against a full recount by gang.Matrix.Audit,

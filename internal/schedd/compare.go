@@ -45,17 +45,35 @@ func ms(t float64) float64 {
 // mode, the goodput (useful work over the node-cycles that survived the
 // crashes), the requeue/gaveup activity, the mean time from crash-kill to
 // re-placement, and how much of the machine the dead nodes took with them.
+// When any run armed repairs, three more columns report the repair side of
+// the loop: nodes admitted back, the fraction of the would-be-lost
+// node-cycles the repairs recovered, and the goodput after the first
+// rejoin. Crash-only runs render the pre-repair layout byte-identically.
 func AvailabilityTable(rs []*Result) *metrics.Table {
-	t := metrics.NewTable(
-		"Availability under node crashes",
+	withRepairs := false
+	for _, r := range rs {
+		if r.Repairs > 0 {
+			withRepairs = true
+			break
+		}
+	}
+	cols := []string{
 		"mode", "goodput", "done", "requeues", "rq_jobs", "gaveup", "cens",
 		"mean_ttr_ms", "nodes_lost", "cap_lost",
-	)
+	}
+	if withRepairs {
+		cols = append(cols, "nodes_rep", "cap_rep", "post_gp")
+	}
+	t := metrics.NewTable("Availability under node crashes", cols...)
 	for _, r := range rs {
-		t.AddRow(
+		row := []any{
 			r.Mode, r.Goodput, r.Finished, r.Requeues, r.RequeuedJobs,
 			r.GaveUp, r.Censored, ms(r.MeanRequeue), r.NodesLost, r.CapacityLost,
-		)
+		}
+		if withRepairs {
+			row = append(row, r.NodesRepaired, r.CapacityRepaired, r.PostRepairGoodput)
+		}
+		t.AddRow(row...)
 	}
 	return t
 }

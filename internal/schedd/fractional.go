@@ -65,11 +65,12 @@ func Fractional(cfg Config) *Result {
 		horizon = lastArrive + 10_000*quantum
 	}
 
-	// The discrete churn commands, time-ordered (ties: crashes first, then
+	// The discrete churn commands, time-ordered (ties: machine events
+	// first — and a crash before a repair of the same instant — then
 	// trace order, then arrive < kill < resize).
 	type fevent struct {
 		t    sim.Time
-		kind int // 0 arrive, 1 kill, 2 resize, 3 node crash
+		kind int // 0 arrive, 1 kill, 2 resize, 3 node crash, 4 node repair
 		task *ftask
 		node int
 	}
@@ -85,6 +86,9 @@ func Fractional(cfg Config) *Result {
 	}
 	for _, cr := range cfg.Crashes {
 		events = append(events, fevent{t: cr.At, kind: 3, task: nil, node: cr.Node})
+	}
+	for _, rp := range cfg.Repairs {
+		events = append(events, fevent{t: rp.At, kind: 4, task: nil, node: rp.Node})
 	}
 	eventIdx := func(e fevent) int {
 		if e.task == nil {
@@ -105,9 +109,14 @@ func Fractional(cfg Config) *Result {
 	log := NewLog()
 	load := make([]int, cfg.Nodes) // co-resident jobs per node
 
-	// Failure state: dead nodes leave the placement pool permanently.
+	// Failure state: dead nodes leave the placement pool until (and
+	// unless) a repair brings them back. Each node's downtime is a list of
+	// [from, to) windows, to < 0 while the node is still down — the same
+	// shape the masterd keeps, so both sides of the showdown account for
+	// availability identically.
+	type fwin struct{ from, to float64 }
 	deadNode := make([]bool, cfg.Nodes)
-	deadAt := make(map[int]float64)
+	wins := make(map[int][]fwin)
 	live := cfg.Nodes
 	budget := cfg.RetryBudget
 	if budget == 0 {
@@ -260,7 +269,7 @@ func Fractional(cfg Config) *Result {
 				break
 			}
 			deadNode[ev.node] = true
-			deadAt[ev.node] = float64(ev.t)
+			wins[ev.node] = append(wins[ev.node], fwin{from: float64(ev.t), to: -1})
 			live--
 			log.Add(ev.t, VerbNodeDead, "node=%d live=%d", ev.node, live)
 			// Fractional sharing pays realistic failure costs too: jobs on
@@ -294,6 +303,19 @@ func Fractional(cfg Config) *Result {
 					place(ft, float64(ev.t))
 				}
 			}
+		case 4:
+			if !deadNode[ev.node] {
+				break
+			}
+			// A repaired node returns to the placement pool: new arrivals
+			// and crash-restarts spread onto it from now on (jobs in
+			// flight keep their columns — the PS pool never migrates).
+			// Jobs already given up stay given up, like the daemon's.
+			deadNode[ev.node] = false
+			w := wins[ev.node]
+			w[len(w)-1].to = float64(ev.t)
+			live++
+			log.Add(ev.t, VerbNodeRepair, "node=%d live=%d", ev.node, live)
 		}
 	}
 	advanceTo(float64(horizon))
@@ -303,8 +325,17 @@ func Fractional(cfg Config) *Result {
 	if bound <= 0 {
 		bound = 1
 	}
+	firstRejoin := 0.0
+	anyRejoin := false
+	for n := 0; n < cfg.Nodes; n++ {
+		for _, w := range wins[n] {
+			if w.to >= 0 && (!anyRejoin || w.to < firstRejoin) {
+				firstRejoin, anyRejoin = w.to, true
+			}
+		}
+	}
 	var responses, slowdowns []float64
-	var usefulWork, lastEnd float64
+	var usefulWork, postWork, lastEnd float64
 	firstArrive := float64(tasks[0].arrive)
 	censored := 0
 	for _, t := range tasks {
@@ -321,6 +352,9 @@ func Fractional(cfg Config) *Result {
 			nominal := float64(tj.Nominal())
 			slowdowns = append(slowdowns, metrics.BoundedSlowdown(resp, nominal, bound))
 			usefulWork += float64(t.size) * nominal
+			if anyRejoin && t.done >= firstRejoin {
+				postWork += float64(t.size) * nominal
+			}
 			if t.done > lastEnd {
 				lastEnd = t.done
 			}
@@ -354,16 +388,43 @@ func Fractional(cfg Config) *Result {
 			r.Requeues += t.retries
 		}
 	}
-	log.Add(horizon, VerbHorizon, "censored=%d cache_ok=true nodes_evicted=%d", censored, len(deadAt))
+	downNow := 0
+	for n := 0; n < cfg.Nodes; n++ {
+		if deadNode[n] {
+			downNow++
+		}
+	}
+	log.Add(horizon, VerbHorizon, "censored=%d cache_ok=true nodes_evicted=%d", censored, downNow)
 	r.MeanResponse = metrics.Mean(responses)
 	r.MeanSlowdown = metrics.Mean(slowdowns)
 	r.MaxSlowdown = metrics.Max(slowdowns)
 	span := lastEnd - firstArrive
-	var lostCap float64
-	for _, at := range deadAt {
+	r.Repairs = len(cfg.Repairs)
+	var lostCap, lostNoRepair float64
+	for n := 0; n < cfg.Nodes; n++ {
+		ws := wins[n]
+		if len(ws) == 0 {
+			continue
+		}
 		r.NodesLost++
-		if at < lastEnd {
-			lostCap += lastEnd - at
+		if first := ws[0].from; first < lastEnd {
+			lostNoRepair += lastEnd - first
+		}
+		rejoined := false
+		for _, w := range ws {
+			if w.to >= 0 {
+				rejoined = true
+			}
+			lo, hi := w.from, w.to
+			if hi < 0 || hi > lastEnd {
+				hi = lastEnd
+			}
+			if hi > lo {
+				lostCap += hi - lo
+			}
+		}
+		if rejoined {
+			r.NodesRepaired++
 		}
 	}
 	if span > 0 {
@@ -372,6 +433,29 @@ func Fractional(cfg Config) *Result {
 		r.CapacityLost = lostCap / total
 		if surviving := total - lostCap; surviving > 0 {
 			r.Goodput = usefulWork / surviving
+		}
+	}
+	if lostNoRepair > 0 {
+		r.CapacityRepaired = (lostNoRepair - lostCap) / lostNoRepair
+	}
+	if anyRejoin && lastEnd > firstRejoin {
+		postTotal := float64(cfg.Nodes) * (lastEnd - firstRejoin)
+		for n := 0; n < cfg.Nodes; n++ {
+			for _, w := range wins[n] {
+				lo, hi := w.from, w.to
+				if hi < 0 || hi > lastEnd {
+					hi = lastEnd
+				}
+				if lo < firstRejoin {
+					lo = firstRejoin
+				}
+				if hi > lo {
+					postTotal -= hi - lo
+				}
+			}
+		}
+		if postTotal > 0 {
+			r.PostRepairGoodput = postWork / postTotal
 		}
 	}
 	return r

@@ -29,6 +29,7 @@ const (
 	VerbRequeue
 	VerbGaveup
 	VerbNodeDead
+	VerbNodeRepair
 	VerbCacheBad
 	VerbHorizon
 	verbCount
@@ -37,14 +38,14 @@ const (
 var verbNames = [...]string{
 	"submit", "place", "backfill", "queue", "prune", "kill", "kill-late",
 	"resize", "resize-late", "compact", "done", "evicted", "requeue", "gaveup",
-	"node-dead", "cache-bad", "horizon",
+	"node-dead", "node-repair", "cache-bad", "horizon",
 }
 
 // failureVerb reports whether v only ever appears in failure-injected runs.
 // StatsTable hides these rows when every run's count is zero, so clean-path
 // decision tables render byte-identically to the pre-failure-aware layout.
 func failureVerb(v Verb) bool {
-	return v == VerbRequeue || v == VerbGaveup || v == VerbNodeDead
+	return v == VerbRequeue || v == VerbGaveup || v == VerbNodeDead || v == VerbNodeRepair
 }
 
 // String returns the verb's log name.

@@ -74,6 +74,16 @@ type Config struct {
 	// configured, the default recovery budgets are armed so evictions
 	// actually resolve instead of wedging the rotation.
 	Crashes []schedeval.Crash
+	// Repairs close crashes: node repairs (the repair=node@T trace
+	// directive / gangsim churn -repair path), appended to the chaos plan
+	// as NodeRepair faults. Each repair must strictly follow a crash of
+	// the same node. Arming any repair also arms the heartbeat failure
+	// detector (one probe per quantum, two-miss budget) unless the
+	// Recovery config already set one — a repair is only worth modelling
+	// when crashes are actually detected, and the ack watchdog alone
+	// cannot see a crash in batch mode (Slots=1 never broadcasts a
+	// switch) or on an idle rotation.
+	Repairs []schedeval.Repair
 	// RetryBudget caps how many times a crash-killed job is requeued
 	// before the daemon gives up on it. Zero means the default (3);
 	// negative means no retries.
@@ -176,6 +186,9 @@ func New(cfg Config) (*Daemon, error) {
 			return nil, fmt.Errorf("schedd: crash %d: %w", i, err)
 		}
 	}
+	if err := schedeval.ValidateRepairs(cfg.Repairs, cfg.Crashes, cfg.Nodes); err != nil {
+		return nil, fmt.Errorf("schedd: %w", err)
+	}
 	pcfg := parpar.DefaultConfig(cfg.Nodes)
 	pcfg.Slots = cfg.Slots
 	pcfg.Policy = cfg.Scheme
@@ -207,9 +220,27 @@ func New(cfg Config) (*Daemon, error) {
 			plan.Faults = append(plan.Faults,
 				chaos.Fault{Kind: chaos.NodeCrash, Node: cr.Node, From: cr.At})
 		}
+		for _, rp := range cfg.Repairs {
+			plan.Faults = append(plan.Faults,
+				chaos.Fault{Kind: chaos.NodeRepair, Node: rp.Node, From: rp.At})
+		}
 		pcfg.Chaos = &plan
 		if pcfg.Recovery == nil {
 			r := parpar.DefaultRecovery(pcfg.Quantum)
+			pcfg.Recovery = &r
+		}
+		if len(cfg.Repairs) > 0 && pcfg.Recovery.HeartbeatEvery == 0 {
+			// Repairs imply a heartbeat failure detector (copy, never
+			// mutate a caller-owned Recovery): four probes per quantum, two
+			// missed intervals to declare a node dead. The cadence must beat
+			// the repair stream — detection after the node already rebooted
+			// degenerates into the rejoin request outing the stale
+			// incarnation, and batch mode (one populated slot, no switch
+			// broadcasts, no acks to miss) would never notice the crash at
+			// all.
+			r := *pcfg.Recovery
+			r.HeartbeatEvery = pcfg.Quantum / 4
+			r.HeartbeatMisses = 2
 			pcfg.Recovery = &r
 		}
 	}
@@ -247,8 +278,11 @@ func New(cfg Config) (*Daemon, error) {
 		d.stretch = make(map[schedeval.Kernel]float64)
 	}
 	// Shrink our capacity caches the instant a node is declared dead —
-	// before the spanning jobs' kill callbacks can trigger new placements.
+	// before the spanning jobs' kill callbacks can trigger new placements —
+	// and regrow them the instant a repaired node is admitted back, so the
+	// backlog drains into the recovered capacity.
 	cluster.Master().OnEvict(d.onNodeDead)
+	cluster.Master().OnRejoin(d.onNodeRepaired)
 	return d, nil
 }
 
@@ -481,6 +515,19 @@ func (d *Daemon) onNodeDead(node int) {
 		d.dequeue(t)
 		d.giveUp(t, now, fmt.Sprintf("reason=capacity size=%d live=%d", t.size, live))
 	}
+}
+
+// onNodeRepaired is the masterd rejoin hook: it fires after the repaired
+// node's matrix column is revived, so the placement cache regrows first
+// and the drain that follows can place the backlog onto the recovered
+// capacity immediately. Jobs already given up stay given up — abandoning
+// them was a reported decision, not a reversible one.
+func (d *Daemon) onNodeRepaired(node int) {
+	now := d.cluster.Eng.Now()
+	d.cache.ReviveNode(node)
+	live := d.cluster.Master().Matrix().LiveCols()
+	d.log.Add(now, VerbNodeRepair, "node=%d live=%d", node, live)
+	d.drain()
 }
 
 // giveUp retires a task the daemon abandons: it counts as a terminal
@@ -716,6 +763,18 @@ type Result struct {
 	CapacityLost float64
 	Goodput      float64
 
+	// Repair metrics (all zero unless repairs are armed): Repairs is the
+	// number of armed repair events, NodesRepaired the nodes admitted back
+	// at least once, CapacityRepaired the fraction of the node-cycles the
+	// crashes would have cost that repair recovered (downtime avoided over
+	// downtime without repair), and PostRepairGoodput the goodput over the
+	// window from the first rejoin to the end of the run — the "did the
+	// machine actually come back" number.
+	Repairs           int
+	NodesRepaired     int
+	CapacityRepaired  float64
+	PostRepairGoodput float64
+
 	Log    *Log
 	Events uint64
 }
@@ -735,8 +794,10 @@ func (d *Daemon) Result(mode string) *Result {
 	if bound <= 0 {
 		bound = 1
 	}
+	master := d.cluster.Master()
+	firstRejoin, anyRejoin := master.FirstRejoinAt()
 	var responses, slowdowns []float64
-	var usefulWork float64
+	var usefulWork, postWork float64
 	var firstArrive, lastEnd sim.Time
 	for i, t := range d.tasks {
 		if i == 0 || t.tj.Arrive < firstArrive {
@@ -752,6 +813,9 @@ func (d *Daemon) Result(mode string) *Result {
 			nominal := tj.Nominal()
 			slowdowns = append(slowdowns, metrics.BoundedSlowdown(resp, float64(nominal), bound))
 			usefulWork += float64(t.size) * float64(nominal)
+			if anyRejoin && t.done >= firstRejoin {
+				postWork += float64(t.size) * float64(nominal)
+			}
 			if t.done > lastEnd {
 				lastEnd = t.done
 			}
@@ -795,13 +859,21 @@ func (d *Daemon) Result(mode string) *Result {
 	if d.requeueN > 0 {
 		r.MeanRequeue = float64(d.requeueSum) / float64(d.requeueN)
 	}
-	master := d.cluster.Master()
 	span := lastEnd - firstArrive
-	var lost float64
-	for _, n := range master.EvictedNodes() {
+	r.Repairs = len(d.cfg.Repairs)
+	var lost, lostNoRepair float64
+	for _, n := range master.EverEvicted() {
 		r.NodesLost++
-		if at, ok := master.EvictedAt(n); ok && at < lastEnd {
-			lost += float64(lastEnd - at)
+		if master.Rejoins(n) > 0 {
+			r.NodesRepaired++
+		}
+		// Actual downtime versus the no-repair counterfactual (the node
+		// stays down from its first eviction); on repair-free runs the two
+		// are equal and this reduces to the old "lost from eviction to the
+		// end" formula.
+		lost += float64(master.DowntimeIn(n, 0, lastEnd))
+		if at, ok := master.FirstEvictedAt(n); ok && at < lastEnd {
+			lostNoRepair += float64(lastEnd - at)
 		}
 	}
 	if span > 0 {
@@ -810,6 +882,18 @@ func (d *Daemon) Result(mode string) *Result {
 		r.CapacityLost = lost / total
 		if surviving := total - lost; surviving > 0 {
 			r.Goodput = usefulWork / surviving
+		}
+	}
+	if lostNoRepair > 0 {
+		r.CapacityRepaired = (lostNoRepair - lost) / lostNoRepair
+	}
+	if anyRejoin && lastEnd > firstRejoin {
+		postTotal := float64(d.cfg.Nodes) * float64(lastEnd-firstRejoin)
+		for _, n := range master.EverEvicted() {
+			postTotal -= float64(master.DowntimeIn(n, firstRejoin, lastEnd))
+		}
+		if postTotal > 0 {
+			r.PostRepairGoodput = postWork / postTotal
 		}
 	}
 	return r

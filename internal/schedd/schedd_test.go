@@ -573,3 +573,104 @@ func TestCrashRetryBudgetExhausted(t *testing.T) {
 		t.Fatalf("%d jobs censored — gaveup path left work stuck", r.Censored)
 	}
 }
+
+// repairedChurn runs the gang daemon over the seeded churn trace with
+// sampled crashes and repairs armed — the configuration of the
+// churn_repair golden, down to the seeds.
+func repairedChurn(t *testing.T) (*Daemon, []schedeval.Crash, []schedeval.Repair) {
+	t.Helper()
+	trace := churnTrace(t, 12)
+	var lastArrive sim.Time
+	for _, tj := range trace {
+		if tj.Arrive > lastArrive {
+			lastArrive = tj.Arrive
+		}
+	}
+	crashes, err := schedeval.GenCrashes(7, 8, 0.35, lastArrive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repairs, err := schedeval.GenRepairs(13, crashes, 0.75, lastArrive/4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(crashes) == 0 || len(repairs) == 0 {
+		t.Fatalf("samplers produced %d crashes, %d repairs", len(crashes), len(repairs))
+	}
+	cfg := DefaultConfig(8)
+	cfg.Trace = trace
+	cfg.Crashes = crashes
+	cfg.Repairs = repairs
+	cfg.AdaptiveEstimate = true
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return d, crashes, repairs
+}
+
+// TestRepairRejoinRestoresDaemonCapacity is the repair tentpole in test
+// form: repaired nodes rejoin the gang, the placement cache re-expands
+// over the revived columns without a single coherence violation, the
+// availability metrics grow their repair half, and — because arming
+// repairs arms the heartbeat — every crash is detected strictly before
+// its repair lands, not outed by the rejoin request.
+func TestRepairRejoinRestoresDaemonCapacity(t *testing.T) {
+	d, crashes, repairs := repairedChurn(t)
+	r := d.Result("gang")
+	if r.Repairs != len(repairs) || r.NodesRepaired != len(repairs) {
+		t.Fatalf("Repairs=%d NodesRepaired=%d, want %d armed and admitted", r.Repairs, r.NodesRepaired, len(repairs))
+	}
+	wantLive := 8 - len(crashes) + len(repairs)
+	if got := d.Cluster().Master().LiveNodes(); got != wantLive {
+		t.Fatalf("LiveNodes = %d at the horizon, want %d", got, wantLive)
+	}
+	if got := r.Log.Count(VerbNodeRepair); got != len(repairs) {
+		t.Fatalf("log has %d node-repair lines, want %d:\n%s", got, len(repairs), r.Log)
+	}
+	if r.CapacityRepaired <= 0 || r.CapacityRepaired > 1 {
+		t.Fatalf("CapacityRepaired = %v outside (0,1]", r.CapacityRepaired)
+	}
+	if r.PostRepairGoodput <= 0 {
+		t.Fatalf("PostRepairGoodput = %v, want positive", r.PostRepairGoodput)
+	}
+	if r.Censored != 0 {
+		t.Fatalf("%d jobs censored at the horizon:\n%s", r.Censored, d.Log())
+	}
+	if got := r.Log.Count(VerbCacheBad); got != 0 {
+		t.Fatalf("%d cache coherence violations across rejoins:\n%s", got, r.Log)
+	}
+	if bad := d.Cache().Audit(d.Cluster().Master().Matrix()); len(bad) != 0 {
+		t.Fatalf("cache audit after rejoins: %v", bad)
+	}
+	// Heartbeat detection: the node-dead line for every repaired node must
+	// carry a timestamp before that node's repair directive. A detection at
+	// or after the repair instant means the rejoin request was the detector
+	// — the regime the heartbeat exists to eliminate.
+	repairAt := make(map[int]sim.Time)
+	for _, rp := range repairs {
+		repairAt[rp.Node] = rp.At
+	}
+	deadAt := make(map[int]sim.Time)
+	for _, line := range r.Log.Lines() {
+		var ts sim.Time
+		var node int
+		if n, _ := fmt.Sscanf(line, "t=%d node-dead node=%d", &ts, &node); n == 2 {
+			if _, seen := deadAt[node]; !seen {
+				deadAt[node] = ts
+			}
+		}
+	}
+	for node, at := range repairAt {
+		det, ok := deadAt[node]
+		if !ok {
+			t.Fatalf("repaired node %d has no node-dead line:\n%s", node, r.Log)
+		}
+		if det >= at {
+			t.Fatalf("node %d detected at %d, repair at %d: detection must precede the repair", node, det, at)
+		}
+	}
+}

@@ -206,3 +206,32 @@ func GenCrashes(seed uint64, nodes int, fraction float64, span sim.Time) ([]Cras
 	}
 	return crashes, nil
 }
+
+// GenRepairs samples repairs for a crash list: each crashed node is
+// repaired independently with probability fraction, at its crash time
+// plus an MTTR uniform in [mttr/2, 3·mttr/2). The RNG stream is derived
+// from the seed but separate from both the job generator's and the crash
+// generator's, so turning repairs on never moves a crash or a job.
+// Repairs come back in crash order, one per repaired crash, and always
+// satisfy ValidateRepairs against the input crashes.
+func GenRepairs(seed uint64, crashes []Crash, fraction float64, mttr sim.Time) ([]Repair, error) {
+	if fraction < 0 || fraction > 1 {
+		return nil, fmt.Errorf("schedeval: repair fraction %v outside [0,1]", fraction)
+	}
+	if fraction > 0 && mttr <= 1 {
+		return nil, fmt.Errorf("schedeval: repair generator needs an MTTR of at least 2 cycles, got %d", mttr)
+	}
+	if fraction == 0 || len(crashes) == 0 {
+		return nil, nil
+	}
+	rng := sim.NewRand(seed ^ 0x4E9A_12D7)
+	var repairs []Repair
+	for _, c := range crashes {
+		if !rng.Bool(fraction) {
+			continue
+		}
+		at := c.At + mttr/2 + sim.Time(rng.Intn(int(mttr)))
+		repairs = append(repairs, Repair{Node: c.Node, At: at})
+	}
+	return repairs, nil
+}

@@ -8,6 +8,7 @@ import (
 	"gangfm/internal/chaos"
 	"gangfm/internal/fm"
 	"gangfm/internal/gang"
+	"gangfm/internal/sim"
 )
 
 func TestGenerateDeterministic(t *testing.T) {
@@ -407,33 +408,93 @@ func TestCrashDirectiveRoundTrip(t *testing.T) {
 			Kill: 5_000_000},
 	}
 	crashes := []Crash{{Node: 0, At: 9_000_000}, {Node: 5, At: 12_345_678}}
+	repairs := []Repair{{Node: 5, At: 20_000_000}}
 	var b strings.Builder
-	if err := FormatTraceFull(&b, jobs, crashes); err != nil {
+	if err := FormatTraceFull(&b, jobs, crashes, repairs); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "crash 5@12345678") {
 		t.Fatalf("crash directive missing:\n%s", b.String())
 	}
-	backJobs, backCrashes, err := ParseTraceFull(strings.NewReader(b.String()))
+	if !strings.Contains(b.String(), "repair 5@20000000") {
+		t.Fatalf("repair directive missing:\n%s", b.String())
+	}
+	backJobs, backCrashes, backRepairs, err := ParseTraceFull(strings.NewReader(b.String()))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(jobs, backJobs) || !reflect.DeepEqual(crashes, backCrashes) {
-		t.Fatalf("crash trace did not round-trip:\n%+v %+v\n%+v %+v",
-			jobs, crashes, backJobs, backCrashes)
+	if !reflect.DeepEqual(jobs, backJobs) || !reflect.DeepEqual(crashes, backCrashes) ||
+		!reflect.DeepEqual(repairs, backRepairs) {
+		t.Fatalf("crash trace did not round-trip:\n%+v %+v %+v\n%+v %+v %+v",
+			jobs, crashes, repairs, backJobs, backCrashes, backRepairs)
 	}
 	if _, err := ParseTrace(strings.NewReader(b.String())); err == nil {
 		t.Fatal("ParseTrace accepted a trace with crash directives")
 	}
 	for _, bad := range []string{
-		"crash",             // no operand
-		"crash 1",           // missing @T
-		"crash x@5",         // bad node
-		"crash 1@x",         // bad time
-		"crash 1@5 trailer", // extra field
+		"crash",              // no operand
+		"crash 1",            // missing @T
+		"crash x@5",          // bad node
+		"crash 1@x",          // bad time
+		"crash 1@5 trailer",  // extra field
+		"repair",             // no operand
+		"repair 1",           // missing @T
+		"repair x@5",         // bad node
+		"repair 1@x",         // bad time
+		"repair 1@5 trailer", // extra field
 	} {
-		if _, _, err := ParseTraceFull(strings.NewReader(bad)); err == nil {
+		if _, _, _, err := ParseTraceFull(strings.NewReader(bad)); err == nil {
 			t.Errorf("ParseTraceFull(%q) accepted", bad)
+		}
+	}
+}
+
+// TestRepairValidation pins ValidateRepairs's alternation rule (every
+// repair must strictly follow an unmatched crash of the same node) and
+// GenRepairs's determinism and pairing guarantee.
+func TestRepairValidation(t *testing.T) {
+	crashes := []Crash{{Node: 1, At: 100}, {Node: 3, At: 200}}
+	good := []Repair{{Node: 1, At: 150}, {Node: 3, At: 900}}
+	if err := ValidateRepairs(good, crashes, 8); err != nil {
+		t.Fatalf("valid repairs rejected: %v", err)
+	}
+	for name, reps := range map[string][]Repair{
+		"no crash":       {{Node: 2, At: 150}},
+		"before crash":   {{Node: 1, At: 50}},
+		"at crash":       {{Node: 1, At: 100}},
+		"double repair":  {{Node: 1, At: 150}, {Node: 1, At: 160}},
+		"node range":     {{Node: 9, At: 150}},
+		"non-positive t": {{Node: 1, At: 0}},
+	} {
+		if err := ValidateRepairs(reps, crashes, 8); err == nil {
+			t.Errorf("ValidateRepairs accepted %s", name)
+		}
+	}
+
+	span := sim.Time(40_000_000)
+	reps, err := GenRepairs(13, crashes, 0.9, span/4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := GenRepairs(13, crashes, 0.9, span/4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(reps, again) {
+		t.Fatal("repair sampling not deterministic")
+	}
+	if err := ValidateRepairs(reps, crashes, 8); err != nil {
+		t.Fatalf("generated repairs invalid: %v", err)
+	}
+	if none, err := GenRepairs(13, crashes, 0, span); err != nil || none != nil {
+		t.Fatalf("fraction 0: repairs=%v err=%v, want nil/nil", none, err)
+	}
+	for name, call := range map[string]func() ([]Repair, error){
+		"fraction > 1": func() ([]Repair, error) { return GenRepairs(13, crashes, 1.5, span) },
+		"tiny mttr":    func() ([]Repair, error) { return GenRepairs(13, crashes, 0.5, 1) },
+	} {
+		if _, err := call(); err == nil {
+			t.Errorf("GenRepairs accepted %s", name)
 		}
 	}
 }

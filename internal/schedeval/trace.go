@@ -110,6 +110,54 @@ func (c Crash) Validate(nodes int) error {
 	return nil
 }
 
+// Repair is the machine-level trace directive closing a Crash: node Node
+// is repaired at absolute time At and its fresh incarnation rejoins the
+// cluster. Like crashes, repairs belong to the trace, not to any job; the
+// failure-aware churn path arms them as chaos NodeRepair faults.
+type Repair struct {
+	Node int
+	At   sim.Time
+}
+
+// Validate checks the repair against the machine size.
+func (r Repair) Validate(nodes int) error {
+	if r.Node < 0 || r.Node >= nodes {
+		return fmt.Errorf("schedeval: repair node %d outside 0..%d", r.Node, nodes-1)
+	}
+	if r.At <= 0 {
+		return fmt.Errorf("schedeval: repair time %d must be positive", r.At)
+	}
+	return nil
+}
+
+// ValidateRepairs checks each repair against the machine size and the
+// crash list: every repair must strictly follow a crash of the same node,
+// and crash/repair must alternate per node (a node cannot be repaired
+// twice without failing in between) — the same pairing rule the chaos
+// plan enforces fault-by-fault.
+func ValidateRepairs(repairs []Repair, crashes []Crash, nodes int) error {
+	for _, r := range repairs {
+		if err := r.Validate(nodes); err != nil {
+			return err
+		}
+		down, up := 0, 0
+		for _, c := range crashes {
+			if c.Node == r.Node && c.At < r.At {
+				down++
+			}
+		}
+		for _, o := range repairs {
+			if o.Node == r.Node && o.At < r.At {
+				up++
+			}
+		}
+		if down <= up {
+			return fmt.Errorf("schedeval: repair of node %d at %d does not follow a crash of that node", r.Node, uint64(r.At))
+		}
+	}
+	return nil
+}
+
 // Spec builds the job's parpar spec.
 func (j TraceJob) Spec(name string) parpar.JobSpec {
 	switch j.Kernel {
@@ -232,26 +280,28 @@ func (j TraceJob) Validate(nodes int) error {
 // crash=node@T lines are rejected here — they only make sense on the
 // failure-aware churn path, which parses with ParseTraceFull.
 func ParseTrace(r io.Reader) ([]TraceJob, error) {
-	jobs, crashes, err := ParseTraceFull(r)
+	jobs, crashes, repairs, err := ParseTraceFull(r)
 	if err != nil {
 		return nil, err
 	}
-	if len(crashes) > 0 {
-		return nil, fmt.Errorf("schedeval: trace carries %d crash directives; they need the churn path (ParseTraceFull)", len(crashes))
+	if n := len(crashes) + len(repairs); n > 0 {
+		return nil, fmt.Errorf("schedeval: trace carries %d crash/repair directives; they need the churn path (ParseTraceFull)", n)
 	}
 	return jobs, nil
 }
 
 // ParseTraceFull reads the trace text format including machine-level
-// crash directives, one per line as
+// crash and repair directives, one per line as
 //
 //	crash node@T
+//	repair node@T
 //
-// alongside the job lines ParseTrace documents. Crashes are returned in
-// file order.
-func ParseTraceFull(r io.Reader) ([]TraceJob, []Crash, error) {
+// alongside the job lines ParseTrace documents. Crashes and repairs are
+// returned in file order.
+func ParseTraceFull(r io.Reader) ([]TraceJob, []Crash, []Repair, error) {
 	var jobs []TraceJob
 	var crashes []Crash
+	var repairs []Repair
 	sc := bufio.NewScanner(r)
 	line := 0
 	for sc.Scan() {
@@ -261,31 +311,35 @@ func ParseTraceFull(r io.Reader) ([]TraceJob, []Crash, error) {
 			continue
 		}
 		f := strings.Fields(text)
-		if f[0] == "crash" {
+		if f[0] == "crash" || f[0] == "repair" {
 			if len(f) != 2 {
-				return nil, nil, fmt.Errorf("schedeval: trace line %d: want \"crash node@T\", got %d fields", line, len(f))
+				return nil, nil, nil, fmt.Errorf("schedeval: trace line %d: want %q, got %d fields", line, f[0]+" node@T", len(f))
 			}
 			nodeStr, atStr, ok := strings.Cut(f[1], "@")
 			if !ok {
-				return nil, nil, fmt.Errorf("schedeval: trace line %d: crash %q (want node@T)", line, f[1])
+				return nil, nil, nil, fmt.Errorf("schedeval: trace line %d: %s %q (want node@T)", line, f[0], f[1])
 			}
 			node, err := strconv.ParseUint(nodeStr, 10, 32)
 			if err != nil {
-				return nil, nil, fmt.Errorf("schedeval: trace line %d: crash node %q: %v", line, nodeStr, err)
+				return nil, nil, nil, fmt.Errorf("schedeval: trace line %d: %s node %q: %v", line, f[0], nodeStr, err)
 			}
 			at, err := strconv.ParseUint(atStr, 10, 64)
 			if err != nil {
-				return nil, nil, fmt.Errorf("schedeval: trace line %d: crash time %q: %v", line, atStr, err)
+				return nil, nil, nil, fmt.Errorf("schedeval: trace line %d: %s time %q: %v", line, f[0], atStr, err)
 			}
-			crashes = append(crashes, Crash{Node: int(node), At: sim.Time(at)})
+			if f[0] == "crash" {
+				crashes = append(crashes, Crash{Node: int(node), At: sim.Time(at)})
+			} else {
+				repairs = append(repairs, Repair{Node: int(node), At: sim.Time(at)})
+			}
 			continue
 		}
 		if len(f) < 7 {
-			return nil, nil, fmt.Errorf("schedeval: trace line %d: want at least 7 fields, got %d", line, len(f))
+			return nil, nil, nil, fmt.Errorf("schedeval: trace line %d: want at least 7 fields, got %d", line, len(f))
 		}
 		kernel, ok := KernelByName(f[2])
 		if !ok {
-			return nil, nil, fmt.Errorf("schedeval: trace line %d: unknown kernel %q", line, f[2])
+			return nil, nil, nil, fmt.Errorf("schedeval: trace line %d: unknown kernel %q", line, f[2])
 		}
 		nums := make([]uint64, 7)
 		for i, s := range f[:7] {
@@ -294,7 +348,7 @@ func ParseTraceFull(r io.Reader) ([]TraceJob, []Crash, error) {
 			}
 			v, err := strconv.ParseUint(s, 10, 64)
 			if err != nil {
-				return nil, nil, fmt.Errorf("schedeval: trace line %d field %d: %v", line, i+1, err)
+				return nil, nil, nil, fmt.Errorf("schedeval: trace line %d field %d: %v", line, i+1, err)
 			}
 			nums[i] = v
 		}
@@ -310,63 +364,68 @@ func ParseTraceFull(r io.Reader) ([]TraceJob, []Crash, error) {
 		for _, tok := range f[7:] {
 			key, val, ok := strings.Cut(tok, "=")
 			if !ok {
-				return nil, nil, fmt.Errorf("schedeval: trace line %d: bad directive %q (want key=value)", line, tok)
+				return nil, nil, nil, fmt.Errorf("schedeval: trace line %d: bad directive %q (want key=value)", line, tok)
 			}
 			switch key {
 			case "kill":
 				v, err := strconv.ParseUint(val, 10, 64)
 				if err != nil {
-					return nil, nil, fmt.Errorf("schedeval: trace line %d: kill=%q: %v", line, val, err)
+					return nil, nil, nil, fmt.Errorf("schedeval: trace line %d: kill=%q: %v", line, val, err)
 				}
 				j.Kill = sim.Time(v)
 			case "deadline":
 				v, err := strconv.ParseUint(val, 10, 64)
 				if err != nil {
-					return nil, nil, fmt.Errorf("schedeval: trace line %d: deadline=%q: %v", line, val, err)
+					return nil, nil, nil, fmt.Errorf("schedeval: trace line %d: deadline=%q: %v", line, val, err)
 				}
 				j.Deadline = sim.Time(v)
 			case "resize":
 				sz, at, ok := strings.Cut(val, "@")
 				if !ok {
-					return nil, nil, fmt.Errorf("schedeval: trace line %d: resize=%q (want N@T)", line, val)
+					return nil, nil, nil, fmt.Errorf("schedeval: trace line %d: resize=%q (want N@T)", line, val)
 				}
 				n, err := strconv.ParseUint(sz, 10, 32)
 				if err != nil {
-					return nil, nil, fmt.Errorf("schedeval: trace line %d: resize size %q: %v", line, sz, err)
+					return nil, nil, nil, fmt.Errorf("schedeval: trace line %d: resize size %q: %v", line, sz, err)
 				}
 				t, err := strconv.ParseUint(at, 10, 64)
 				if err != nil {
-					return nil, nil, fmt.Errorf("schedeval: trace line %d: resize time %q: %v", line, at, err)
+					return nil, nil, nil, fmt.Errorf("schedeval: trace line %d: resize time %q: %v", line, at, err)
 				}
 				j.ResizeTo, j.ResizeAt = int(n), sim.Time(t)
 			default:
-				return nil, nil, fmt.Errorf("schedeval: trace line %d: unknown directive %q", line, key)
+				return nil, nil, nil, fmt.Errorf("schedeval: trace line %d: unknown directive %q", line, key)
 			}
 		}
 		jobs = append(jobs, j)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return jobs, crashes, nil
+	return jobs, crashes, repairs, nil
 }
 
 // FormatTrace writes jobs in the ParseTrace format. Churn directives are
 // emitted only when set, so churn-free traces round-trip to the original
 // 7-field format.
 func FormatTrace(w io.Writer, jobs []TraceJob) error {
-	return FormatTraceFull(w, jobs, nil)
+	return FormatTraceFull(w, jobs, nil, nil)
 }
 
-// FormatTraceFull writes jobs plus machine-level crash directives, which
-// round-trip through ParseTraceFull. With no crashes the output is exactly
-// FormatTrace's.
-func FormatTraceFull(w io.Writer, jobs []TraceJob, crashes []Crash) error {
+// FormatTraceFull writes jobs plus machine-level crash and repair
+// directives, which round-trip through ParseTraceFull. With no crashes or
+// repairs the output is exactly FormatTrace's.
+func FormatTraceFull(w io.Writer, jobs []TraceJob, crashes []Crash, repairs []Repair) error {
 	if _, err := fmt.Fprintln(w, "# arrive size kernel units msgs bytes compute [kill=T] [resize=N@T] [deadline=T]"); err != nil {
 		return err
 	}
 	for _, c := range crashes {
 		if _, err := fmt.Fprintf(w, "crash %d@%d\n", c.Node, uint64(c.At)); err != nil {
+			return err
+		}
+	}
+	for _, r := range repairs {
+		if _, err := fmt.Fprintf(w, "repair %d@%d\n", r.Node, uint64(r.At)); err != nil {
 			return err
 		}
 	}

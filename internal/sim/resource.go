@@ -81,3 +81,16 @@ func (r *Resource) Block(until Time) {
 		r.freeAt = until
 	}
 }
+
+// Unblock cancels the unconsumed remainder of the resource's occupancy: the
+// resource becomes free now, and the reserved-but-never-consumed cycles are
+// deducted from the busy total. It models the external agent releasing the
+// hardware early — a repaired node whose fail-stop Block(∞) ends. Completion
+// callbacks already scheduled by Use keep their original times; only the
+// watermark moves.
+func (r *Resource) Unblock() {
+	if now := r.eng.Now(); r.freeAt > now {
+		r.busy -= r.freeAt - now
+		r.freeAt = now
+	}
+}

@@ -65,6 +65,15 @@ func TestParallelEquivalenceFigures(t *testing.T) {
 				fmt.Sprint(experiments.ChurnAvailability(rs)) + "\n" +
 				fmt.Sprint(experiments.ChurnStats(rs))
 		}},
+		// The repair showdown adds the rejoin barrier, heartbeat probes, and
+		// revived columns on top of the crash machinery; the same lockstep
+		// promise must hold through all of it.
+		{"churn_repair.txt", 4, func(p experiments.Params) string {
+			rs := experiments.ChurnRepair(p)
+			return fmt.Sprint(experiments.ChurnGrid(rs)) + "\n" +
+				fmt.Sprint(experiments.ChurnAvailability(rs)) + "\n" +
+				fmt.Sprint(experiments.ChurnStats(rs))
+		}},
 	}
 	for _, tb := range tables {
 		tb := tb
